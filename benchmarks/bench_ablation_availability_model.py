@@ -1,0 +1,69 @@
+"""Ablation — analytic availability chain vs Monte-Carlo simulation.
+
+Table 6's availability column is computed analytically (as in the
+paper). The Monte-Carlo simulator draws Poisson error arrivals and
+resolves each one stochastically; its mean must agree with the analytic
+model, and it additionally yields distributional information (worst-case
+months) the analytic chain cannot provide.
+"""
+
+from _helpers import ANALYSIS_ERROR_LABEL
+
+from repro.cluster import AvailabilitySimulator
+from repro.core.availability import availability_from_crashes
+from repro.core.mapping import DesignEvaluator, consumer_pc, detect_and_recover
+
+MONTHS = 400
+
+
+def test_ablation_analytic_vs_monte_carlo(
+    benchmark, websearch_profile, websearch_recoverability, report
+):
+    """Cross-validate the two availability models on two designs."""
+    fractions = {
+        region: data["best"]
+        for region, data in websearch_recoverability.items()
+        if region != "overall"
+    }
+    evaluator = DesignEvaluator(
+        websearch_profile, error_label=ANALYSIS_ERROR_LABEL
+    )
+    regions = websearch_profile.regions()
+    designs = (
+        consumer_pc(regions),
+        detect_and_recover(regions, fractions),
+    )
+
+    lines = [
+        f"Ablation: analytic vs Monte-Carlo availability ({MONTHS} months)",
+        f"{'design':<16} {'analytic avail':>15} {'MC mean':>9} "
+        f"{'MC p5 month':>12} {'MC crashes/mo':>14}",
+    ]
+    simulators = {}
+    for design in designs:
+        metrics = evaluator.evaluate(design)
+        simulator = AvailabilitySimulator(
+            websearch_profile,
+            design.policies,
+            error_label=ANALYSIS_ERROR_LABEL,
+        )
+        simulators[design.name] = simulator
+        summary = simulator.simulate(months=MONTHS, seed=11)
+        lines.append(
+            f"{design.name:<16} {metrics.availability:>14.4%} "
+            f"{summary.mean_availability:>8.4%} "
+            f"{summary.availability_percentile(5):>11.4%} "
+            f"{summary.mean_crashes:>13.2f}"
+        )
+        # Agreement: MC mean within 0.1 percentage point of analytic.
+        assert abs(summary.mean_availability - metrics.availability) < 1e-3
+        # And the MC crash rate matches the analytic rate.
+        assert abs(
+            availability_from_crashes(summary.mean_crashes)
+            - metrics.availability
+        ) < 1e-3
+        # Distributional extra: a bad month is worse than the mean.
+        assert summary.availability_percentile(5) <= summary.mean_availability
+
+    benchmark(lambda: simulators[designs[0].name].simulate(months=20, seed=3))
+    report("ablation_availability_model", "\n".join(lines))

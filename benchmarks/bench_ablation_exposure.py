@@ -1,0 +1,84 @@
+"""Ablation — exposure-window sensitivity of the characterization.
+
+The paper exposed injected errors to minutes of production traffic; our
+trials replay a bounded query window. This ablation quantifies how the
+measured outcome mix depends on that window for *hard* errors (which
+persist until consumed): longer exposure converts never-accessed
+outcomes into consumed ones, raising the visible-failure rate toward an
+asymptote. It bounds the methodological error of using short windows.
+"""
+
+import json
+
+from _helpers import CACHE_DIR, make_websearch
+
+from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+from repro.injection import SINGLE_BIT_HARD
+
+WINDOWS = (30, 100, 300)
+TRIALS = 50
+
+
+def _measure():
+    results = {}
+    for queries in WINDOWS:
+        workload = make_websearch()
+        campaign = CharacterizationCampaign(
+            workload,
+            CampaignConfig(
+                trials_per_cell=TRIALS, queries_per_trial=queries, seed=700
+            ),
+        )
+        campaign.prepare()
+        profile = campaign.run(regions=["private"], specs=(SINGLE_BIT_HARD,))
+        cell = profile.cells[("private", "single-bit hard")]
+        results[str(queries)] = {
+            "visible": (cell.crashes + cell.incorrect_trials) / cell.trials,
+            "never": cell.outcome_counts.get("masked_never_accessed", 0)
+            / cell.trials,
+            "logic": cell.outcome_counts.get("masked_logic", 0) / cell.trials,
+        }
+    return results
+
+
+def test_ablation_exposure_window(benchmark, report):
+    """Outcome mix versus exposure window (WebSearch private, hard)."""
+    cache = CACHE_DIR / "ablation_exposure.json"
+    if cache.exists():
+        try:
+            results = json.loads(cache.read_text())
+        except ValueError:
+            results = None
+    else:
+        results = None
+    if results is None:
+        results = benchmark.pedantic(_measure, rounds=1, iterations=1)
+        cache.parent.mkdir(parents=True, exist_ok=True)
+        cache.write_text(json.dumps(results))
+    else:
+        benchmark(lambda: json.loads(cache.read_text()))
+
+    lines = [
+        "Ablation: exposure window vs measured outcomes "
+        "(WebSearch private, 1-bit hard)",
+        f"{'queries/trial':>14} {'visible':>9} {'never-accessed':>15} "
+        f"{'masked-by-logic':>16}",
+    ]
+    for queries in WINDOWS:
+        row = results[str(queries)]
+        lines.append(
+            f"{queries:>14} {row['visible']:>8.1%} {row['never']:>14.1%} "
+            f"{row['logic']:>15.1%}"
+        )
+    lines.append(
+        "\nLonger exposure consumes more resident hard errors: "
+        "never-accessed shrinks and visible failures grow toward an "
+        "asymptote; short windows under-estimate hard-error "
+        "vulnerability (a conservative direction for HRM cost savings)."
+    )
+    report("ablation_exposure", "\n".join(lines))
+
+    never = [results[str(q)]["never"] for q in WINDOWS]
+    assert never[0] >= never[-1]  # coverage grows with exposure
+    visible = [results[str(q)]["visible"] for q in WINDOWS]
+    assert visible[-1] >= visible[0]  # and so do visible failures

@@ -1,0 +1,66 @@
+"""Ablation — hard-error emulation: stuck-at overlay vs 30 ms re-application.
+
+The paper emulates hard errors by re-applying the flip every 30 ms; this
+library's default is a stuck-at overlay (the zero-latency limit of that
+process). This ablation quantifies the difference: with the periodic
+scheme, overwrites landing inside the re-application window are briefly
+honoured, so strictly fewer corrupted reads occur. The overlay is
+therefore the (slightly) more conservative emulation, as DESIGN.md
+claims.
+"""
+
+import random
+
+from repro.injection import PeriodicReapplier
+from repro.memory import AddressSpace, standard_layout
+
+
+def _workload_pass(space, base, rng, reapplier=None):
+    """A read/overwrite-mix pass; returns # reads observing the flip."""
+    corrupted_reads = 0
+    for _ in range(2000):
+        if rng.random() < 0.3:
+            space.write_u8(base, 0)
+        else:
+            if space.read_u8(base) & 1:
+                corrupted_reads += 1
+        space.advance_time(1)
+        if reapplier is not None:
+            reapplier.maybe_reapply()
+    return corrupted_reads
+
+
+def _run(mode: str) -> int:
+    space = AddressSpace(standard_layout(heap_size=4096))
+    base = space.region_named("heap").base
+    space.write_u8(base, 0)
+    rng = random.Random(5)
+    if mode == "overlay":
+        space.inject_hard_fault(base, 0, stuck_value=1)
+        return _workload_pass(space, base, rng)
+    reapplier = PeriodicReapplier(space, period=30)
+    reapplier.install(base, 0)
+    return _workload_pass(space, base, rng, reapplier)
+
+
+def test_ablation_hard_fault_emulation(benchmark, report):
+    """Compare corrupted-read exposure under the two emulations."""
+    overlay_reads = _run("overlay")
+    periodic_reads = _run("periodic")
+
+    benchmark(lambda: _run("overlay"))
+
+    lines = [
+        "Ablation: hard-error emulation strategy (2000-access mixed pass)",
+        f"{'strategy':<22} {'corrupted reads':>16}",
+        f"{'stuck-at overlay':<22} {overlay_reads:>16}",
+        f"{'30-unit re-application':<22} {periodic_reads:>16}",
+        "",
+        "The overlay exposes at least as many corrupted reads: the",
+        "paper's polling emulation lets overwrites mask the error inside",
+        "each re-application window, underestimating vulnerability.",
+    ]
+    report("ablation_hard_fault", "\n".join(lines))
+
+    assert overlay_reads >= periodic_reads
+    assert overlay_reads > 0

@@ -1,0 +1,46 @@
+"""Ablation — campaign trial reset: snapshot/restore vs full rebuild.
+
+The campaign restarts the application before every trial (Figure 2,
+step 1). Restoring a memory snapshot is semantically identical to
+rebuilding (same pristine bytes) but orders of magnitude cheaper —
+this is what makes thousand-trial campaigns tractable in simulation.
+"""
+
+from _helpers import make_websearch
+
+
+def test_ablation_snapshot_restore(benchmark, report):
+    """Benchmark snapshot-restore; compare with a measured rebuild."""
+    import time
+
+    workload = make_websearch()
+    t0 = time.perf_counter()
+    workload.build()
+    build_seconds = time.perf_counter() - t0
+    workload.checkpoint()
+
+    result = benchmark(workload.reset)
+    assert result is None
+
+    restore_seconds = (
+        benchmark.stats.stats.mean if benchmark.stats is not None else 0.0
+    )
+    ratio = build_seconds / restore_seconds if restore_seconds else float("inf")
+    lines = [
+        "Ablation: trial reset strategy (WebSearch @ benchmark scale)",
+        f"{'full rebuild':<18} {build_seconds * 1000:>10.1f} ms",
+        f"{'snapshot restore':<18} {restore_seconds * 1000:>10.3f} ms",
+        f"speedup: {ratio:,.0f}x",
+    ]
+    report("ablation_snapshot", "\n".join(lines))
+
+    # Restore must be dramatically cheaper and fully equivalent.
+    assert restore_seconds < build_seconds / 20
+
+    # Equivalence check: responses after restore match a fresh build.
+    fresh = make_websearch()
+    fresh.build()
+    workload.reset()
+    assert [workload.execute(i) for i in range(5)] == [
+        fresh.execute(i) for i in range(5)
+    ]

@@ -1,0 +1,84 @@
+"""Extension — access-pattern-dependent (disturbance) errors.
+
+The paper's footnote 2 flags intermittent, access-pattern-dependent
+DRAM errors (retention/disturbance — Khan 2014, Kim 2014) as the coming
+failure mode. This bench characterizes WebSearch under aggressor/victim
+couplings whose victims flip only when the application's own reads
+hammer the aggressor — so vulnerability now depends on access *heat*,
+not just data criticality — and compares the per-region outcome mix
+with the static soft/hard-error cells of Figure 4.
+"""
+
+import json
+
+from _helpers import CACHE_DIR, make_websearch
+
+from repro.core.disturbance import DISTURBANCE_LABEL, characterize_disturbance
+from repro.core.vulnerability import VulnerabilityProfile
+
+
+def _load_or_measure():
+    cache = CACHE_DIR / "ext_disturbance.json"
+    if cache.exists():
+        try:
+            return VulnerabilityProfile.from_dict(json.loads(cache.read_text()))
+        except (ValueError, KeyError):
+            pass
+    workload = make_websearch()
+    profile = characterize_disturbance(
+        workload,
+        trials_per_region=60,
+        queries_per_trial=120,
+        flip_probability=0.25,
+        seed=606,
+    )
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    cache.write_text(json.dumps(profile.to_dict()))
+    return profile
+
+
+def test_ext_disturbance(benchmark, websearch_profile, report):
+    """Per-region disturbance outcomes vs static single-bit errors."""
+    disturbance = _load_or_measure()
+
+    def build_rows():
+        rows = {}
+        for region in disturbance.regions():
+            cell = disturbance.cells[(region, DISTURBANCE_LABEL)]
+            static = websearch_profile.cells.get((region, "single-bit soft"))
+            rows[region] = (cell, static)
+        return rows
+
+    rows = benchmark(build_rows)
+
+    lines = [
+        "Extension: access-pattern-dependent (disturbance) errors, WebSearch",
+        f"{'region':<9} {'--- disturbance ---':^28} {'--- 1-bit soft ---':^22}",
+        f"{'':<9} {'crash':>8} {'incorrect':>10} {'masked':>8} "
+        f"{'crash':>8} {'incorrect':>10}",
+    ]
+    for region, (cell, static) in sorted(rows.items()):
+        static_crash = static.crashes / static.trials if static else 0.0
+        static_incorrect = (
+            static.incorrect_trials / static.trials if static else 0.0
+        )
+        lines.append(
+            f"{region:<9} {cell.crashes / cell.trials:>7.1%} "
+            f"{cell.incorrect_trials / cell.trials:>9.1%} "
+            f"{cell.masked_trials / cell.trials:>7.1%} "
+            f"{static_crash:>7.1%} {static_incorrect:>9.1%}"
+        )
+    lines.append(
+        "\nDisturbance errors only materialize where the access pattern "
+        "hammers aggressors, and they keep re-flipping the victim — "
+        "read-hot regions become repeated-incorrectness sources."
+    )
+    report("ext_disturbance", "\n".join(lines))
+
+    for region, (cell, _static) in rows.items():
+        assert cell.trials > 0
+        assert sum(cell.outcome_counts.values()) == cell.trials
+    # The hot read-only index must show materialized (non-masked)
+    # disturbance outcomes: its aggressors are hammered by every query.
+    private_cell = rows["private"][0]
+    assert private_cell.crashes + private_cell.incorrect_trials > 0

@@ -1,0 +1,83 @@
+"""Extension — correlated failure modes (paper §VII future work).
+
+Characterizes WebSearch under structured DRAM fault footprints — whole
+rows, columns, banks, and chips failing at once — versus independent
+single-bit errors, using the DRAM-geometry fault models. The paper's
+Finding-5 trend (severity hurts correctness more than crash rate)
+should extend to footprints, with large footprints decisively more
+visible than single bits.
+"""
+
+import json
+
+from _helpers import CACHE_DIR, make_websearch
+
+from repro.core.failure_modes import characterize_failure_modes, mode_summary
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.dram.fault_models import FailureMode
+
+MODE_ORDER = ("single_bit", "single_word", "row", "column", "bank", "chip")
+
+
+def _load_or_measure():
+    cache = CACHE_DIR / "ext_failure_modes.json"
+    if cache.exists():
+        try:
+            return VulnerabilityProfile.from_dict(json.loads(cache.read_text()))
+        except (ValueError, KeyError):
+            pass
+    workload = make_websearch()
+    profile = characterize_failure_modes(
+        workload, trials_per_mode=40, queries_per_trial=120, seed=404
+    )
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    cache.write_text(json.dumps(profile.to_dict()))
+    return profile
+
+
+def test_ext_failure_modes(benchmark, report):
+    """Render the per-mode vulnerability table; check the severity trend."""
+    profile = _load_or_measure()
+    summary = benchmark(lambda: mode_summary(profile))
+    assert set(summary) == set(MODE_ORDER)
+
+    lines = [
+        "Extension: correlated DRAM failure modes (WebSearch)",
+        f"{'mode':<12} {'P(crash)':>9} {'P(incorrect)':>13} {'masked':>8} "
+        f"{'incorrect/1e9':>14}",
+    ]
+    for mode in MODE_ORDER:
+        row = summary[mode]
+        lines.append(
+            f"{mode:<12} {row['crash']:>8.1%} {row['incorrect']:>12.1%} "
+            f"{row['masked']:>7.1%} {row['incorrect_per_billion']:>13.2e}"
+        )
+    report("ext_failure_modes", "\n".join(lines))
+
+    # Multi-cell footprints are at least as visible as single bits, and
+    # the largest footprints (bank/chip) markedly so.
+    def visible(mode):
+        return summary[mode]["crash"] + summary[mode]["incorrect"]
+
+    assert visible("chip") >= visible("single_bit")
+    assert visible("bank") >= visible("single_bit")
+    large = max(visible("bank"), visible("chip"))
+    assert large >= visible("single_bit") + 0.1
+
+
+def test_ext_failure_mode_trial_cost(benchmark):
+    """Benchmark one whole-footprint trial (row mode)."""
+    workload = make_websearch()
+    workload.build()
+    workload.checkpoint()
+
+    def one_mode():
+        return characterize_failure_modes(
+            workload,
+            trials_per_mode=1,
+            queries_per_trial=60,
+            modes=(FailureMode.ROW,),
+            seed=7,
+        )
+
+    benchmark.pedantic(one_mode, rounds=3, iterations=1)

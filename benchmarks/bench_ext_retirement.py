@@ -1,0 +1,57 @@
+"""Extension — page-retirement effectiveness over a device lifetime.
+
+The paper's software-response dimension cites studies (refs [15, 22])
+where retiring error-prone pages eliminates up to 96.8 % of detected
+errors at negligible capacity cost. This bench reproduces the dynamic
+with the DRAM device/fault models: recurring hard faults dominate the
+error-event stream, so retiring repeat offenders removes almost all of
+it.
+"""
+
+from repro.dram.lifetime import LifetimeConfig, retirement_threshold_sweep
+
+CONFIG = LifetimeConfig(
+    months=36, fault_arrivals_per_month=4.0, events_per_hard_fault_month=8.0,
+    seed=12,
+)
+THRESHOLDS = (1, 2, 4, 8)
+
+
+def test_ext_retirement_effectiveness(benchmark, report):
+    """Sweep retirement thresholds over a 36-month device lifetime."""
+    results = benchmark.pedantic(
+        lambda: retirement_threshold_sweep(CONFIG, thresholds=THRESHOLDS),
+        rounds=1,
+        iterations=1,
+    )
+    baseline = results[None]
+
+    lines = [
+        "Extension: page retirement over a 36-month device lifetime",
+        f"baseline (no retirement): {baseline.total_error_events} error events",
+        f"{'threshold':>10} {'events':>8} {'eliminated':>11} "
+        f"{'pages retired':>14} {'capacity lost':>14}",
+    ]
+    for threshold in THRESHOLDS:
+        result = results[threshold]
+        lines.append(
+            f"{threshold:>10} {result.total_error_events:>8} "
+            f"{result.events_eliminated_fraction(baseline):>10.1%} "
+            f"{result.pages_retired:>14} "
+            f"{result.retired_capacity_fraction:>13.4%}"
+        )
+    lines.append(
+        "\n(paper's cited studies: up to 96.8% of detected errors "
+        "eliminated; capacity cost 'usually very little')"
+    )
+    report("ext_retirement", "\n".join(lines))
+
+    eager = results[1]
+    assert eager.events_eliminated_fraction(baseline) > 0.85
+    # "Very little" capacity: under 1% even with multi-page footprints
+    # (rows/banks/chips) retiring whole page groups.
+    assert eager.retired_capacity_fraction < 0.01
+    fractions = [
+        results[t].events_eliminated_fraction(baseline) for t in THRESHOLDS
+    ]
+    assert fractions == sorted(fractions, reverse=True)

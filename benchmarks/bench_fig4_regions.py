@@ -1,0 +1,61 @@
+"""Figure 4 — per-region vulnerability variation.
+
+Per-region crash probability (a) and incorrectness (b) for single-bit
+soft/hard errors, all three applications. The benchmark times the
+region-cell aggregation over the cached profiles.
+"""
+
+LABELS = ("single-bit soft", "single-bit hard")
+
+
+def test_fig4_reproduction(benchmark, all_profiles, report):
+    """Render Figure 4; check Finding 2 orderings."""
+
+    def build_rows():
+        rows = []
+        for app, profile in all_profiles.items():
+            for region in profile.regions():
+                for label in LABELS:
+                    cell = profile.cells.get((region, label))
+                    if cell is None or cell.trials == 0:
+                        continue
+                    ci = cell.crash_probability()
+                    rows.append(
+                        (
+                            app,
+                            region,
+                            label,
+                            ci,
+                            cell.incorrect_per_billion_queries,
+                            cell.masked_trials / cell.trials,
+                        )
+                    )
+        return rows
+
+    rows = benchmark(build_rows)
+
+    lines = [
+        "Figure 4: per-region vulnerability (single-bit errors)",
+        f"{'App':<10} {'region':<8} {'error':<16} {'P(crash)':>9} "
+        f"{'90% CI':>17} {'incorrect/1e9':>14} {'masked':>7}",
+    ]
+    for app, region, label, ci, incorrect, masked in rows:
+        lines.append(
+            f"{app:<10} {region:<8} {label:<16} {ci.estimate:>8.2%} "
+            f"[{ci.lower:>6.2%},{ci.upper:>6.2%}] {incorrect:>13.2e} "
+            f"{masked:>6.1%}"
+        )
+    report("fig4_regions", "\n".join(lines))
+
+    # Finding 2: tolerance varies across regions within WebSearch; the
+    # stack is the most crash-prone region for hard errors.
+    websearch = all_profiles["WebSearch"]
+    stack = websearch.region_crash_probability("stack", "single-bit hard")
+    private = websearch.region_crash_probability("private", "single-bit hard")
+    heap = websearch.region_crash_probability("heap", "single-bit hard")
+    assert stack >= max(private, heap)
+    masked_by_region = {
+        region: websearch.cells[(region, "single-bit hard")].masked_trials
+        for region in websearch.regions()
+    }
+    assert len(set(masked_by_region.values())) > 1

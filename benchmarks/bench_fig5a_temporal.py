@@ -1,0 +1,69 @@
+"""Figure 5(a) — temporal distribution of error effects.
+
+The paper's quick-to-crash vs periodically-incorrect finding: the
+distribution of time between injection and the first observed effect,
+for crashes versus incorrect results. Delays are recorded (in simulated
+minutes) by the campaign; this bench renders their distribution.
+"""
+
+import statistics
+
+
+def _histogram(delays, bin_minutes, bins):
+    counts = [0] * bins
+    for delay in delays:
+        index = min(int(delay / bin_minutes), bins - 1)
+        counts[index] += 1
+    return counts
+
+
+def test_fig5a_reproduction(benchmark, websearch_profile, report):
+    """Render the effect-delay distributions; check Finding 3."""
+
+    def collect():
+        crash_delays = []
+        incorrect_delays = []
+        for (region, label), cell in websearch_profile.cells.items():
+            crash_delays.extend(cell.crash_delay_minutes)
+            # effect_delay_minutes holds both kinds; subtract crashes.
+            remaining = list(cell.effect_delay_minutes)
+            for delay in cell.crash_delay_minutes:
+                if delay in remaining:
+                    remaining.remove(delay)
+            incorrect_delays.extend(remaining)
+        return crash_delays, incorrect_delays
+
+    crash_delays, incorrect_delays = benchmark(collect)
+    assert crash_delays or incorrect_delays, "no visible outcomes recorded"
+
+    bins = 8
+    bin_minutes = 0.5
+    lines = [
+        "Figure 5(a): minutes from injection to first effect (WebSearch)",
+        f"{'bin (min)':<12} {'crashes':>8} {'incorrect':>10}",
+    ]
+    crash_histogram = _histogram(crash_delays, bin_minutes, bins)
+    incorrect_histogram = _histogram(incorrect_delays, bin_minutes, bins)
+    for index in range(bins):
+        label = f"{index * bin_minutes:.1f}-{(index + 1) * bin_minutes:.1f}"
+        if index == bins - 1:
+            label = f">={index * bin_minutes:.1f}"
+        lines.append(
+            f"{label:<12} {crash_histogram[index]:>8} "
+            f"{incorrect_histogram[index]:>10}"
+        )
+    if crash_delays:
+        lines.append(f"median crash delay:     {statistics.median(crash_delays):.2f} min")
+    if incorrect_delays:
+        lines.append(
+            f"median incorrect delay: {statistics.median(incorrect_delays):.2f} min"
+        )
+    report("fig5a_temporal", "\n".join(lines))
+
+    # Finding 3: crashes cluster early (quick-to-crash); incorrect
+    # results spread across the horizon (periodically incorrect). Check
+    # via medians when both populations exist.
+    if crash_delays and incorrect_delays:
+        assert statistics.median(crash_delays) <= statistics.median(
+            incorrect_delays
+        ) + bin_minutes

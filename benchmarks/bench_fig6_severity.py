@@ -1,0 +1,51 @@
+"""Figure 6 — WebSearch vulnerability versus error severity.
+
+Per-region crash probability (a) and incorrectness (b) for single-bit
+soft, single-bit hard, and 2-bit hard errors. The benchmark times the
+severity aggregation over the cached profile.
+"""
+
+SEVERITIES = ("single-bit soft", "single-bit hard", "2-bit hard")
+
+
+def test_fig6_reproduction(benchmark, websearch_profile, report):
+    """Render Figure 6; check Finding 5's severity trend."""
+
+    def build_rows():
+        rows = {}
+        for region in websearch_profile.regions():
+            for label in SEVERITIES:
+                cell = websearch_profile.cells.get((region, label))
+                if cell is not None and cell.trials:
+                    rows[(region, label)] = cell
+        return rows
+
+    rows = benchmark(build_rows)
+    assert rows
+
+    lines = [
+        "Figure 6: WebSearch vulnerability by error severity",
+        f"{'Region':<9} {'severity':<16} {'P(crash)':>9} "
+        f"{'incorrect/1e9':>14} {'visible trials':>15}",
+    ]
+    for (region, label), cell in sorted(rows.items()):
+        lines.append(
+            f"{region:<9} {label:<16} {cell.crashes / cell.trials:>8.1%} "
+            f"{cell.incorrect_per_billion_queries:>13.2e} "
+            f"{cell.crashes + cell.incorrect_trials:>8}/{cell.trials:<6}"
+        )
+    report("fig6_severity", "\n".join(lines))
+
+    # Finding 5: severity mainly decreases correctness. App-level
+    # incorrectness must be non-decreasing from 1-bit soft to 2-bit hard.
+    soft = websearch_profile.app_level("single-bit soft")
+    multi_hard = websearch_profile.app_level("2-bit hard")
+    assert (
+        multi_hard.incorrect_per_billion_queries
+        >= soft.incorrect_per_billion_queries
+    )
+    # Hard errors visible at least as often as soft (they persist).
+    hard = websearch_profile.app_level("single-bit hard")
+    soft_visible = soft.crashes + soft.incorrect_trials
+    hard_visible = hard.crashes + hard.incorrect_trials
+    assert hard_visible >= soft_visible

@@ -1,0 +1,58 @@
+"""Table 3 — the size of different applications' memory regions.
+
+The paper reports absolute region sizes on production servers (up to
+46 GB); the reproduction runs at simulation scale, so the comparison is
+structural: which regions exist per application and how their sizes are
+ordered/shared. The benchmark times full application construction
+(corpus/index/graph generation + serialization into simulated memory).
+"""
+
+from _helpers import fmt_bytes, make_graphmining, make_kvstore, make_websearch
+
+from repro.core.paper_reference import TABLE3
+
+
+def test_table3_reproduction(benchmark, report):
+    """Build all three applications; compare region structure to Table 3."""
+    factories = {
+        "WebSearch": make_websearch,
+        "Memcached": make_kvstore,
+        "GraphLab": make_graphmining,
+    }
+
+    def build_all():
+        built = {}
+        for name, factory in factories.items():
+            workload = factory()
+            workload.build()
+            built[name] = workload
+        return built
+
+    built = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    lines = [
+        "Table 3: application memory regions (measured @ simulation scale "
+        "vs paper @ production scale)",
+        f"{'App':<10} {'region':<8} {'measured':>9} {'share':>7} "
+        f"{'paper':>7} {'paper share':>12}",
+    ]
+    for name, workload in built.items():
+        sizes = workload.region_sizes()
+        total = sum(sizes.values())
+        paper_sizes = TABLE3[name]
+        paper_total = sum(paper_sizes.values())
+        for region in ("private", "heap", "stack"):
+            measured = sizes.get(region, 0)
+            paper_size = paper_sizes.get(region, 0)
+            lines.append(
+                f"{name:<10} {region:<8} {fmt_bytes(measured):>9} "
+                f"{measured / total:>6.1%} {fmt_bytes(paper_size):>7} "
+                f"{paper_size / paper_total:>11.1%}"
+            )
+        # Structural claims from Table 3 that must hold at any scale:
+        if name == "WebSearch":
+            assert sizes["private"] > sizes["heap"] > sizes["stack"]
+        else:
+            assert "private" not in sizes
+            assert sizes["heap"] > sizes["stack"]
+    report("table3_regions", "\n".join(lines))

@@ -1,0 +1,83 @@
+"""Table 6 — the five heterogeneous-reliability design points.
+
+Evaluates the paper's five designs against the *measured* WebSearch
+vulnerability profile using the cost, error-rate, and availability
+models with the paper's Table 6 parameters. Cost columns should match
+the paper near-exactly (they derive from the same published constants);
+reliability columns come from our simulated workload's measured
+vulnerability, so the check is on ordering and rough magnitude.
+"""
+
+from _helpers import ANALYSIS_ERROR_LABEL
+
+from repro.core.mapping import DesignEvaluator, paper_design_points
+from repro.core.paper_reference import TABLE6_DESIGNS
+
+
+def _fmt_range(value_range):
+    if value_range is None:
+        return ""
+    low, high = value_range
+    return f" ({low:.1%}-{high:.1%})"
+
+
+def test_table6_reproduction(
+    benchmark, websearch_profile, websearch_recoverability, report
+):
+    """Evaluate the five designs; benchmark the evaluation itself."""
+    fractions = {
+        region: data["best"]
+        for region, data in websearch_recoverability.items()
+        if region != "overall"
+    }
+    evaluator = DesignEvaluator(websearch_profile, error_label=ANALYSIS_ERROR_LABEL)
+    designs = paper_design_points(websearch_profile.regions(), fractions)
+
+    metrics = benchmark(lambda: {d.name: evaluator.evaluate(d) for d in designs})
+
+    lines = [
+        "Table 6: HRM design points for WebSearch (measured | paper)",
+        f"{'Design':<18} {'mem savings':>24} {'srv save':>9} "
+        f"{'crashes/mo':>16} {'availability':>19} {'incorrect/M':>16}",
+    ]
+    for name, m in metrics.items():
+        paper = TABLE6_DESIGNS[name]
+        mem = f"{m.memory_cost_savings:.1%}{_fmt_range(m.memory_cost_savings_range)}"
+        paper_mem = f"{paper['memory_savings']:.1%}"
+        lines.append(
+            f"{name:<18} {mem:>15} |{paper_mem:>6} "
+            f"{m.server_cost_savings:>8.1%} "
+            f"{m.crashes_per_month:>7.1f} |{paper['crashes_per_month']:>6} "
+            f"{m.availability:>9.4%} |{paper['availability']:>7.2%} "
+            f"{m.incorrect_per_million_queries:>8.1f} |{paper['incorrect_per_million']:>5}"
+        )
+    report("table6_design_points", "\n".join(lines))
+
+    # --- Cost columns: analytic, must match the paper tightly. ---------
+    for name in ("Typical Server", "Consumer PC", "Detect&Recover"):
+        assert abs(
+            metrics[name].memory_cost_savings - TABLE6_DESIGNS[name]["memory_savings"]
+        ) < 0.01, name
+    low, high = metrics["Less-Tested (L)"].memory_cost_savings_range
+    paper_low, paper_high = TABLE6_DESIGNS["Less-Tested (L)"]["memory_savings_range"]
+    assert abs(low - paper_low) < 0.01 and abs(high - paper_high) < 0.01
+
+    # --- Reliability columns: measured; check the paper's orderings. ---
+    pc = metrics["Consumer PC"]
+    dr = metrics["Detect&Recover"]
+    lt = metrics["Less-Tested (L)"]
+    drl = metrics["Detect&Recover/L"]
+    typical = metrics["Typical Server"]
+
+    assert typical.crashes_per_month == 0 and typical.availability == 1.0
+    # Detect&Recover dominates Consumer PC on every reliability metric.
+    assert dr.crashes_per_month <= pc.crashes_per_month
+    assert dr.incorrect_per_million_queries < pc.incorrect_per_million_queries
+    # Less-tested without protection is the least reliable design...
+    assert lt.crashes_per_month == max(m.crashes_per_month for m in metrics.values())
+    # ...and heterogeneous protection recovers most of that reliability
+    # while keeping most of the cost savings (the paper's headline).
+    assert drl.crashes_per_month < lt.crashes_per_month / 2
+    assert drl.availability > lt.availability
+    assert drl.server_cost_savings > dr.server_cost_savings
+    assert drl.server_cost_savings > 0.02  # paper: 4.7% (0.9-8.4%)

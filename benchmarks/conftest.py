@@ -1,0 +1,150 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Characterization campaigns are deterministic (seeded) but expensive, so
+their vulnerability profiles are cached as JSON under
+``benchmarks/.cache/``; delete that directory to re-measure. Every bench
+renders its table/figure data as text, prints it (visible with
+``pytest -s``), and persists it under ``benchmarks/results/`` so the
+reproduction record survives output capture.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from _helpers import (
+    BASIC_SPECS,
+    CACHE_DIR,
+    FULL_SPECS,
+    GRAPH_CONFIG,
+    KVSTORE_CONFIG,
+    RESULTS_DIR,
+    WEBSEARCH_CONFIG,
+    make_graphmining,
+    make_kvstore,
+    make_websearch,
+)
+from repro.core.campaign import load_or_run_profile
+from repro.core.recoverability import (
+    analyze_recoverability,
+    overall_recoverability,
+)
+
+
+@pytest.fixture(scope="session")
+def websearch_profile():
+    """Cached full-severity WebSearch vulnerability profile."""
+    return load_or_run_profile(
+        make_websearch,
+        WEBSEARCH_CONFIG,
+        cache_path=CACHE_DIR / "websearch_profile.json",
+        specs=FULL_SPECS,
+    )
+
+
+@pytest.fixture(scope="session")
+def kvstore_profile():
+    """Cached Memcached-like vulnerability profile."""
+    return load_or_run_profile(
+        make_kvstore,
+        KVSTORE_CONFIG,
+        cache_path=CACHE_DIR / "kvstore_profile.json",
+        specs=BASIC_SPECS,
+    )
+
+
+@pytest.fixture(scope="session")
+def graphmining_profile():
+    """Cached GraphLab-like vulnerability profile."""
+    return load_or_run_profile(
+        make_graphmining,
+        GRAPH_CONFIG,
+        cache_path=CACHE_DIR / "graphmining_profile.json",
+        specs=BASIC_SPECS,
+    )
+
+
+@pytest.fixture(scope="session")
+def all_profiles(websearch_profile, kvstore_profile, graphmining_profile):
+    """The three application profiles keyed by app name."""
+    return {
+        profile.app: profile
+        for profile in (websearch_profile, kvstore_profile, graphmining_profile)
+    }
+
+
+@pytest.fixture(scope="session")
+def websearch_recoverability():
+    """Cached Table 5 recoverability fractions for WebSearch."""
+    cache = CACHE_DIR / "websearch_recoverability.json"
+    if cache.exists():
+        try:
+            return json.loads(cache.read_text())
+        except ValueError:
+            pass
+    workload = make_websearch()
+    workload.build()
+    workload.checkpoint()
+    reports = analyze_recoverability(workload, queries=300)
+    overall = overall_recoverability(reports)
+    data = {
+        name: {
+            "implicit": entry.implicit_fraction,
+            "explicit": entry.explicit_fraction,
+            "best": entry.best_fraction,
+            "live_bytes": entry.live_bytes,
+        }
+        for name, entry in reports.items()
+    }
+    data["overall"] = {
+        "implicit": overall.implicit_fraction,
+        "explicit": overall.explicit_fraction,
+        "best": overall.best_fraction,
+        "live_bytes": overall.live_bytes,
+    }
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    cache.write_text(json.dumps(data))
+    return data
+
+
+@pytest.fixture(scope="session")
+def all_recoverability():
+    """Cached recoverable-fraction maps for all three applications."""
+    cache = CACHE_DIR / "all_recoverability.json"
+    if cache.exists():
+        try:
+            return json.loads(cache.read_text())
+        except ValueError:
+            pass
+    data = {}
+    for name, factory in (
+        ("WebSearch", make_websearch),
+        ("Memcached", make_kvstore),
+        ("GraphLab", make_graphmining),
+    ):
+        workload = factory()
+        workload.build()
+        workload.checkpoint()
+        reports = analyze_recoverability(
+            workload, queries=min(200, workload.query_count)
+        )
+        data[name] = {
+            region: entry.best_fraction for region, entry in reports.items()
+        }
+    cache.parent.mkdir(parents=True, exist_ok=True)
+    cache.write_text(json.dumps(data))
+    return data
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Returns a writer: report(name, text) prints and persists output."""
+
+    def write(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+
+    return write

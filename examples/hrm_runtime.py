@@ -1,0 +1,103 @@
+"""Run data behind heterogeneous protection, live (paper §VI-C + Fig. 9).
+
+Demonstrates the executable HRM runtime: the same dataset is stored
+three ways — unprotected, parity + software recovery (Par+R), and
+SEC-DED — inside simulated memory; a storm of bit errors is injected
+into all three; and the read path shows silent corruption, software
+recovery, and transparent correction respectively. Finally, Figure 9's
+per-channel provisioning places each reliability class on real channel
+capacity.
+
+Run:  python examples/hrm_runtime.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.design_space import HardwareTechnique
+from repro.dram import DramGeometry
+from repro.ecc import NoProtection, Parity, SecDed
+from repro.hrm import (
+    ChannelProvisionedMemory,
+    ProtectedArray,
+    UncorrectableMemoryError,
+    figure9_plan,
+)
+from repro.memory import AddressSpace, standard_layout
+
+WORDS = 256
+
+
+def main() -> None:
+    rng = random.Random(99)
+    space = AddressSpace(standard_layout(heap_size=65536))
+    heap = space.region_named("heap")
+    golden = {index: rng.getrandbits(64) for index in range(WORDS)}
+
+    # Three protection tiers over identical data.
+    tiers = {}
+    cursor = heap.base
+    for name, codec, recovery in (
+        ("NoECC", NoProtection(), None),
+        ("Par+R", Parity(), golden.__getitem__),
+        ("SEC-DED", SecDed(), None),
+    ):
+        array = ProtectedArray(space, cursor, WORDS, codec, recovery=recovery)
+        for index, value in golden.items():
+            array.write(index, value)
+        tiers[name] = array
+        cursor += array.footprint_bytes + 64
+
+    # Error storm: one random single-bit flip into every tier's storage.
+    flips_per_tier = 120
+    for array in tiers.values():
+        for _ in range(flips_per_tier):
+            word = rng.randrange(WORDS)
+            offset = rng.randrange(array.slot_bytes)
+            space.inject_soft_flip(array.slot_addr(word) + offset, rng.randrange(8))
+
+    print(f"{flips_per_tier} single-bit errors injected into each tier\n")
+    print(
+        f"{'tier':<9} {'overhead':>9} {'wrong reads':>12} {'corrected':>10} "
+        f"{'recovered':>10} {'MCEs':>5}"
+    )
+    for name, array in tiers.items():
+        wrong = 0
+        machine_checks = 0
+        for index in range(WORDS):
+            try:
+                if array.read(index) != golden[index]:
+                    wrong += 1
+            except UncorrectableMemoryError:
+                machine_checks += 1
+        print(
+            f"{name:<9} {array.codec.added_capacity:>8.1%} {wrong:>12} "
+            f"{array.corrected_words:>10} {array.recovered_words:>10} "
+            f"{machine_checks:>5}"
+        )
+
+    print(
+        "\nNoECC consumes errors silently; Par+R detects and heals from "
+        "the clean copy at 1.6% capacity cost; SEC-DED corrects in "
+        "hardware at 12.5%."
+    )
+
+    # Figure 9: place reliability classes on channels (3 channels of
+    # 32 GiB: one ECC, two without detection/correction).
+    geometry = DramGeometry(channels=3, dimms_per_channel=4)
+    memory = ChannelProvisionedMemory(geometry, figure9_plan())
+    memory.allocate(9 * 2**30, HardwareTechnique.SEC_DED)  # vulnerable heap
+    memory.allocate(18 * 2**30, HardwareTechnique.NONE)  # index shard 1
+    memory.allocate(18 * 2**30, HardwareTechnique.NONE)  # index shard 2
+    print("\nFigure 9 channel provisioning (paper's WebSearch shape):")
+    for channel, info in memory.placement_summary().items():
+        print(
+            f"  channel {channel}: {info['technique']:<8} "
+            f"{info['used_bytes'] / 2**30:5.1f} / "
+            f"{info['capacity_bytes'] / 2**30:.0f} GiB used"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: inject a memory error into a running application.
+
+Builds the WebSearch workload on simulated memory, injects one soft and
+one hard single-bit error, replays the client workload, and classifies
+each outcome with the paper's Figure 1 taxonomy.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SINGLE_BIT_HARD, SINGLE_BIT_SOFT, ClientDriver, WebSearch
+from repro.core.taxonomy import classify_outcome
+from repro.injection import ErrorInjector
+
+
+def main() -> None:
+    # 1. Build a small search application. All of its state — the
+    #    read-only index (private region), ranking tables and query cache
+    #    (heap), per-query scratch (stack) — lives in simulated memory.
+    app = WebSearch(vocabulary_size=600, doc_count=400, query_count=200)
+    app.build()
+    app.checkpoint()
+    print(f"built {app.name}: regions = {app.region_sizes()}")
+
+    # 2. Record fault-free golden responses.
+    golden = app.golden_responses()
+    driver = ClientDriver(app, golden)
+    print(f"golden run: {len(golden)} queries")
+
+    rng = random.Random(2024)
+    for spec in (SINGLE_BIT_SOFT, SINGLE_BIT_HARD):
+        # 3. Restart pristine, inject one error at a sampled live address.
+        app.reset()
+        injector = ErrorInjector(app.space, rng)
+        region = app.space.region_named("private")
+        record = injector.inject(spec, ranges=app.sample_ranges(region))
+        fault = record.faults[0]
+        print(
+            f"\ninjected {spec.label} at 0x{fault.addr:x} bit {fault.bit} "
+            f"({app.space.region_at(fault.addr).name} region)"
+        )
+
+        # 4. Replay the client workload and observe the consequences.
+        report = driver.run(range(150))
+        reads, overwritten = app.space.fault_consumption(fault.addr)
+        outcome = classify_outcome(report, reads > 0, overwritten)
+
+        print(
+            f"  queries: {report.attempted} attempted, {report.correct} "
+            f"correct, {report.incorrect} incorrect, {report.failed} failed"
+        )
+        print(f"  fault consumed {reads} times, overwritten: {overwritten}")
+        print(f"  => taxonomy outcome: {outcome}")
+
+
+if __name__ == "__main__":
+    main()

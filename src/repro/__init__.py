@@ -1,0 +1,100 @@
+"""repro — Heterogeneous-Reliability Memory (HRM), reproduced.
+
+A from-scratch Python implementation of Luo et al., "Characterizing
+Application Memory Error Vulnerability to Optimize Datacenter Cost via
+Heterogeneous-Reliability Memory" (DSN 2014):
+
+* a simulated byte-addressable memory substrate with soft/hard fault
+  injection, watchpoints, and region semantics (:mod:`repro.memory`);
+* a DRAM device/fault model with scrubbing and page retirement
+  (:mod:`repro.dram`);
+* real ECC codecs for every Table 1 technique (:mod:`repro.ecc`);
+* the error-injection and access-monitoring frameworks of §IV
+  (:mod:`repro.injection`, :mod:`repro.monitoring`);
+* the three data-intensive workloads of §V, implemented on the simulated
+  memory so injected errors genuinely propagate (:mod:`repro.apps`);
+* the characterization methodology and HRM design-space/cost/
+  availability models of §III/VI (:mod:`repro.core`);
+* datacenter-level cost and Monte-Carlo availability modeling
+  (:mod:`repro.cluster`).
+
+Quickstart::
+
+    from repro import WebSearch, CharacterizationCampaign, CampaignConfig
+
+    campaign = CharacterizationCampaign(WebSearch(), CampaignConfig(
+        trials_per_cell=30, queries_per_trial=100))
+    campaign.prepare()
+    profile = campaign.run()
+    print(profile.crash_probability_per_error("single-bit soft"))
+"""
+
+from repro.apps import (
+    ClientDriver,
+    ClientReport,
+    GraphMining,
+    KVStoreWorkload,
+    WebSearch,
+    Workload,
+)
+from repro.core import (
+    AvailabilityParams,
+    CampaignConfig,
+    CharacterizationCampaign,
+    CostModel,
+    DesignEvaluator,
+    ErrorOutcome,
+    ErrorRateModel,
+    HardwareTechnique,
+    HRMDesign,
+    MappingOptimizer,
+    RegionPolicy,
+    SoftwareResponse,
+    VulnerabilityProfile,
+    load_or_run_profile,
+    paper_design_points,
+    tolerable_errors_per_month,
+)
+from repro.injection import (
+    MULTI_BIT_HARD,
+    SINGLE_BIT_HARD,
+    SINGLE_BIT_SOFT,
+    ErrorInjector,
+    ErrorSpec,
+)
+from repro.memory import AddressSpace, RegionKind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientDriver",
+    "ClientReport",
+    "GraphMining",
+    "KVStoreWorkload",
+    "WebSearch",
+    "Workload",
+    "AvailabilityParams",
+    "CampaignConfig",
+    "CharacterizationCampaign",
+    "CostModel",
+    "DesignEvaluator",
+    "ErrorOutcome",
+    "ErrorRateModel",
+    "HardwareTechnique",
+    "HRMDesign",
+    "MappingOptimizer",
+    "RegionPolicy",
+    "SoftwareResponse",
+    "VulnerabilityProfile",
+    "load_or_run_profile",
+    "paper_design_points",
+    "tolerable_errors_per_month",
+    "MULTI_BIT_HARD",
+    "SINGLE_BIT_HARD",
+    "SINGLE_BIT_SOFT",
+    "ErrorInjector",
+    "ErrorSpec",
+    "AddressSpace",
+    "RegionKind",
+    "__version__",
+]

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin orchestration over the library for the common reproduction tasks:
+
+* ``characterize`` — run an injection campaign on one of the built-in
+  workloads and print its vulnerability profile;
+* ``design`` — evaluate the paper's five Table 6 design points (and
+  optionally run the optimizer) against a fresh characterization;
+* ``recoverability`` — print the Table 5 analysis for a workload;
+* ``ecc`` — regenerate Table 1 from the codec implementations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.apps import GraphMining, KVStoreWorkload, WebSearch
+from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+from repro.core.mapping import DesignEvaluator, paper_design_points
+from repro.core.optimizer import MappingOptimizer
+from repro.core.recoverability import (
+    analyze_recoverability,
+    overall_recoverability,
+)
+from repro.ecc import available_techniques, make_codec
+from repro.injection import MULTI_BIT_HARD, SINGLE_BIT_HARD, SINGLE_BIT_SOFT
+
+WORKLOADS = {
+    "websearch": lambda scale: WebSearch(
+        vocabulary_size=int(600 * scale),
+        doc_count=int(400 * scale),
+        query_count=int(200 * scale),
+    ),
+    "memcached": lambda scale: KVStoreWorkload(
+        key_count=int(1000 * scale), op_count=int(300 * scale)
+    ),
+    "graphlab": lambda scale: GraphMining(
+        vertex_count=int(300 * scale), edges_per_vertex=8
+    ),
+}
+
+SPECS = {
+    "soft": SINGLE_BIT_SOFT,
+    "hard": SINGLE_BIT_HARD,
+    "multi": MULTI_BIT_HARD,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Heterogeneous-Reliability Memory reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    characterize = sub.add_parser(
+        "characterize", help="run an injection campaign on a workload"
+    )
+    characterize.add_argument("--app", choices=sorted(WORKLOADS), default="websearch")
+    characterize.add_argument("--trials", type=int, default=40)
+    characterize.add_argument("--queries", type=int, default=120)
+    characterize.add_argument("--scale", type=float, default=1.0)
+    characterize.add_argument(
+        "--errors", nargs="+", choices=sorted(SPECS), default=["soft", "hard"]
+    )
+    characterize.add_argument("--seed", type=int, default=99)
+    characterize.add_argument(
+        "--json", action="store_true", help="emit the profile as JSON"
+    )
+
+    design = sub.add_parser(
+        "design", help="evaluate Table 6 design points (and optimize)"
+    )
+    design.add_argument("--app", choices=sorted(WORKLOADS), default="websearch")
+    design.add_argument("--trials", type=int, default=40)
+    design.add_argument("--scale", type=float, default=1.0)
+    design.add_argument("--target", type=float, default=None,
+                        help="also search for the cheapest design meeting "
+                        "this availability target")
+    design.add_argument("--seed", type=int, default=99)
+
+    recover = sub.add_parser(
+        "recoverability", help="Table 5 recoverability analysis"
+    )
+    recover.add_argument("--app", choices=sorted(WORKLOADS), default="websearch")
+    recover.add_argument("--queries", type=int, default=200)
+    recover.add_argument("--scale", type=float, default=1.0)
+
+    sub.add_parser("ecc", help="regenerate Table 1 from the codecs")
+    return parser
+
+
+def _make_workload(arguments):
+    workload = WORKLOADS[arguments.app](arguments.scale)
+    return workload
+
+
+def _cmd_characterize(arguments) -> int:
+    workload = _make_workload(arguments)
+    campaign = CharacterizationCampaign(
+        workload,
+        CampaignConfig(
+            trials_per_cell=arguments.trials,
+            queries_per_trial=arguments.queries,
+            seed=arguments.seed,
+        ),
+    )
+    print(f"characterizing {workload.name}...", file=sys.stderr)
+    campaign.prepare()
+    profile = campaign.run(specs=tuple(SPECS[name] for name in arguments.errors))
+    if arguments.json:
+        print(json.dumps(profile.to_dict(), indent=2))
+        return 0
+    print(f"{'region':<9} {'error type':<16} {'crash':>7} {'incorrect':>10} {'masked':>8}")
+    for (region, label), cell in sorted(profile.cells.items()):
+        print(
+            f"{region:<9} {label:<16} {cell.crashes / cell.trials:>6.1%} "
+            f"{cell.incorrect_trials / cell.trials:>9.1%} "
+            f"{cell.masked_trials / cell.trials:>7.1%}"
+        )
+    return 0
+
+
+def _cmd_design(arguments) -> int:
+    workload = _make_workload(arguments)
+    campaign = CharacterizationCampaign(
+        workload,
+        CampaignConfig(
+            trials_per_cell=arguments.trials,
+            queries_per_trial=120,
+            seed=arguments.seed,
+        ),
+    )
+    print(f"characterizing {workload.name} (hard errors)...", file=sys.stderr)
+    campaign.prepare()
+    profile = campaign.run(specs=(SINGLE_BIT_HARD,))
+    recovery = analyze_recoverability(workload, queries=150)
+    fractions = {name: entry.best_fraction for name, entry in recovery.items()}
+    evaluator = DesignEvaluator(profile, error_label="single-bit hard")
+    print(f"{'design':<18} {'mem save':>9} {'srv save':>9} "
+          f"{'crashes/mo':>11} {'avail':>10}")
+    for design in paper_design_points(profile.regions(), fractions):
+        metrics = evaluator.evaluate(design)
+        print(
+            f"{design.name:<18} {metrics.memory_cost_savings:>8.1%} "
+            f"{metrics.server_cost_savings:>8.1%} "
+            f"{metrics.crashes_per_month:>10.1f} "
+            f"{metrics.availability:>9.4%}"
+        )
+    if arguments.target is not None:
+        optimizer = MappingOptimizer(evaluator, recoverable_fractions=fractions)
+        result = optimizer.search(arguments.target)
+        if result.found:
+            best = result.best
+            print(
+                f"\nbest design for >={arguments.target:.2%}: {best.design.name} "
+                f"(server savings {best.server_cost_savings:.1%}, "
+                f"availability {best.availability:.4%})"
+            )
+        else:
+            print(f"\nno design meets {arguments.target:.2%}")
+            return 1
+    return 0
+
+
+def _cmd_recoverability(arguments) -> int:
+    workload = _make_workload(arguments)
+    workload.build()
+    workload.checkpoint()
+    reports = analyze_recoverability(workload, queries=arguments.queries)
+    print(f"{'region':<9} {'implicit':>9} {'explicit':>9}")
+    for region, entry in reports.items():
+        print(
+            f"{region:<9} {entry.implicit_fraction:>8.1%} "
+            f"{entry.explicit_fraction:>8.1%}"
+        )
+    overall = overall_recoverability(reports)
+    print(
+        f"{'overall':<9} {overall.implicit_fraction:>8.1%} "
+        f"{overall.explicit_fraction:>8.1%}"
+    )
+    return 0
+
+
+def _cmd_ecc(_arguments) -> int:
+    print(f"{'technique':<11} {'capability':<28} {'+capacity':>10} {'logic':>6}")
+    for name in available_techniques():
+        codec = make_codec(name)
+        print(
+            f"{name:<11} {codec.capability:<28} "
+            f"{codec.added_capacity:>9.1%} {codec.added_logic:>6}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    handlers = {
+        "characterize": _cmd_characterize,
+        "design": _cmd_design,
+        "recoverability": _cmd_recoverability,
+        "ecc": _cmd_ecc,
+    }
+    return handlers[arguments.command](arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""The three data-intensive workloads characterized in the paper."""
+
+from repro.apps.base import (
+    FatalWorkloadError,
+    QueryTimeout,
+    Workload,
+    WorkloadError,
+)
+from repro.apps.clients import ClientDriver, ClientReport
+from repro.apps.graphmining import GraphMining
+from repro.apps.kvstore import KVStoreWorkload
+from repro.apps.websearch import WebSearch
+
+__all__ = [
+    "FatalWorkloadError",
+    "QueryTimeout",
+    "Workload",
+    "WorkloadError",
+    "ClientDriver",
+    "ClientReport",
+    "GraphMining",
+    "KVStoreWorkload",
+    "WebSearch",
+]

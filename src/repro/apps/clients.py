@@ -1,0 +1,132 @@
+"""Client driver implementing the paper's crash-detection rule.
+
+The paper (Figure 2, step 4) deems an application crashed "if it fails
+to respond to ≥ 50 % of the client's requests". :class:`ClientDriver`
+replays a set of queries against a workload, compares responses to the
+golden outputs, and reports failed / incorrect / correct counts plus the
+crash verdict and the time at which each anomaly was first observed
+(feeding the Figure 5a temporal analysis).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence
+
+from repro.apps.base import FatalWorkloadError, Workload, WorkloadError
+from repro.memory.errors import SimulatedMemoryError
+
+#: Failures that kill the whole process rather than one request. Every
+#: simulated-memory fault is fatal, matching native semantics: SIGSEGV
+#: (segmentation/protection fault), a glibc heap abort (corrupted block
+#: header), OOM, or stack overflow terminates the server — a request
+#: handler cannot catch them. Only application-level errors
+#: (``WorkloadError``, e.g. a request deadline expiring on a wedged
+#: loop) are survivable per-request failures.
+FATAL_ERRORS = (FatalWorkloadError, SimulatedMemoryError)
+
+
+@dataclass
+class ClientReport:
+    """Result of one client session against a (possibly faulty) server."""
+
+    attempted: int = 0
+    correct: int = 0
+    incorrect: int = 0
+    failed: int = 0  # exceptions / timeouts — no response produced
+    fatal: bool = False  # process-killing failure observed
+    first_incorrect_time: Optional[int] = None
+    first_failure_time: Optional[int] = None
+    incorrect_queries: List[int] = field(default_factory=list)
+
+    @property
+    def responded(self) -> int:
+        """Requests that produced any response."""
+        return self.correct + self.incorrect
+
+    def crashed(self, failure_fraction: float = 0.5) -> bool:
+        """The paper's crash rule: fatal error or >=50 % failed requests."""
+        if self.fatal:
+            return True
+        if self.attempted == 0:
+            return False
+        return self.failed / self.attempted >= failure_fraction
+
+    @property
+    def incorrect_fraction(self) -> float:
+        """Incorrect responses as a fraction of attempted requests."""
+        if self.attempted == 0:
+            return 0.0
+        return self.incorrect / self.attempted
+
+
+class ClientDriver:
+    """Replays queries and scores responses against golden outputs."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        golden: Sequence[Hashable],
+        failure_fraction: float = 0.5,
+    ) -> None:
+        if len(golden) != workload.query_count:
+            raise ValueError(
+                f"golden responses ({len(golden)}) do not cover the "
+                f"workload trace ({workload.query_count} queries)"
+            )
+        if not 0.0 < failure_fraction <= 1.0:
+            raise ValueError(
+                f"failure_fraction must be in (0, 1], got {failure_fraction}"
+            )
+        self._workload = workload
+        self._golden = list(golden)
+        self._failure_fraction = failure_fraction
+
+    def run(
+        self,
+        query_indices: Sequence[int],
+        stop_on_fatal: bool = True,
+    ) -> ClientReport:
+        """Issue the given queries in order; returns the session report."""
+        report = ClientReport()
+        space = self._workload.space
+        for query_index in query_indices:
+            report.attempted += 1
+            try:
+                response = self._workload.execute(query_index)
+            except FATAL_ERRORS:
+                report.fatal = True
+                report.failed += 1
+                if report.first_failure_time is None:
+                    report.first_failure_time = space.time
+                if stop_on_fatal:
+                    break
+                continue
+            except WorkloadError:
+                report.failed += 1
+                if report.first_failure_time is None:
+                    report.first_failure_time = space.time
+                continue
+            if response == self._golden[query_index]:
+                report.correct += 1
+            else:
+                report.incorrect += 1
+                report.incorrect_queries.append(query_index)
+                if report.first_incorrect_time is None:
+                    report.first_incorrect_time = space.time
+        return report
+
+    def run_random(
+        self, count: int, rng: random.Random, stop_on_fatal: bool = True
+    ) -> ClientReport:
+        """Issue ``count`` queries sampled uniformly from the trace."""
+        indices = [
+            rng.randrange(self._workload.query_count) for _ in range(count)
+        ]
+        return self.run(indices, stop_on_fatal=stop_on_fatal)
+
+    @property
+    def failure_fraction(self) -> float:
+        """Crash threshold used by :meth:`ClientReport.crashed`."""
+        return self._failure_fraction

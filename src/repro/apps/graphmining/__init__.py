@@ -1,0 +1,20 @@
+"""GraphLab-like graph-mining framework and TunkRank workload."""
+
+from repro.apps.graphmining.framework import SyncEngine, VertexProgram
+from repro.apps.graphmining.graph import (
+    CsrGraph,
+    FollowerGraph,
+    generate_follower_graph,
+)
+from repro.apps.graphmining.tunkrank import TunkRank
+from repro.apps.graphmining.workload import GraphMining
+
+__all__ = [
+    "SyncEngine",
+    "VertexProgram",
+    "CsrGraph",
+    "FollowerGraph",
+    "generate_follower_graph",
+    "TunkRank",
+    "GraphMining",
+]

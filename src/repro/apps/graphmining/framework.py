@@ -1,0 +1,147 @@
+"""Minimal GraphLab-style synchronous vertex-program engine.
+
+Implements the subset of the GraphLab abstraction the TunkRank workload
+needs: per-vertex values double-buffered in simulated memory, a
+synchronous gather-apply iteration over the CSR graph, and a fixed
+iteration budget (deterministic across runs). Vertex values are
+re-written every iteration — the overwrite traffic that makes GraphLab's
+mutable state self-healing against soft errors in the paper's taxonomy.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from typing import List
+
+from repro.apps.base import QueryTimeout
+from repro.apps.graphmining.graph import CsrGraph
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.stack import StackManager
+
+
+class VertexProgram(abc.ABC):
+    """One synchronous vertex computation."""
+
+    @abc.abstractmethod
+    def initial_value(self, vertex: int) -> float:
+        """Initial vertex value."""
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        vertex: int,
+        follower_values,
+        follower_out_degrees,
+    ) -> float:
+        """New value of ``vertex`` from its followers' values/degrees."""
+
+
+class SyncEngine:
+    """Runs a vertex program for a fixed number of synchronous sweeps."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        allocator: HeapAllocator,
+        graph: CsrGraph,
+        stack: StackManager,
+    ) -> None:
+        self._space = space
+        self._graph = graph
+        self._stack = stack
+        n = graph.vertex_count
+        self._value_addrs = (allocator.malloc(n * 4), allocator.malloc(n * 4))
+        self._pack_all = struct.Struct(f"<{n}f")
+
+    @property
+    def value_buffer_addrs(self):
+        """Addresses of the two double-buffered value arrays."""
+        return self._value_addrs
+
+    def run(self, program: VertexProgram, iterations: int = 6) -> List[float]:
+        """Execute ``iterations`` sweeps; returns the final values.
+
+        Raises:
+            QueryTimeout: when corrupted CSR metadata yields an
+                impossible follower slice (wedged sweep).
+        """
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        space = self._space
+        graph = self._graph
+        n = graph.vertex_count
+        space.write(
+            self._value_addrs[0],
+            self._pack_all.pack(*(program.initial_value(v) for v in range(n))),
+        )
+        out_degrees = graph.read_out_degrees()
+        frame = self._stack.push(64)
+        try:
+            for iteration in range(iterations):
+                # Iteration state lives in the frame (consumed each sweep).
+                space.write_u32(frame.slot(0), iteration)
+                space.write_u32(frame.slot(4), iteration & 1)
+                selector = space.read_u32(frame.slot(4)) & 1
+                current = self._value_addrs[selector]
+                target = self._value_addrs[1 - selector]
+                raw = space.read(current, n * 4)
+                values = list(self._pack_all.unpack(raw))
+                new_values: List[float] = []
+                for vertex in range(n):
+                    start, end = graph.follower_slice(vertex)
+                    if end < start or end - start > graph.edge_count:
+                        raise QueryTimeout(
+                            f"vertex {vertex} follower slice [{start}, {end}) "
+                            "is out of bounds"
+                        )
+                    count = end - start
+                    if count:
+                        block = graph.read_followers_block(start, count)
+                        followers = struct.unpack(f"<{count}I", block)
+                    else:
+                        followers = ()
+                    follower_values = []
+                    follower_degrees = []
+                    for follower in followers:
+                        if follower < n:
+                            follower_values.append(values[follower])
+                            follower_degrees.append(out_degrees[follower])
+                        else:
+                            # A corrupted edge id indexes past the arrays:
+                            # a native engine would read whatever lies at
+                            # that address — do the same through the
+                            # simulated memory (may segfault).
+                            follower_values.append(
+                                space.read_f32(current + follower * 4)
+                            )
+                            follower_degrees.append(
+                                space.read_u32(
+                                    graph.out_degree_addr + follower * 4
+                                )
+                            )
+                    new_values.append(
+                        program.compute(vertex, follower_values, follower_degrees)
+                    )
+                space.write(target, self._pack_all.pack(*self._clamp(new_values)))
+        finally:
+            self._stack.pop()
+        final = self._value_addrs[iterations & 1]
+        return list(self._pack_all.unpack(space.read(final, n * 4)))
+
+    @staticmethod
+    def _clamp(values: List[float]) -> List[float]:
+        """Keep values packable as f32 (overflow saturates like hardware)."""
+        limit = 3.0e38
+        clamped = []
+        for value in values:
+            if value != value:  # NaN propagates
+                clamped.append(value)
+            elif value > limit:
+                clamped.append(float("inf"))
+            elif value < -limit:
+                clamped.append(float("-inf"))
+            else:
+                clamped.append(value)
+        return clamped

@@ -1,0 +1,135 @@
+"""Synthetic follower graph and its CSR representation in simulated memory.
+
+Stands in for the paper's 1.3 GB / 11 M-node Twitter follower graph. The
+generator produces a directed power-law graph (preferential attachment
+on in-degree, like real follower networks); :class:`CsrGraph` serializes
+it into the simulated heap as compressed-sparse-row arrays:
+
+* ``offsets``  — u32 × (N+1): follower-list boundaries per vertex,
+* ``edges``    — u32 × E: follower vertex ids,
+* ``out_degree`` — u32 × N: following counts (TunkRank normalizer).
+
+All three arrays are read-only after load (like GraphLab's immutable
+graph store), so errors in them persist until consumed.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import HeapAllocator
+
+
+@dataclass
+class FollowerGraph:
+    """Adjacency-list follower graph: ``followers[u]`` follow user u."""
+
+    vertex_count: int
+    followers: List[List[int]] = field(default_factory=list)
+    out_degree: List[int] = field(default_factory=list)
+
+    @property
+    def edge_count(self) -> int:
+        """Total directed follow edges."""
+        return sum(len(follower_list) for follower_list in self.followers)
+
+
+def generate_follower_graph(
+    rng: random.Random,
+    vertex_count: int = 600,
+    edges_per_vertex: int = 12,
+) -> FollowerGraph:
+    """Preferential-attachment follower graph (heavy-tailed in-degree).
+
+    Every vertex follows ``edges_per_vertex`` others, preferring already-
+    popular targets — so in-degree (follower count) is power-law while
+    out-degree stays bounded, as in real social graphs. Every vertex has
+    out-degree >= 1, which TunkRank's normalization requires.
+    """
+    if vertex_count < 2:
+        raise ValueError(f"vertex_count must be >= 2, got {vertex_count}")
+    if edges_per_vertex < 1:
+        raise ValueError(f"edges_per_vertex must be >= 1, got {edges_per_vertex}")
+    followers: List[List[int]] = [[] for _ in range(vertex_count)]
+    out_degree = [0] * vertex_count
+    # Popularity urn: vertices appear once plus once per follower gained.
+    urn = list(range(vertex_count))
+    for follower in range(vertex_count):
+        count = min(edges_per_vertex, vertex_count - 1)
+        chosen: set = set()
+        attempts = 0
+        while len(chosen) < count and attempts < count * 20:
+            attempts += 1
+            target = urn[rng.randrange(len(urn))]
+            if target != follower and target not in chosen:
+                chosen.add(target)
+        for target in sorted(chosen):
+            followers[target].append(follower)
+            out_degree[follower] += 1
+            urn.append(target)
+    # Guarantee out-degree >= 1 even in degenerate corners.
+    for vertex in range(vertex_count):
+        if out_degree[vertex] == 0:
+            target = (vertex + 1) % vertex_count
+            followers[target].append(vertex)
+            out_degree[vertex] = 1
+    for follower_list in followers:
+        follower_list.sort()
+    return FollowerGraph(
+        vertex_count=vertex_count, followers=followers, out_degree=out_degree
+    )
+
+
+class CsrGraph:
+    """CSR arrays serialized into the simulated heap."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        allocator: HeapAllocator,
+        graph: FollowerGraph,
+    ) -> None:
+        self._space = space
+        self.vertex_count = graph.vertex_count
+        self.edge_count = graph.edge_count
+        self.offsets_addr = allocator.malloc((graph.vertex_count + 1) * 4)
+        self.edges_addr = allocator.malloc(max(1, graph.edge_count) * 4)
+        self.out_degree_addr = allocator.malloc(graph.vertex_count * 4)
+
+        offsets = [0]
+        edge_values: List[int] = []
+        for follower_list in graph.followers:
+            edge_values.extend(follower_list)
+            offsets.append(len(edge_values))
+        space.write(
+            self.offsets_addr,
+            struct.pack(f"<{len(offsets)}I", *offsets),
+        )
+        if edge_values:
+            space.write(
+                self.edges_addr,
+                struct.pack(f"<{len(edge_values)}I", *edge_values),
+            )
+        space.write(
+            self.out_degree_addr,
+            struct.pack(f"<{graph.vertex_count}I", *graph.out_degree),
+        )
+
+    def follower_slice(self, vertex: int):
+        """Read this vertex's follower-list bounds (two u32 loads)."""
+        start = self._space.read_u32(self.offsets_addr + vertex * 4)
+        end = self._space.read_u32(self.offsets_addr + (vertex + 1) * 4)
+        return start, end
+
+    def read_followers_block(self, start: int, count: int) -> bytes:
+        """Block-read ``count`` follower ids beginning at edge ``start``."""
+        return self._space.read(self.edges_addr + start * 4, count * 4)
+
+    def read_out_degrees(self) -> List[int]:
+        """Stream the whole out-degree array (one block load)."""
+        raw = self._space.read(self.out_degree_addr, self.vertex_count * 4)
+        return list(struct.unpack(f"<{self.vertex_count}I", raw))

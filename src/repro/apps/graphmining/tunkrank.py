@@ -1,0 +1,46 @@
+"""TunkRank influence scoring (Tunkelang 2009 — paper reference [61]).
+
+The Twitter-analog of PageRank the paper ran on GraphLab: a user's
+influence is the expected number of people who read a tweet they post,
+
+    influence(u) = Σ_{f ∈ followers(u)} (1 + p · influence(f)) / |following(f)|
+
+where ``p`` is the retweet probability. Iterated synchronously to a
+fixed sweep budget.
+"""
+
+from __future__ import annotations
+
+from repro.apps.graphmining.framework import VertexProgram
+
+#: Probability that a follower retweets, propagating influence.
+DEFAULT_RETWEET_PROBABILITY = 0.5
+
+
+class TunkRank(VertexProgram):
+    """TunkRank vertex program."""
+
+    def __init__(self, retweet_probability: float = DEFAULT_RETWEET_PROBABILITY):
+        if not 0.0 <= retweet_probability <= 1.0:
+            raise ValueError(
+                f"retweet_probability must be in [0, 1], got {retweet_probability}"
+            )
+        self.retweet_probability = retweet_probability
+
+    def initial_value(self, vertex: int) -> float:
+        """Uniform starting influence."""
+        return 1.0
+
+    def compute(self, vertex: int, follower_values, follower_out_degrees) -> float:
+        """One gather-apply step of the influence recurrence."""
+        p = self.retweet_probability
+        total = 0.0
+        for value, out_degree in zip(follower_values, follower_out_degrees):
+            contribution = 1.0 + p * value
+            if out_degree:
+                total += contribution / out_degree
+            else:
+                # A zero divisor only appears via corruption; IEEE float
+                # division by zero yields infinity, as native code would.
+                total += float("inf") if contribution > 0 else float("-inf")
+        return total

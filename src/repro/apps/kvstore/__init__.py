@@ -1,0 +1,17 @@
+"""Memcached-like in-memory key–value store workload."""
+
+from repro.apps.kvstore.store import KVStore
+from repro.apps.kvstore.workload import (
+    KVStoreWorkload,
+    Operation,
+    key_bytes,
+    value_bytes,
+)
+
+__all__ = [
+    "KVStore",
+    "KVStoreWorkload",
+    "Operation",
+    "key_bytes",
+    "value_bytes",
+]

@@ -1,0 +1,181 @@
+"""In-memory key–value store (Memcached-like) on simulated memory.
+
+Data structures live entirely in the simulated heap, mirroring
+Memcached's layout at the fidelity the characterization needs:
+
+* a **bucket array** of u32 entry addresses (0 = empty) — corruption of
+  a bucket pointer sends a lookup into unrelated memory (usually a
+  failed request via segfault/timeout, occasionally a silent miss);
+* **chained entries** ``[next u32 | keylen u16 | vallen u16 | key |
+  value]`` allocated from the simulated heap allocator, whose in-memory
+  block headers make metadata corruption crash-prone exactly as in a
+  native allocator;
+* value overwrites happen **in place** when sizes match — the overwrite
+  masking that gives written-to data its safety (paper Figure 1,
+  outcome 1).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.apps.base import QueryTimeout
+from repro.apps.websearch.corpus import fnv1a64
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import HeapAllocator
+from repro.memory.stack import StackManager
+
+ENTRY_HEADER_SIZE = 8
+_ENTRY_HEADER = struct.Struct("<IHH")
+#: Longest chain walked before declaring the lookup wedged.
+MAX_CHAIN_LENGTH = 128
+#: Largest key/value length honoured when parsing a (possibly corrupt)
+#: entry header; real Memcached caps item sizes similarly.
+MAX_KEY_LENGTH = 250
+MAX_VALUE_LENGTH = 8192
+
+
+class KVStore:
+    """Chained hash table with in-place value updates."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        allocator: HeapAllocator,
+        stack: StackManager,
+        bucket_count: int = 4096,
+    ) -> None:
+        if bucket_count <= 0:
+            raise ValueError(f"bucket_count must be positive, got {bucket_count}")
+        self._space = space
+        self._allocator = allocator
+        self._stack = stack
+        self.bucket_count = bucket_count
+        self._buckets_addr = allocator.calloc(bucket_count * 4)
+        self.item_count = 0
+
+    # ------------------------------------------------------------------
+    def _bucket_addr(self, key: bytes) -> int:
+        return self._buckets_addr + (fnv1a64(key) % self.bucket_count) * 4
+
+    def _read_entry_header(self, entry_addr: int):
+        raw = self._space.read(entry_addr, ENTRY_HEADER_SIZE)
+        return _ENTRY_HEADER.unpack(raw)
+
+    def _find(self, key: bytes, frame) -> Optional[int]:
+        """Walk the chain; returns the matching entry address or None."""
+        space = self._space
+        # The chain cursor is a stack local, consumed on every hop.
+        space.write_u32(frame.slot(8), space.read_u32(self._bucket_addr(key)))
+        hops = 0
+        while True:
+            entry_addr = space.read_u32(frame.slot(8))
+            if entry_addr == 0:
+                return None
+            hops += 1
+            if hops > MAX_CHAIN_LENGTH:
+                raise QueryTimeout(
+                    f"hash chain exceeded {MAX_CHAIN_LENGTH} entries"
+                )
+            next_addr, keylen, _vallen = self._read_entry_header(entry_addr)
+            if keylen == len(key) and keylen <= MAX_KEY_LENGTH:
+                stored_key = space.read(entry_addr + ENTRY_HEADER_SIZE, keylen)
+                if stored_key == key:
+                    return entry_addr
+            space.write_u32(frame.slot(8), next_addr)
+
+    # ------------------------------------------------------------------
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Look up ``key``; returns the value or None on a miss."""
+        frame = self._stack.push(64)
+        try:
+            self._space.write_u16(frame.slot(0), len(key))
+            entry_addr = self._find(key, frame)
+            if entry_addr is None:
+                return None
+            _next, keylen, vallen = self._read_entry_header(entry_addr)
+            if vallen > MAX_VALUE_LENGTH:
+                raise QueryTimeout(f"entry claims {vallen}-byte value")
+            return self._space.read(entry_addr + ENTRY_HEADER_SIZE + keylen, vallen)
+        finally:
+            self._stack.pop()
+
+    def set(self, key: bytes, value: bytes) -> None:
+        """Insert or update ``key``.
+
+        Same-size updates rewrite the value in place (masking overwrite);
+        size changes reallocate the entry, exercising the allocator and
+        its corruption checks.
+
+        Raises:
+            ValueError: for keys/values beyond the protocol caps.
+        """
+        if len(key) > MAX_KEY_LENGTH:
+            raise ValueError(f"key too long: {len(key)} > {MAX_KEY_LENGTH}")
+        if len(value) > MAX_VALUE_LENGTH:
+            raise ValueError(f"value too long: {len(value)} > {MAX_VALUE_LENGTH}")
+        frame = self._stack.push(64)
+        try:
+            space = self._space
+            space.write_u16(frame.slot(0), len(key))
+            entry_addr = self._find(key, frame)
+            if entry_addr is not None:
+                next_addr, keylen, vallen = self._read_entry_header(entry_addr)
+                if vallen == len(value):
+                    space.write(entry_addr + ENTRY_HEADER_SIZE + keylen, value)
+                    return
+                self._unlink(key, entry_addr, next_addr)
+                self._allocator.free(entry_addr)
+                self.item_count -= 1
+            self._insert(key, value)
+        finally:
+            self._stack.pop()
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns whether it was present."""
+        frame = self._stack.push(64)
+        try:
+            entry_addr = self._find(key, frame)
+            if entry_addr is None:
+                return False
+            next_addr, _keylen, _vallen = self._read_entry_header(entry_addr)
+            self._unlink(key, entry_addr, next_addr)
+            self._allocator.free(entry_addr)
+            self.item_count -= 1
+            return True
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: bytes, value: bytes) -> None:
+        space = self._space
+        entry_size = ENTRY_HEADER_SIZE + len(key) + len(value)
+        entry_addr = self._allocator.malloc(entry_size)
+        bucket_addr = self._bucket_addr(key)
+        head = space.read_u32(bucket_addr)
+        space.write(entry_addr, _ENTRY_HEADER.pack(head, len(key), len(value)))
+        space.write(entry_addr + ENTRY_HEADER_SIZE, key)
+        space.write(entry_addr + ENTRY_HEADER_SIZE + len(key), value)
+        space.write_u32(bucket_addr, entry_addr)
+        self.item_count += 1
+
+    def _unlink(self, key: bytes, entry_addr: int, next_addr: int) -> None:
+        """Remove ``entry_addr`` from its chain (head or interior)."""
+        space = self._space
+        bucket_addr = self._bucket_addr(key)
+        cursor = space.read_u32(bucket_addr)
+        if cursor == entry_addr:
+            space.write_u32(bucket_addr, next_addr)
+            return
+        hops = 0
+        while cursor:
+            hops += 1
+            if hops > MAX_CHAIN_LENGTH:
+                raise QueryTimeout("unlink walked a wedged chain")
+            cursor_next, _keylen, _vallen = self._read_entry_header(cursor)
+            if cursor_next == entry_addr:
+                space.write_u32(cursor, next_addr)
+                return
+            cursor = cursor_next
+        raise QueryTimeout("entry vanished from its chain during unlink")

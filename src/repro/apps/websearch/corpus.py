@@ -1,0 +1,158 @@
+"""Synthetic document corpus for the WebSearch workload.
+
+Stands in for the paper's production web index (several hundred GB on
+disk, 36 GB cached in memory). Documents draw terms from a Zipfian
+vocabulary — mirroring real text statistics, which is what gives
+inverted indexes their characteristic skewed posting-list lengths — and
+carry a popularity score used in ranking, matching the paper's expected
+outputs ("number of documents returned, the relevance of the documents
+to the query, and the popularity score of the documents").
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a 64-bit hash — deterministic across processes (unlike hash())."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class ZipfSampler:
+    """Samples integers in [0, n) with probability ∝ 1/(rank+1)^s."""
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n <= 0:
+            raise ValueError(f"n must be positive, got {n}")
+        if s < 0:
+            raise ValueError(f"skew must be non-negative, got {s}")
+        self.n = n
+        self.s = s
+        weights = [1.0 / (rank + 1) ** s for rank in range(n)]
+        total = 0.0
+        self._cumulative: List[float] = []
+        for weight in weights:
+            total += weight
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one rank."""
+        return bisect.bisect_left(self._cumulative, rng.random() * self._total)
+
+
+@dataclass
+class Document:
+    """One synthetic document: term frequencies plus ranking metadata."""
+
+    doc_id: int
+    term_frequencies: Dict[int, int]
+    popularity: float
+    snippet_digest: int
+
+    @property
+    def length(self) -> int:
+        """Total term occurrences."""
+        return sum(self.term_frequencies.values())
+
+
+@dataclass
+class Corpus:
+    """A generated corpus with its vocabulary statistics."""
+
+    vocabulary_size: int
+    documents: List[Document] = field(default_factory=list)
+
+    @property
+    def doc_count(self) -> int:
+        """Number of documents."""
+        return len(self.documents)
+
+    def postings(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Inverted lists: term -> [(doc_id, term frequency)], doc-ordered."""
+        inverted: Dict[int, List[Tuple[int, int]]] = {}
+        for document in self.documents:
+            for term, frequency in document.term_frequencies.items():
+                inverted.setdefault(term, []).append((document.doc_id, frequency))
+        for posting_list in inverted.values():
+            posting_list.sort()
+        return inverted
+
+    def idf(self, term: int) -> float:
+        """Inverse document frequency with add-one smoothing."""
+        document_frequency = sum(
+            1 for document in self.documents if term in document.term_frequencies
+        )
+        return math.log((1 + self.doc_count) / (1 + document_frequency)) + 1.0
+
+
+def generate_corpus(
+    rng: random.Random,
+    vocabulary_size: int = 1500,
+    doc_count: int = 1200,
+    min_doc_length: int = 40,
+    max_doc_length: int = 120,
+    zipf_skew: float = 1.05,
+) -> Corpus:
+    """Generate a deterministic synthetic corpus.
+
+    Popularity follows a heavy-tailed distribution so that the ranking
+    signal (relevance + popularity) resembles web search; snippet digests
+    are deterministic per document and stand in for result text.
+    """
+    if min_doc_length <= 0 or max_doc_length < min_doc_length:
+        raise ValueError("document length bounds must satisfy 0 < min <= max")
+    sampler = ZipfSampler(vocabulary_size, zipf_skew)
+    corpus = Corpus(vocabulary_size=vocabulary_size)
+    for doc_id in range(doc_count):
+        length = rng.randint(min_doc_length, max_doc_length)
+        term_frequencies: Dict[int, int] = {}
+        for _ in range(length):
+            term = sampler.sample(rng)
+            term_frequencies[term] = term_frequencies.get(term, 0) + 1
+        popularity = round(rng.paretovariate(1.8), 4)
+        snippet_digest = fnv1a64(f"doc-{doc_id}".encode()) & 0xFFFFFFFF
+        corpus.documents.append(
+            Document(
+                doc_id=doc_id,
+                term_frequencies=term_frequencies,
+                popularity=popularity,
+                snippet_digest=snippet_digest,
+            )
+        )
+    return corpus
+
+
+def generate_query_trace(
+    corpus: Corpus,
+    rng: random.Random,
+    query_count: int = 600,
+    min_terms: int = 1,
+    max_terms: int = 4,
+    zipf_skew: float = 0.9,
+) -> List[List[int]]:
+    """Generate a Zipfian query trace (the paper used a 200 k real trace)."""
+    if query_count <= 0:
+        raise ValueError(f"query_count must be positive, got {query_count}")
+    if not 1 <= min_terms <= max_terms:
+        raise ValueError("term count bounds must satisfy 1 <= min <= max")
+    sampler = ZipfSampler(corpus.vocabulary_size, zipf_skew)
+    trace = []
+    for _ in range(query_count):
+        term_count = rng.randint(min_terms, max_terms)
+        terms: List[int] = []
+        while len(terms) < term_count:
+            term = sampler.sample(rng)
+            if term not in terms:
+                terms.append(term)
+        trace.append(terms)
+    return trace

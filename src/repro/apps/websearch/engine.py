@@ -1,0 +1,275 @@
+"""WebSearch query engine operating on simulated memory.
+
+Serves top-4 document queries against the inverted index mapped into the
+private region, with ranking metadata (document popularity, snippet
+digests) and a query cache living in the heap, and per-query scratch
+state in a stack frame. Every piece of state the engine consults flows
+through the simulated address space, so injected bit errors propagate to
+query responses the same way the paper's debugger-injected errors did:
+
+* a corrupted posting ``doc_id``/``tf`` or a stale cache entry yields an
+  **incorrect response**;
+* a corrupted posting-list offset or count typically walks off the index
+  and raises a :class:`~repro.memory.errors.SegmentationFault` or a
+  :class:`~repro.apps.base.QueryTimeout` — a **failed request**;
+* corruption in rarely-read bytes is **masked**.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import List, Sequence, Tuple
+
+from repro.apps.base import QueryTimeout
+from repro.apps.websearch.corpus import fnv1a64
+from repro.apps.websearch.index_layout import (
+    BLOCK_HEADER_SIZE,
+    END_OF_CHAIN,
+    MAX_BLOCKS_PER_TERM,
+    MAX_POSTINGS_PER_TERM,
+    POSTING_SIZE,
+    TERM_ENTRY_SIZE,
+    IndexHeader,
+    iter_unpack_postings,
+    unpack_block_header,
+    unpack_header,
+)
+from repro.memory.address_space import AddressSpace
+from repro.memory.stack import StackManager
+
+#: Weight of the popularity signal in the final ranking score.
+POPULARITY_WEIGHT = 0.3
+#: Results returned per query (the paper's "top four most relevant").
+TOP_K = 4
+#: Relevance candidates re-ranked with popularity before truncating.
+CANDIDATE_POOL = 8
+#: Query-cache geometry (direct-mapped).
+CACHE_SLOTS = 256
+CACHE_SLOT_SIZE = 48  # u64 qhash, u32 count, u32 pad, 4 × (u32 doc, f32 score)
+
+_TERM_ENTRY = struct.Struct("<IIIf")
+_CACHE_HEADER = struct.Struct("<QII")
+_RESULT = struct.Struct("<If")
+_F32 = struct.Struct("<f")
+
+#: One search response: tuple of (doc_id, score, snippet_digest).
+SearchResponse = Tuple[Tuple[int, float, int], ...]
+
+
+def _quantize(score: float) -> float:
+    """Quantize a score to f32 then round — identical on all code paths.
+
+    Keeps cache-hit and cache-miss responses bit-identical for the same
+    underlying result, so correctness comparison never false-positives.
+    """
+    try:
+        narrowed = _F32.unpack(_F32.pack(score))[0]
+    except (OverflowError, ValueError):
+        narrowed = float("inf") if score > 0 else float("-inf")
+    return round(narrowed, 3)
+
+
+class SearchEngine:
+    """Top-4 ranked retrieval over the serialized inverted index."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        index_base: int,
+        doc_table_addr: int,
+        snippet_table_addr: int,
+        cache_addr: int,
+        stack: StackManager,
+    ) -> None:
+        self._space = space
+        self._index_base = index_base
+        self._doc_table_addr = doc_table_addr
+        self._snippet_table_addr = snippet_table_addr
+        self._cache_addr = cache_addr
+        self._stack = stack
+        # The header is read once at startup — like a real server parsing
+        # the shard header into locals — so later corruption of header
+        # bytes is never consumed (a masked, never-read location).
+        self._header: IndexHeader = unpack_header(
+            space.peek(index_base, 24)
+        )
+
+    @property
+    def header(self) -> IndexHeader:
+        """The decoded index header."""
+        return self._header
+
+    # ------------------------------------------------------------------
+    def search(self, terms: Sequence[int]) -> SearchResponse:
+        """Serve one query: list of term ids -> top-4 response tuple."""
+        query_hash = fnv1a64(b"".join(term.to_bytes(4, "little") for term in terms))
+        cached = self._cache_lookup(query_hash)
+        if cached is not None:
+            return cached
+
+        frame = self._stack.push(192)
+        space = self._space
+        try:
+            term_count = min(len(terms), 4)
+            space.write_u32(frame.slot(128), term_count)
+            for position, term in enumerate(terms[:term_count]):
+                entry = self._find_term(term)
+                base = position * 16
+                if entry is None:
+                    space.write_u32(frame.slot(base), 0)
+                    space.write_u32(frame.slot(base + 4), 0)
+                    space.write_f32(frame.slot(base + 8), 0.0)
+                else:
+                    rel_off, count, idf = entry
+                    space.write_u32(frame.slot(base), rel_off)
+                    space.write_u32(frame.slot(base + 4), count)
+                    space.write_f32(frame.slot(base + 8), idf)
+                space.write_u32(frame.slot(base + 12), terms[position] if position < len(terms) else 0)
+
+            relevance: dict = {}
+            stored_count = space.read_u32(frame.slot(128))
+            if stored_count > 4:
+                raise QueryTimeout(
+                    f"query dispatch table reports {stored_count} terms"
+                )
+            for position in range(stored_count):
+                base = position * 16
+                first_block_rel = space.read_u32(frame.slot(base))
+                count = space.read_u32(frame.slot(base + 4))
+                idf = space.read_f32(frame.slot(base + 8))
+                if count == 0:
+                    continue
+                if count > MAX_POSTINGS_PER_TERM:
+                    raise QueryTimeout(
+                        f"posting list claims {count} entries "
+                        f"(cap {MAX_POSTINGS_PER_TERM})"
+                    )
+                self._scan_postings(first_block_rel, idf, relevance)
+
+            candidates = sorted(
+                relevance.items(), key=lambda item: (-item[1], item[0])
+            )[:CANDIDATE_POOL]
+            ranked: List[Tuple[float, int]] = []
+            for doc_id, score in candidates:
+                popularity = space.read_f32(self._doc_table_addr + doc_id * 8)
+                ranked.append((score + POPULARITY_WEIGHT * popularity, doc_id))
+            ranked.sort(key=lambda item: (-item[0], item[1]))
+            top = ranked[:TOP_K]
+
+            # Stage the results through the stack frame (results buffer),
+            # then read them back to build the response — consumed stack
+            # data, as in a real call chain returning by reference.
+            for slot_index, (score, doc_id) in enumerate(top):
+                offset = 64 + slot_index * 8
+                space.write_u32(frame.slot(offset), doc_id)
+                space.write_f32(frame.slot(offset + 4), score)
+            results: List[Tuple[int, float]] = []
+            for slot_index in range(len(top)):
+                offset = 64 + slot_index * 8
+                doc_id = space.read_u32(frame.slot(offset))
+                score = space.read_f32(frame.slot(offset + 4))
+                results.append((doc_id, score))
+        finally:
+            self._stack.pop()
+
+        self._cache_store(query_hash, results)
+        return self._finalize(results)
+
+    # ------------------------------------------------------------------
+    def _scan_postings(self, first_block_rel: int, idf: float, relevance: dict) -> None:
+        """Walk one term's posting-block chain, accumulating relevance.
+
+        Block links are consumed on every hop, so a corrupted
+        ``next_block_rel`` sends the scan into a guard gap
+        (:class:`SegmentationFault`) or into garbage whose fields either
+        fault (oversized reads) or wedge the walk
+        (:class:`~repro.apps.base.QueryTimeout`) — the behaviour of a
+        native index reader chasing a bad skip pointer.
+        """
+        space = self._space
+        postings_base = self._index_base + self._header.postings_off
+        block_rel = first_block_rel
+        blocks_walked = 0
+        while block_rel != END_OF_CHAIN:
+            blocks_walked += 1
+            if blocks_walked > MAX_BLOCKS_PER_TERM:
+                raise QueryTimeout(
+                    f"posting chain exceeded {MAX_BLOCKS_PER_TERM} blocks"
+                )
+            block_addr = postings_base + block_rel
+            next_rel, count, _pad = unpack_block_header(
+                space.read(block_addr, BLOCK_HEADER_SIZE)
+            )
+            if count:
+                payload = space.read(
+                    block_addr + BLOCK_HEADER_SIZE, count * POSTING_SIZE
+                )
+                for doc_id, term_frequency, _posting_pad in iter_unpack_postings(
+                    payload
+                ):
+                    contribution = idf * (1.0 + math.log1p(term_frequency))
+                    if doc_id in relevance:
+                        relevance[doc_id] += contribution
+                    else:
+                        relevance[doc_id] = contribution
+            block_rel = next_rel
+
+    def _find_term(self, term_id: int):
+        """Binary search of the term table through simulated memory."""
+        space = self._space
+        table_addr = self._index_base + self._header.term_table_off
+        lo = 0
+        hi = self._header.term_count - 1
+        probes = 0
+        while lo <= hi:
+            probes += 1
+            if probes > 64:
+                raise QueryTimeout("term-table binary search did not converge")
+            mid = (lo + hi) // 2
+            entry_addr = table_addr + mid * TERM_ENTRY_SIZE
+            stored_term = space.read_u32(entry_addr)
+            if stored_term == term_id:
+                _term, rel_off, count, idf = _TERM_ENTRY.unpack(
+                    space.read(entry_addr, TERM_ENTRY_SIZE)
+                )
+                return rel_off, count, idf
+            if stored_term < term_id:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return None
+
+    def _cache_slot_addr(self, query_hash: int) -> int:
+        return self._cache_addr + (query_hash % CACHE_SLOTS) * CACHE_SLOT_SIZE
+
+    def _cache_lookup(self, query_hash: int):
+        space = self._space
+        slot_addr = self._cache_slot_addr(query_hash)
+        raw = space.read(slot_addr, CACHE_SLOT_SIZE)
+        stored_hash, count, _pad = _CACHE_HEADER.unpack_from(raw, 0)
+        if stored_hash != query_hash or count > TOP_K:
+            return None
+        results = [
+            _RESULT.unpack_from(raw, 16 + index * 8) for index in range(count)
+        ]
+        return self._finalize(results)
+
+    def _cache_store(self, query_hash: int, results: List[Tuple[int, float]]) -> None:
+        raw = bytearray(CACHE_SLOT_SIZE)
+        _CACHE_HEADER.pack_into(raw, 0, query_hash, len(results), 0)
+        for index, (doc_id, score) in enumerate(results):
+            try:
+                _RESULT.pack_into(raw, 16 + index * 8, doc_id & 0xFFFFFFFF, score)
+            except (OverflowError, ValueError):
+                _RESULT.pack_into(raw, 16 + index * 8, doc_id & 0xFFFFFFFF, 0.0)
+        self._space.write(self._cache_slot_addr(query_hash), bytes(raw))
+
+    def _finalize(self, results) -> SearchResponse:
+        """Attach snippet digests and quantize scores."""
+        space = self._space
+        response = []
+        for doc_id, score in results:
+            digest = space.read_u32(self._snippet_table_addr + doc_id * 4)
+            response.append((doc_id, _quantize(score), digest))
+        return tuple(response)

@@ -1,0 +1,137 @@
+"""Builds the serialized inverted index from a corpus.
+
+The builder produces the index *file* (bytes) that is stored in the
+simulated backing store and then mapped into the private region — the
+analogue of the paper's index-serving node loading its shard. Posting
+lists are split into linked blocks of :data:`BLOCK_CAPACITY` entries
+(see :mod:`index_layout` for why the links matter to fault fidelity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.apps.websearch.corpus import Corpus
+from repro.apps.websearch.index_layout import (
+    BLOCK_CAPACITY,
+    BLOCK_HEADER_SIZE,
+    END_OF_CHAIN,
+    HEADER_SIZE,
+    POSTING_SIZE,
+    TERM_ENTRY_SIZE,
+    IndexHeader,
+    pack_block_header,
+    pack_header,
+    pack_posting,
+    pack_term_entry,
+)
+
+
+def _blocks_for(count: int) -> int:
+    """Number of posting blocks needed for ``count`` postings."""
+    return max(1, -(-count // BLOCK_CAPACITY))
+
+
+@dataclass
+class IndexStructureMap:
+    """Byte spans (relative to the index image) of each data structure.
+
+    Used by the structure-granularity characterization extension to
+    sample faults into specific structures (term table, block headers,
+    posting payloads) rather than whole regions.
+    """
+
+    term_table: Tuple[int, int] = (0, 0)
+    block_headers: List[Tuple[int, int]] = field(default_factory=list)
+    posting_payloads: List[Tuple[int, int]] = field(default_factory=list)
+
+    def shifted(self, base: int) -> Dict[str, List[Tuple[int, int]]]:
+        """Absolute spans given the image's load address."""
+        return {
+            "term_table": [
+                (base + self.term_table[0], base + self.term_table[1])
+            ],
+            "posting_headers": [
+                (base + start, base + end) for start, end in self.block_headers
+            ],
+            "posting_payload": [
+                (base + start, base + end)
+                for start, end in self.posting_payloads
+            ],
+        }
+
+
+def build_index_with_map(corpus: Corpus) -> Tuple[bytes, IndexStructureMap]:
+    """Serialize ``corpus``; also return the structure map."""
+    inverted: Dict[int, List[Tuple[int, int]]] = corpus.postings()
+    term_ids = sorted(inverted)
+    term_table_off = HEADER_SIZE
+    postings_off = term_table_off + len(term_ids) * TERM_ENTRY_SIZE
+    structure = IndexStructureMap(term_table=(term_table_off, postings_off))
+
+    term_table = bytearray()
+    postings = bytearray()
+    for term_id in term_ids:
+        posting_list = inverted[term_id]
+        first_block_rel = len(postings)
+        term_table += pack_term_entry(
+            term_id, first_block_rel, len(posting_list), corpus.idf(term_id)
+        )
+        chunks = [
+            posting_list[i : i + BLOCK_CAPACITY]
+            for i in range(0, len(posting_list), BLOCK_CAPACITY)
+        ] or [[]]
+        for index, chunk in enumerate(chunks):
+            block_size = BLOCK_HEADER_SIZE + len(chunk) * POSTING_SIZE
+            if index + 1 < len(chunks):
+                next_rel = len(postings) + block_size
+            else:
+                next_rel = END_OF_CHAIN
+            header_start = postings_off + len(postings)
+            structure.block_headers.append(
+                (header_start, header_start + BLOCK_HEADER_SIZE)
+            )
+            if chunk:
+                structure.posting_payloads.append(
+                    (
+                        header_start + BLOCK_HEADER_SIZE,
+                        header_start + block_size,
+                    )
+                )
+            postings += pack_block_header(next_rel, len(chunk))
+            for doc_id, term_frequency in chunk:
+                postings += pack_posting(doc_id, min(term_frequency, 0xFFFF))
+
+    header = IndexHeader(
+        term_count=len(term_ids),
+        doc_count=corpus.doc_count,
+        term_table_off=term_table_off,
+        postings_off=postings_off,
+        postings_bytes=len(postings),
+    )
+    image = bytearray(pack_header(header))
+    image += term_table
+    image += postings
+    if len(image) != postings_off + len(postings):
+        raise AssertionError("index image layout accounting is inconsistent")
+    return bytes(image), structure
+
+
+def build_index_bytes(corpus: Corpus) -> bytes:
+    """Serialize ``corpus`` into the block-chained index format."""
+    image, _structure = build_index_with_map(corpus)
+    return image
+
+
+def expected_index_size(corpus: Corpus) -> int:
+    """Size in bytes the serialized index will occupy."""
+    inverted = corpus.postings()
+    posting_total = sum(len(pl) for pl in inverted.values())
+    block_total = sum(_blocks_for(len(pl)) for pl in inverted.values())
+    return (
+        HEADER_SIZE
+        + len(inverted) * TERM_ENTRY_SIZE
+        + posting_total * POSTING_SIZE
+        + block_total * BLOCK_HEADER_SIZE
+    )

@@ -1,0 +1,54 @@
+"""Server hardware cost composition.
+
+Bridges the per-byte memory cost factors of
+:class:`~repro.core.cost_model.CostModel` to absolute dollar figures for
+a server SKU, so datacenter-scale TCO can be reported in currency rather
+than fractions. Defaults approximate the paper's era: memory ≈ 30 % of
+server hardware cost (reference [6]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.cost_model import CostModel
+from repro.core.design_space import RegionPolicy
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """One server SKU."""
+
+    name: str = "2-socket Xeon, 64 GiB DDR3"
+    base_cost_dollars: float = 4000.0
+    dram_fraction: float = 0.30
+    dram_capacity_bytes: int = 64 * 2**30
+
+    def __post_init__(self) -> None:
+        check_positive("base_cost_dollars", self.base_cost_dollars)
+        check_fraction("dram_fraction", self.dram_fraction)
+        check_positive("dram_capacity_bytes", self.dram_capacity_bytes)
+
+    @property
+    def dram_cost_dollars(self) -> float:
+        """Baseline (SEC-DED, fully tested) DRAM spend per server."""
+        return self.base_cost_dollars * self.dram_fraction
+
+    @property
+    def non_dram_cost_dollars(self) -> float:
+        """Everything that is not memory."""
+        return self.base_cost_dollars - self.dram_cost_dollars
+
+
+def server_cost_with_design(
+    config: ServerConfig,
+    cost_model: CostModel,
+    policies: Mapping[str, RegionPolicy],
+    region_sizes: Mapping[str, int],
+) -> float:
+    """Dollar cost of ``config`` when its DRAM uses an HRM design."""
+    memory_savings = cost_model.memory_cost_savings(policies, region_sizes)
+    dram_cost = config.dram_cost_dollars * (1.0 - memory_savings)
+    return config.non_dram_cost_dollars + dram_cost

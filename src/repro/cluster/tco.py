@@ -1,0 +1,79 @@
+"""Datacenter total-cost-of-ownership model (paper §I).
+
+The paper motivates HRM with the TCO split: capital costs (server
+hardware) are ~57 % of datacenter TCO (Barroso & Hölzle, reference [1]),
+and memory is a large slice of that. This model turns per-server HRM
+savings into fleet-level TCO savings, so the headline "4.7 % server
+hardware cost reduction" can be situated in datacenter terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class TcoParams:
+    """Fleet-level cost structure."""
+
+    server_count: int = 50_000
+    capex_fraction_of_tco: float = 0.57
+    server_fraction_of_capex: float = 0.90  # rest: networking, racks
+    amortization_years: float = 3.0
+
+    def __post_init__(self) -> None:
+        check_positive("server_count", self.server_count)
+        check_fraction("capex_fraction_of_tco", self.capex_fraction_of_tco)
+        check_fraction("server_fraction_of_capex", self.server_fraction_of_capex)
+        check_positive("amortization_years", self.amortization_years)
+
+
+@dataclass(frozen=True)
+class TcoBreakdown:
+    """Annualized datacenter cost composition in dollars."""
+
+    server_capex_per_year: float
+    other_capex_per_year: float
+    opex_per_year: float
+
+    @property
+    def total_per_year(self) -> float:
+        """Total annualized TCO."""
+        return self.server_capex_per_year + self.other_capex_per_year + self.opex_per_year
+
+
+class TcoModel:
+    """Annualized-TCO accounting for a homogeneous fleet."""
+
+    def __init__(self, params: TcoParams = TcoParams()) -> None:
+        self.params = params
+
+    def breakdown(self, server_cost_dollars: float) -> TcoBreakdown:
+        """TCO composition for a fleet of servers at ``server_cost_dollars``."""
+        check_positive("server_cost_dollars", server_cost_dollars)
+        params = self.params
+        server_capex = (
+            params.server_count * server_cost_dollars / params.amortization_years
+        )
+        # Back out the rest of the cost structure from the capex share.
+        total_capex = server_capex / params.server_fraction_of_capex
+        other_capex = total_capex - server_capex
+        total = total_capex / params.capex_fraction_of_tco
+        opex = total - total_capex
+        return TcoBreakdown(
+            server_capex_per_year=server_capex,
+            other_capex_per_year=other_capex,
+            opex_per_year=opex,
+        )
+
+    def tco_savings_fraction(
+        self, baseline_server_cost: float, design_server_cost: float
+    ) -> float:
+        """Fleet TCO savings from reducing per-server hardware cost."""
+        baseline = self.breakdown(baseline_server_cost)
+        design = self.breakdown(design_server_cost)
+        # Only server capex changes; other capex and opex are held fixed.
+        saved = baseline.server_capex_per_year - design.server_capex_per_year
+        return saved / baseline.total_per_year

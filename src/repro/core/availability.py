@@ -1,0 +1,173 @@
+"""Error-rate and single-server-availability models (paper §VI-A/B).
+
+The paper's analytic chain, reproduced with measured inputs:
+
+* errors arrive at ``errors_per_server_month`` (2000, from Schroeder et
+  al. [13]), multiplied for less-tested DRAM, and land in regions in
+  proportion to their size;
+* a region's policy decides each error's fate: corrected in hardware,
+  detected-and-recovered in software, or consumed by the application
+  with the *measured* per-region crash probability and incorrect-rate;
+* each crash costs ``crash_recovery_minutes`` (10) of downtime;
+  ``availability = 1 − crashes · recovery / month``;
+* incorrect responses per million queries combine each region's
+  measured mean incorrect-responses-per-resident-error with the error
+  arrival rate and the query volume.
+
+All parameters default to the paper's Table 6 values and every
+application-specific probability comes from the characterization
+campaign, not from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.design_space import RegionPolicy, SoftwareResponse
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.utils.validation import check_fraction, check_positive
+
+MINUTES_PER_MONTH = 30 * 24 * 60  # 43,200
+
+
+@dataclass(frozen=True)
+class ErrorRateModel:
+    """Memory-error arrival rates."""
+
+    errors_per_server_month: float = 2000.0
+    less_tested_multiplier: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("errors_per_server_month", self.errors_per_server_month)
+        if self.less_tested_multiplier < 1.0:
+            raise ValueError(
+                "less_tested_multiplier must be >= 1 (less testing cannot "
+                f"reduce error rates), got {self.less_tested_multiplier}"
+            )
+
+    def region_rate(self, size_share: float, less_tested: bool) -> float:
+        """Errors per month arriving in a region with ``size_share``."""
+        check_fraction("size_share", size_share)
+        rate = self.errors_per_server_month * size_share
+        if less_tested:
+            rate *= self.less_tested_multiplier
+        return rate
+
+
+@dataclass(frozen=True)
+class AvailabilityParams:
+    """Downtime accounting."""
+
+    crash_recovery_minutes: float = 10.0
+    queries_per_month: float = 30.0 * MINUTES_PER_MONTH  # 30 qpm load
+
+    def __post_init__(self) -> None:
+        check_positive("crash_recovery_minutes", self.crash_recovery_minutes)
+        check_positive("queries_per_month", self.queries_per_month)
+
+
+def availability_from_crashes(
+    crashes_per_month: float, params: AvailabilityParams = AvailabilityParams()
+) -> float:
+    """Single-server availability given a crash rate."""
+    if crashes_per_month < 0:
+        raise ValueError(f"crashes_per_month must be >= 0, got {crashes_per_month}")
+    downtime = crashes_per_month * params.crash_recovery_minutes
+    return max(0.0, 1.0 - downtime / MINUTES_PER_MONTH)
+
+
+def crashes_from_availability(
+    availability: float, params: AvailabilityParams = AvailabilityParams()
+) -> float:
+    """Maximum crash rate compatible with an availability target."""
+    check_fraction("availability", availability)
+    return (1.0 - availability) * MINUTES_PER_MONTH / params.crash_recovery_minutes
+
+
+@dataclass
+class RegionOutcomeRates:
+    """Per-month consequences of errors arriving in one region."""
+
+    region: str
+    errors_per_month: float
+    consumed_errors_per_month: float
+    crashes_per_month: float
+    incorrect_responses_per_month: float
+    recoveries_per_month: float
+
+
+def region_outcome_rates(
+    profile: VulnerabilityProfile,
+    region: str,
+    policy: RegionPolicy,
+    size_share: float,
+    error_model: ErrorRateModel,
+    error_label: str = "single-bit soft",
+) -> RegionOutcomeRates:
+    """Apply a policy to a region's measured vulnerability.
+
+    Policy semantics (this analysis treats all errors as single-bit, as
+    the paper's Table 6 does):
+
+    * a correcting technique absorbs every error;
+    * a detecting technique with the RECOVER response absorbs the
+      recoverable fraction; the remainder is consumed;
+    * a detecting technique with RESTART turns every *consumed-and-
+      harmful* error into a controlled crash (no incorrect responses);
+    * otherwise errors are consumed with the measured consequences.
+    """
+    errors = error_model.region_rate(size_share, policy.less_tested)
+    stats = profile.cells.get((region, error_label))
+    crash_probability = profile.region_crash_probability(region, error_label)
+    incorrect_per_error = 0.0
+    if stats is not None and stats.trials:
+        incorrect_per_error = (
+            stats.incorrect_responses + stats.failed_requests
+        ) / stats.trials
+
+    if policy.technique.corrects_single_bit:
+        return RegionOutcomeRates(region, errors, 0.0, 0.0, 0.0, 0.0)
+
+    consumed = errors
+    recoveries = 0.0
+    if (
+        policy.technique.detects_single_bit
+        and policy.response is SoftwareResponse.RECOVER
+    ):
+        recoveries = errors * policy.recoverable_fraction
+        consumed = errors - recoveries
+
+    if (
+        policy.technique.detects_single_bit
+        and policy.response is SoftwareResponse.RESTART
+    ):
+        # Controlled restarts replace incorrectness with downtime: any
+        # consumed error that would have harmed the app restarts it.
+        crashes = consumed * crash_probability
+        return RegionOutcomeRates(region, errors, consumed, crashes, 0.0, recoveries)
+
+    crashes = consumed * crash_probability
+    incorrect = consumed * incorrect_per_error
+    return RegionOutcomeRates(region, errors, consumed, crashes, incorrect, recoveries)
+
+
+def design_outcome_rates(
+    profile: VulnerabilityProfile,
+    policies: Mapping[str, RegionPolicy],
+    error_model: ErrorRateModel = ErrorRateModel(),
+    error_label: str = "single-bit soft",
+    region_sizes: Optional[Mapping[str, int]] = None,
+) -> dict:
+    """Aggregate per-region outcome rates for a whole design."""
+    sizes = dict(region_sizes) if region_sizes is not None else profile.region_sizes
+    total = sum(sizes.get(region, 0) for region in policies)
+    if total <= 0:
+        raise ValueError("design covers no sized regions")
+    rates = {}
+    for region, policy in policies.items():
+        share = sizes.get(region, 0) / total
+        rates[region] = region_outcome_rates(
+            profile, region, policy, share, error_model, error_label
+        )
+    return rates

@@ -1,0 +1,286 @@
+"""Characterization campaign — the paper's Figure 2 loop.
+
+For every (memory region × error type) cell the campaign repeatedly:
+
+1. restarts the application with pristine data (snapshot restore),
+2. injects the desired number and type of errors at a sampled live
+   address (Algorithm 1a),
+3. replays the client workload,
+4. watches for the crash condition (≥50 % failed requests or a fatal
+   error),
+5. compares responses with the recorded fault-free outputs,
+
+then classifies each trial with the Figure 1 taxonomy and aggregates the
+results into a :class:`~repro.core.vulnerability.VulnerabilityProfile`.
+
+Campaigns are deterministic given their seed; ``load_or_run_profile``
+caches profiles as JSON so the many benchmarks that share a
+characterization do not re-measure it.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps.base import Workload
+from repro.apps.clients import ClientDriver
+from repro.core.taxonomy import ErrorOutcome, classify_outcome
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.injection.injector import (
+    SINGLE_BIT_HARD,
+    SINGLE_BIT_SOFT,
+    ErrorInjector,
+    ErrorSpec,
+)
+from repro.utils.rng import SeedSequenceFactory
+
+#: Error types characterized by default (Figures 3 and 4).
+DEFAULT_SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of a characterization campaign."""
+
+    trials_per_cell: int = 60
+    queries_per_trial: int = 150
+    seed: int = 99
+    failure_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.trials_per_cell <= 0:
+            raise ValueError("trials_per_cell must be positive")
+        if self.queries_per_trial <= 0:
+            raise ValueError("queries_per_trial must be positive")
+        if not 0.0 < self.failure_fraction <= 1.0:
+            raise ValueError("failure_fraction must be in (0, 1]")
+
+
+@dataclass
+class TrialRecord:
+    """Raw result of a single injection trial."""
+
+    region: str
+    error_label: str
+    anchor_addr: int
+    outcome: ErrorOutcome
+    responded: int
+    incorrect: int
+    failed: int
+    effect_delay_minutes: Optional[float]
+
+
+@dataclass
+class CharacterizationCampaign:
+    """Runs the Figure 2 loop for one workload."""
+
+    workload: Workload
+    config: CampaignConfig = field(default_factory=CampaignConfig)
+
+    _driver: Optional[ClientDriver] = None
+    _rng: Optional[random.Random] = None
+    trials: List[TrialRecord] = field(default_factory=list)
+
+    def prepare(self) -> None:
+        """Build the workload, checkpoint it, and record golden outputs.
+
+        An already-built workload (e.g. a shared test fixture) is reused:
+        it is reset to its checkpoint instead of rebuilt.
+        """
+        if self.workload.is_built:
+            self.workload.reset()
+        else:
+            self.workload.build()
+            self.workload.checkpoint()
+        golden = self.workload.golden_responses()
+        self.workload.reset()
+        self._driver = ClientDriver(
+            self.workload, golden, failure_fraction=self.config.failure_fraction
+        )
+        self._rng = SeedSequenceFactory(self.config.seed).stream(
+            f"campaign:{self.workload.name}"
+        )
+
+    # ------------------------------------------------------------------
+    def run_trial(self, region_name: str, spec: ErrorSpec) -> TrialRecord:
+        """One restart→inject→drive→classify cycle."""
+        if self._driver is None or self._rng is None:
+            raise RuntimeError("prepare() must be called before run_trial()")
+        workload = self.workload
+        workload.reset()
+        space = workload.space
+        region = space.region_named(region_name)
+        injector = ErrorInjector(space, self._rng)
+        record = injector.inject(spec, ranges=workload.sample_ranges(region))
+        injected_at = space.time
+
+        query_budget = min(self.config.queries_per_trial, workload.query_count)
+        report = self._driver.run(range(query_budget))
+
+        consumed = False
+        overwritten = False
+        for addr in set(record.addresses):
+            reads, was_overwritten = space.fault_consumption(addr)
+            consumed = consumed or reads > 0
+            overwritten = overwritten or was_overwritten
+        outcome = classify_outcome(
+            report, consumed, overwritten, self.config.failure_fraction
+        )
+
+        effect_times = [
+            t
+            for t in (report.first_incorrect_time, report.first_failure_time)
+            if t is not None
+        ]
+        delay_minutes: Optional[float] = None
+        if effect_times:
+            delay_minutes = workload.time_scale.minutes(
+                max(0, min(effect_times) - injected_at)
+            )
+        trial = TrialRecord(
+            region=region_name,
+            error_label=spec.label,
+            anchor_addr=record.anchor_addr,
+            outcome=outcome,
+            responded=report.responded,
+            incorrect=report.incorrect,
+            failed=report.failed,
+            effect_delay_minutes=delay_minutes,
+        )
+        self.trials.append(trial)
+        return trial
+
+    def run(
+        self,
+        regions: Optional[Sequence[str]] = None,
+        specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
+        trials_per_cell: Optional[int] = None,
+    ) -> VulnerabilityProfile:
+        """Run the full campaign and return the vulnerability profile."""
+        if self._driver is None:
+            self.prepare()
+        workload = self.workload
+        if regions is None:
+            regions = [region.name for region in workload.space.regions]
+        budget = trials_per_cell or self.config.trials_per_cell
+        profile = VulnerabilityProfile(app=workload.name)
+        profile.region_sizes = self.live_region_sizes()
+        for region_name in regions:
+            for spec in specs:
+                cell = profile.cell(region_name, spec.label)
+                for _ in range(budget):
+                    trial = self.run_trial(region_name, spec)
+                    cell.record(
+                        outcome=trial.outcome,
+                        responded=trial.responded,
+                        incorrect=trial.incorrect,
+                        failed=trial.failed,
+                        effect_delay_minutes=trial.effect_delay_minutes,
+                    )
+        return profile
+
+    def run_custom_cells(
+        self,
+        cells: Dict[str, List],
+        specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
+        trials_per_cell: Optional[int] = None,
+    ) -> VulnerabilityProfile:
+        """Characterize arbitrary named address-span sets.
+
+        The finest-granularity mode of the framework (Table 4's memory
+        page / cache line rows): ``cells`` maps a structure name to its
+        (base, end) spans — e.g. from
+        :meth:`repro.apps.websearch.WebSearch.data_structure_ranges` —
+        and each gets its own profile cell, sampled and classified
+        exactly like a region.
+        """
+        if self._driver is None or self._rng is None:
+            self.prepare()
+        workload = self.workload
+        budget = trials_per_cell or self.config.trials_per_cell
+        profile = VulnerabilityProfile(app=workload.name)
+        profile.region_sizes = {
+            name: sum(end - base for base, end in spans)
+            for name, spans in cells.items()
+        }
+        query_budget = min(self.config.queries_per_trial, workload.query_count)
+        for name, spans in cells.items():
+            for spec in specs:
+                cell = profile.cell(name, spec.label)
+                for _ in range(budget):
+                    workload.reset()
+                    space = workload.space
+                    injector = ErrorInjector(space, self._rng)
+                    record = injector.inject(spec, ranges=spans)
+                    injected_at = space.time
+                    report = self._driver.run(range(query_budget))
+                    consumed = False
+                    overwritten = False
+                    for addr in set(record.addresses):
+                        reads, was_overwritten = space.fault_consumption(addr)
+                        consumed = consumed or reads > 0
+                        overwritten = overwritten or was_overwritten
+                    outcome = classify_outcome(
+                        report, consumed, overwritten, self.config.failure_fraction
+                    )
+                    effect_times = [
+                        t
+                        for t in (
+                            report.first_incorrect_time,
+                            report.first_failure_time,
+                        )
+                        if t is not None
+                    ]
+                    delay = None
+                    if effect_times:
+                        delay = workload.time_scale.minutes(
+                            max(0, min(effect_times) - injected_at)
+                        )
+                    cell.record(
+                        outcome=outcome,
+                        responded=report.responded,
+                        incorrect=report.incorrect,
+                        failed=report.failed,
+                        effect_delay_minutes=delay,
+                    )
+        return profile
+
+    def live_region_sizes(self) -> Dict[str, int]:
+        """Bytes of live application data per region (sampling weights)."""
+        sizes: Dict[str, int] = {}
+        for region in self.workload.space.regions:
+            spans = self.workload.sample_ranges(region)
+            sizes[region.name] = sum(end - base for base, end in spans)
+        return sizes
+
+
+def load_or_run_profile(
+    workload_factory: Callable[[], Workload],
+    config: CampaignConfig,
+    cache_path: Optional[Path] = None,
+    specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
+    regions: Optional[Sequence[str]] = None,
+) -> VulnerabilityProfile:
+    """Return a (possibly cached) vulnerability profile.
+
+    The cache key is the caller-chosen path; stale caches are the
+    caller's concern (delete the file to re-measure). Corrupt cache
+    files are ignored and re-measured.
+    """
+    if cache_path is not None and cache_path.exists():
+        try:
+            data = json.loads(cache_path.read_text())
+            return VulnerabilityProfile.from_dict(data)
+        except (ValueError, KeyError):
+            pass  # fall through to a fresh run
+    campaign = CharacterizationCampaign(workload_factory(), config)
+    campaign.prepare()
+    profile = campaign.run(regions=regions, specs=specs)
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        cache_path.write_text(json.dumps(profile.to_dict()))
+    return profile

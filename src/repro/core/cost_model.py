@@ -1,0 +1,140 @@
+"""Memory and server cost model (paper Table 1 + Table 6 left column).
+
+Cost accounting follows the paper:
+
+* DRAM contributes a configurable fraction of server hardware cost
+  (30 % — Kozyrakis et al., paper reference [6]);
+* an ECC technique's memory cost premium equals its *added capacity*
+  (for DRAM, "whose design is fiercely cost-driven", capacity ∝ cost) —
+  taken from the actual codec implementations, not transcribed numbers;
+* less-tested DRAM carries a cost discount of 18 % ± 12 % (derived from
+  the testing-cost trends of references [8, 9]).
+
+The baseline for savings is the Typical Server: everything SEC-DED
+protected on fully-tested DRAM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.core.design_space import HardwareTechnique, RegionPolicy
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class CostModelParams:
+    """Table 6 (left) design parameters."""
+
+    dram_fraction_of_server_cost: float = 0.30
+    less_tested_discount: float = 0.18
+    less_tested_discount_low: float = 0.06
+    less_tested_discount_high: float = 0.30
+
+    def __post_init__(self) -> None:
+        check_fraction("dram_fraction_of_server_cost", self.dram_fraction_of_server_cost)
+        for name in (
+            "less_tested_discount",
+            "less_tested_discount_low",
+            "less_tested_discount_high",
+        ):
+            check_fraction(name, getattr(self, name))
+        if not (
+            self.less_tested_discount_low
+            <= self.less_tested_discount
+            <= self.less_tested_discount_high
+        ):
+            raise ValueError("less-tested discount bounds must bracket the nominal")
+
+
+class CostModel:
+    """Computes memory/server cost savings for HRM designs."""
+
+    def __init__(
+        self,
+        params: CostModelParams = CostModelParams(),
+        baseline_technique: HardwareTechnique = HardwareTechnique.SEC_DED,
+    ) -> None:
+        self.params = params
+        self.baseline_technique = baseline_technique
+        # Capacity overheads derived from the codec bit layouts.
+        self._overheads: Dict[HardwareTechnique, float] = {
+            technique: technique.codec().added_capacity
+            for technique in HardwareTechnique
+        }
+
+    def capacity_overhead(self, technique: HardwareTechnique) -> float:
+        """Fractional extra capacity of ``technique`` (from its codec)."""
+        return self._overheads[technique]
+
+    def memory_cost_factor(
+        self, policy: RegionPolicy, discount: float = None
+    ) -> float:
+        """Per-byte cost of a policy relative to raw, fully-tested DRAM."""
+        factor = 1.0 + self.capacity_overhead(policy.technique)
+        if policy.less_tested:
+            if discount is None:
+                discount = self.params.less_tested_discount
+            factor *= 1.0 - discount
+        return factor
+
+    @property
+    def baseline_cost_factor(self) -> float:
+        """Per-byte cost of the Typical Server baseline."""
+        return 1.0 + self.capacity_overhead(self.baseline_technique)
+
+    def memory_cost_savings(
+        self,
+        policies: Mapping[str, RegionPolicy],
+        region_sizes: Mapping[str, int],
+        discount: float = None,
+    ) -> float:
+        """Fractional memory-cost savings of a design versus the baseline.
+
+        Args:
+            policies: Region name -> policy.
+            region_sizes: Region name -> bytes (weights).
+            discount: Less-tested discount override (for the ± range).
+
+        Raises:
+            ValueError: when a sized region lacks a policy.
+        """
+        total_size = 0
+        design_cost = 0.0
+        for region, size in region_sizes.items():
+            if size <= 0:
+                continue
+            if region not in policies:
+                raise ValueError(f"no policy for region '{region}'")
+            check_positive(f"size of region {region}", size)
+            total_size += size
+            design_cost += size * self.memory_cost_factor(
+                policies[region], discount=discount
+            )
+        if total_size == 0:
+            return 0.0
+        baseline_cost = total_size * self.baseline_cost_factor
+        return 1.0 - design_cost / baseline_cost
+
+    def server_cost_savings(self, memory_savings: float) -> float:
+        """Server hardware savings implied by memory savings."""
+        return memory_savings * self.params.dram_fraction_of_server_cost
+
+    def savings_range(
+        self,
+        policies: Mapping[str, RegionPolicy],
+        region_sizes: Mapping[str, int],
+    ):
+        """(low, nominal, high) memory savings over the less-tested
+        discount range — Table 6 reports designs with less-tested DRAM as
+        a range (e.g. "27.1 (16.4-37.8)")."""
+        return (
+            self.memory_cost_savings(
+                policies, region_sizes, discount=self.params.less_tested_discount_low
+            ),
+            self.memory_cost_savings(policies, region_sizes),
+            self.memory_cost_savings(
+                policies, region_sizes, discount=self.params.less_tested_discount_high
+            ),
+        )

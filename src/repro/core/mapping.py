@@ -1,0 +1,223 @@
+"""HRM designs: region→policy mappings and their evaluation (Table 6).
+
+Defines the five design points the paper compares, plus the evaluator
+that turns (measured vulnerability profile × design × cost/error models)
+into the Table 6 metrics: memory/server cost savings, crashes per
+server-month, single-server availability, and incorrect responses per
+million queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.availability import (
+    AvailabilityParams,
+    ErrorRateModel,
+    availability_from_crashes,
+    design_outcome_rates,
+)
+from repro.core.cost_model import CostModel
+from repro.core.design_space import (
+    HardwareTechnique,
+    RegionPolicy,
+    SoftwareResponse,
+)
+from repro.core.vulnerability import VulnerabilityProfile
+
+
+@dataclass(frozen=True)
+class HRMDesign:
+    """A named heterogeneous-reliability memory design."""
+
+    name: str
+    policies: Mapping[str, RegionPolicy]
+
+    def describe(self) -> Dict[str, str]:
+        """Region -> short policy label (the Table 6 mapping columns)."""
+        return {region: policy.describe() for region, policy in self.policies.items()}
+
+    @property
+    def uses_less_tested(self) -> bool:
+        """Whether any region sits on less-tested DRAM."""
+        return any(policy.less_tested for policy in self.policies.values())
+
+
+@dataclass
+class DesignMetrics:
+    """The Table 6 (right) row for one design."""
+
+    design: HRMDesign
+    memory_cost_savings: float
+    memory_cost_savings_range: Optional[Tuple[float, float]]
+    server_cost_savings: float
+    server_cost_savings_range: Optional[Tuple[float, float]]
+    crashes_per_month: float
+    availability: float
+    incorrect_per_million_queries: float
+    region_rates: Dict[str, object] = field(default_factory=dict)
+
+    def meets_target(self, availability_target: float) -> bool:
+        """Whether the design satisfies an availability requirement."""
+        return self.availability >= availability_target
+
+
+def _policies(regions, **kwargs) -> Dict[str, RegionPolicy]:
+    return {region: RegionPolicy(**kwargs) for region in regions}
+
+
+def typical_server(regions) -> HRMDesign:
+    """All memory SEC-DED protected (the baseline)."""
+    return HRMDesign(
+        "Typical Server", _policies(regions, technique=HardwareTechnique.SEC_DED)
+    )
+
+
+def consumer_pc(regions) -> HRMDesign:
+    """No detection or correction anywhere."""
+    return HRMDesign(
+        "Consumer PC", _policies(regions, technique=HardwareTechnique.NONE)
+    )
+
+
+def detect_and_recover(
+    regions,
+    recoverable_fractions: Optional[Mapping[str, float]] = None,
+) -> HRMDesign:
+    """Par+R on the private region, nothing elsewhere (paper design 3)."""
+    policies: Dict[str, RegionPolicy] = {}
+    fractions = dict(recoverable_fractions or {})
+    for region in regions:
+        if region == "private":
+            policies[region] = RegionPolicy(
+                technique=HardwareTechnique.PARITY,
+                response=SoftwareResponse.RECOVER,
+                recoverable_fraction=fractions.get(region, 1.0),
+            )
+        else:
+            policies[region] = RegionPolicy(technique=HardwareTechnique.NONE)
+    return HRMDesign("Detect&Recover", policies)
+
+
+def less_tested(regions) -> HRMDesign:
+    """Less-tested DRAM everywhere, no detection/correction (design 4)."""
+    return HRMDesign(
+        "Less-Tested (L)",
+        _policies(regions, technique=HardwareTechnique.NONE, less_tested=True),
+    )
+
+
+def detect_and_recover_less_tested(
+    regions,
+    recoverable_fractions: Optional[Mapping[str, float]] = None,
+) -> HRMDesign:
+    """ECC private + Par+R heap + NoECC stack, all on less-tested DRAM.
+
+    The paper's Detect&Recover/L: stronger techniques compensate for the
+    less-tested devices' higher error rate where the data is vulnerable.
+    """
+    policies: Dict[str, RegionPolicy] = {}
+    fractions = dict(recoverable_fractions or {})
+    for region in regions:
+        if region == "private":
+            policies[region] = RegionPolicy(
+                technique=HardwareTechnique.SEC_DED, less_tested=True
+            )
+        elif region == "heap":
+            policies[region] = RegionPolicy(
+                technique=HardwareTechnique.PARITY,
+                response=SoftwareResponse.RECOVER,
+                less_tested=True,
+                recoverable_fraction=fractions.get(region, 1.0),
+            )
+        else:
+            policies[region] = RegionPolicy(
+                technique=HardwareTechnique.NONE, less_tested=True
+            )
+    return HRMDesign("Detect&Recover/L", policies)
+
+
+def paper_design_points(
+    regions,
+    recoverable_fractions: Optional[Mapping[str, float]] = None,
+) -> Tuple[HRMDesign, ...]:
+    """The five Table 6 designs, in paper order."""
+    return (
+        typical_server(regions),
+        consumer_pc(regions),
+        detect_and_recover(regions, recoverable_fractions),
+        less_tested(regions),
+        detect_and_recover_less_tested(regions, recoverable_fractions),
+    )
+
+
+class DesignEvaluator:
+    """Evaluates HRM designs against a measured vulnerability profile."""
+
+    def __init__(
+        self,
+        profile: VulnerabilityProfile,
+        cost_model: Optional[CostModel] = None,
+        error_model: Optional[ErrorRateModel] = None,
+        availability_params: Optional[AvailabilityParams] = None,
+        error_label: str = "single-bit soft",
+        region_sizes: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        self.profile = profile
+        self.cost_model = cost_model or CostModel()
+        self.error_model = error_model or ErrorRateModel()
+        self.availability_params = availability_params or AvailabilityParams()
+        self.error_label = error_label
+        self.region_sizes = (
+            dict(region_sizes) if region_sizes is not None else profile.region_sizes
+        )
+
+    def evaluate(self, design: HRMDesign) -> DesignMetrics:
+        """Compute the full Table 6 row for ``design``."""
+        sizes = {
+            region: self.region_sizes.get(region, 0) for region in design.policies
+        }
+        memory_savings = self.cost_model.memory_cost_savings(design.policies, sizes)
+        savings_range = None
+        server_range = None
+        if design.uses_less_tested:
+            low, _nominal, high = self.cost_model.savings_range(
+                design.policies, sizes
+            )
+            savings_range = (low, high)
+            server_range = (
+                self.cost_model.server_cost_savings(low),
+                self.cost_model.server_cost_savings(high),
+            )
+        rates = design_outcome_rates(
+            self.profile,
+            design.policies,
+            error_model=self.error_model,
+            error_label=self.error_label,
+            region_sizes=sizes,
+        )
+        crashes = sum(rate.crashes_per_month for rate in rates.values())
+        incorrect_per_month = sum(
+            rate.incorrect_responses_per_month for rate in rates.values()
+        )
+        incorrect_per_million = (
+            incorrect_per_month / self.availability_params.queries_per_month * 1e6
+        )
+        return DesignMetrics(
+            design=design,
+            memory_cost_savings=memory_savings,
+            memory_cost_savings_range=savings_range,
+            server_cost_savings=self.cost_model.server_cost_savings(memory_savings),
+            server_cost_savings_range=server_range,
+            crashes_per_month=crashes,
+            availability=availability_from_crashes(
+                crashes, self.availability_params
+            ),
+            incorrect_per_million_queries=incorrect_per_million,
+            region_rates=rates,
+        )
+
+    def evaluate_all(self, designs) -> Dict[str, DesignMetrics]:
+        """Evaluate a collection of designs, keyed by name."""
+        return {design.name: self.evaluate(design) for design in designs}

@@ -1,0 +1,192 @@
+"""Design-space search and tolerable-error-rate analysis.
+
+Two capabilities on top of the evaluator:
+
+* :func:`tolerable_errors_per_month` — Figure 8's quantity: the maximum
+  monthly error rate an *unprotected* application can absorb while still
+  meeting a single-server-availability target;
+* :class:`MappingOptimizer` — enumerates per-region policy assignments
+  and returns the cheapest design meeting an availability target (and
+  optionally an incorrectness budget), realizing the paper's "choose the
+  design that best suits our needs" step (Figure 7).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.availability import AvailabilityParams, crashes_from_availability
+from repro.core.design_space import (
+    HardwareTechnique,
+    RegionPolicy,
+    SoftwareResponse,
+)
+from repro.core.mapping import DesignEvaluator, DesignMetrics, HRMDesign
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.utils.validation import check_fraction
+
+#: Policy candidates enumerated per region by the optimizer: the
+#: techniques of Table 6 plus their less-tested variants.
+DEFAULT_CANDIDATES: Tuple[RegionPolicy, ...] = (
+    RegionPolicy(technique=HardwareTechnique.NONE),
+    RegionPolicy(technique=HardwareTechnique.NONE, less_tested=True),
+    RegionPolicy(
+        technique=HardwareTechnique.PARITY, response=SoftwareResponse.RECOVER
+    ),
+    RegionPolicy(
+        technique=HardwareTechnique.PARITY,
+        response=SoftwareResponse.RECOVER,
+        less_tested=True,
+    ),
+    RegionPolicy(technique=HardwareTechnique.SEC_DED),
+    RegionPolicy(technique=HardwareTechnique.SEC_DED, less_tested=True),
+    RegionPolicy(technique=HardwareTechnique.CHIPKILL),
+    RegionPolicy(technique=HardwareTechnique.DEC_TED),
+)
+
+
+def tolerable_errors_per_month(
+    profile: VulnerabilityProfile,
+    availability_target: float,
+    error_label: str = "single-bit soft",
+    params: AvailabilityParams = AvailabilityParams(),
+) -> float:
+    """Figure 8: max unprotected error rate meeting an availability target.
+
+    With no detection/correction, ``crashes = E · P(crash | error)``;
+    the target bounds crashes, so ``E_max = crash_budget / P(crash)``.
+    Applications whose measured crash probability is zero report
+    ``float('inf')`` (no observed bound).
+    """
+    check_fraction("availability_target", availability_target)
+    crash_budget = crashes_from_availability(availability_target, params)
+    crash_probability = profile.crash_probability_per_error(error_label)
+    if crash_probability <= 0.0:
+        return float("inf")
+    return crash_budget / crash_probability
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of a design-space search."""
+
+    best: Optional[DesignMetrics]
+    feasible: List[DesignMetrics]
+    evaluated: int
+
+    @property
+    def found(self) -> bool:
+        """Whether any design met the constraints."""
+        return self.best is not None
+
+
+class MappingOptimizer:
+    """Exhaustive per-region policy search (regions² · candidates ways).
+
+    Region counts are tiny (≤4) and the candidate list short, so
+    exhaustive enumeration is exact and fast — the same exploration the
+    paper describes doing by hand in §VI-B.
+    """
+
+    def __init__(
+        self,
+        evaluator: DesignEvaluator,
+        candidates: Sequence[RegionPolicy] = DEFAULT_CANDIDATES,
+        recoverable_fractions: Optional[Dict[str, float]] = None,
+    ) -> None:
+        if not candidates:
+            raise ValueError("candidate policy list must be non-empty")
+        self.evaluator = evaluator
+        self.candidates = tuple(candidates)
+        self.recoverable_fractions = dict(recoverable_fractions or {})
+
+    def _specialize(self, region: str, policy: RegionPolicy) -> RegionPolicy:
+        """Bind region-specific recoverability into a RECOVER policy."""
+        if policy.response is not SoftwareResponse.RECOVER:
+            return policy
+        fraction = self.recoverable_fractions.get(region)
+        if fraction is None:
+            return policy
+        return RegionPolicy(
+            technique=policy.technique,
+            response=policy.response,
+            less_tested=policy.less_tested,
+            recoverable_fraction=fraction,
+        )
+
+    def search(
+        self,
+        availability_target: float,
+        max_incorrect_per_million: Optional[float] = None,
+        regions: Optional[Sequence[str]] = None,
+    ) -> OptimizationResult:
+        """Find the design with maximum server-cost savings that meets
+        the availability target (and incorrectness budget, if given)."""
+        check_fraction("availability_target", availability_target)
+        if regions is None:
+            regions = sorted(self.evaluator.region_sizes)
+        feasible: List[DesignMetrics] = []
+        evaluated = 0
+        for assignment in itertools.product(self.candidates, repeat=len(regions)):
+            policies = {
+                region: self._specialize(region, policy)
+                for region, policy in zip(regions, assignment)
+            }
+            design = HRMDesign(
+                name="+".join(p.describe() for p in policies.values()),
+                policies=policies,
+            )
+            metrics = self.evaluator.evaluate(design)
+            evaluated += 1
+            if metrics.availability < availability_target:
+                continue
+            if (
+                max_incorrect_per_million is not None
+                and metrics.incorrect_per_million_queries > max_incorrect_per_million
+            ):
+                continue
+            feasible.append(metrics)
+        feasible.sort(key=lambda metrics: -metrics.server_cost_savings)
+        return OptimizationResult(
+            best=feasible[0] if feasible else None,
+            feasible=feasible,
+            evaluated=evaluated,
+        )
+
+    def pareto_front(
+        self, regions: Optional[Sequence[str]] = None
+    ) -> List[DesignMetrics]:
+        """Designs not dominated in (cost savings, availability).
+
+        Useful for plotting the cost/reliability trade-off curve.
+        """
+        if regions is None:
+            regions = sorted(self.evaluator.region_sizes)
+        all_metrics: List[DesignMetrics] = []
+        for assignment in itertools.product(self.candidates, repeat=len(regions)):
+            policies = {
+                region: self._specialize(region, policy)
+                for region, policy in zip(regions, assignment)
+            }
+            design = HRMDesign(
+                name="+".join(p.describe() for p in policies.values()),
+                policies=policies,
+            )
+            all_metrics.append(self.evaluator.evaluate(design))
+        front: List[DesignMetrics] = []
+        for metrics in all_metrics:
+            dominated = any(
+                other.server_cost_savings >= metrics.server_cost_savings
+                and other.availability >= metrics.availability
+                and (
+                    other.server_cost_savings > metrics.server_cost_savings
+                    or other.availability > metrics.availability
+                )
+                for other in all_metrics
+            )
+            if not dominated:
+                front.append(metrics)
+        front.sort(key=lambda metrics: -metrics.server_cost_savings)
+        return front

@@ -1,0 +1,145 @@
+"""The paper's reported numbers, for side-by-side comparison.
+
+Benchmarks print these next to the reproduction's measured values so
+EXPERIMENTS.md can record which qualitative claims hold. Nothing in the
+library's models *reads* these values — they are display-only.
+"""
+
+from __future__ import annotations
+
+#: Table 1 — detection/correction techniques. "added_capacity" is the
+#: fraction of extra bits; "capability" uses the paper's X/Y-Z notation.
+TABLE1 = {
+    "Parity": {
+        "capability": "2^(n-1)/64 bits (none)",
+        "added_capacity": 0.0156,
+        "added_logic": "low",
+    },
+    "SEC-DED": {
+        "capability": "2/64 bits (1/64 bits)",
+        "added_capacity": 0.125,
+        "added_logic": "low",
+    },
+    "DEC-TED": {
+        "capability": "3/64 bits (2/64 bits)",
+        "added_capacity": 0.234,
+        "added_logic": "low",
+    },
+    "Chipkill": {
+        "capability": "2/8 chips (1/8 chips)",
+        "added_capacity": 0.125,
+        "added_logic": "high",
+    },
+    "RAIM": {
+        "capability": "1/5 modules (1/5 modules)",
+        "added_capacity": 0.406,
+        "added_logic": "high",
+    },
+    "Mirroring": {
+        "capability": "2/8 chips (1/2 modules)",
+        "added_capacity": 1.25,
+        "added_logic": "low",
+    },
+}
+
+#: Table 3 — application memory-region sizes (bytes).
+TABLE3 = {
+    "WebSearch": {"private": 36 * 2**30, "heap": 9 * 2**30, "stack": 60 * 2**20},
+    "Memcached": {"private": 0, "heap": 35 * 2**30, "stack": 132 * 2**10},
+    "GraphLab": {"private": 0, "heap": 4 * 2**30, "stack": 132 * 2**10},
+}
+
+#: Table 5 — recoverable memory in WebSearch (fractions of region data).
+TABLE5 = {
+    "private": {"implicit": 0.88, "explicit": 0.634},
+    "heap": {"implicit": 0.59, "explicit": 0.284},
+    "stack": {"implicit": 0.01, "explicit": 0.167},
+    "overall": {"implicit": 0.821, "explicit": 0.563},
+}
+
+#: Table 6 (left) — design parameters.
+TABLE6_PARAMETERS = {
+    "dram_fraction_of_server_cost": 0.30,
+    "noecc_memory_cost_savings": 0.111,
+    "parity_memory_cost_savings": 0.097,
+    "less_tested_savings": (0.06, 0.18, 0.30),
+    "crash_recovery_minutes": 10.0,
+    "par_r_flush_minutes": 5.0,
+    "errors_per_server_month": 2000,
+    "target_availability": 0.999,
+}
+
+#: Table 6 (right) — the five design points for WebSearch.
+#: memory/server savings are fractions; ranges are (low, high).
+TABLE6_DESIGNS = {
+    "Typical Server": {
+        "mapping": {"private": "ECC", "heap": "ECC", "stack": "ECC"},
+        "memory_savings": 0.0,
+        "memory_savings_range": None,
+        "server_savings": 0.0,
+        "crashes_per_month": 0,
+        "availability": 1.0000,
+        "incorrect_per_million": 0,
+    },
+    "Consumer PC": {
+        "mapping": {"private": "NoECC", "heap": "NoECC", "stack": "NoECC"},
+        "memory_savings": 0.111,
+        "memory_savings_range": None,
+        "server_savings": 0.033,
+        "crashes_per_month": 19,
+        "availability": 0.9955,
+        "incorrect_per_million": 33,
+    },
+    "Detect&Recover": {
+        "mapping": {"private": "Par+R", "heap": "NoECC", "stack": "NoECC"},
+        "memory_savings": 0.097,
+        "memory_savings_range": None,
+        "server_savings": 0.029,
+        "crashes_per_month": 3,
+        "availability": 0.9993,
+        "incorrect_per_million": 9,
+    },
+    "Less-Tested (L)": {
+        "mapping": {"private": "NoECC/L", "heap": "NoECC/L", "stack": "NoECC/L"},
+        "memory_savings": 0.271,
+        "memory_savings_range": (0.164, 0.378),
+        "server_savings": 0.081,
+        "crashes_per_month": 96,
+        "availability": 0.9778,
+        "incorrect_per_million": 163,
+    },
+    "Detect&Recover/L": {
+        "mapping": {"private": "ECC/L", "heap": "Par+R/L", "stack": "NoECC/L"},
+        "memory_savings": 0.155,
+        "memory_savings_range": (0.031, 0.279),
+        "server_savings": 0.047,
+        "crashes_per_month": 4,
+        "availability": 0.9990,
+        "incorrect_per_million": 12,
+    },
+}
+
+#: Figure 8 — qualitative anchor points: at 2000 errors/month,
+#: WebSearch and Memcached reach 99.00% availability unprotected, and
+#: there is an order-of-magnitude spread in tolerable error rates.
+FIG8_AVAILABILITY_TARGETS = (0.9999, 0.999, 0.99)
+FIG8_UNPROTECTED_OK_AT_2000 = ("WebSearch", "Memcached")
+
+#: Headline abstract claims.
+HEADLINE = {
+    "server_cost_savings": 0.047,
+    "availability": 0.999,
+    "traditional_protection_memory_premium": 0.125,
+    "unprotected_availability_somewhere": 0.99,
+}
+
+#: Qualitative findings (paper §V-B) checked by the experiment suite.
+FINDINGS = (
+    "F1: error tolerance varies across applications (orders of magnitude)",
+    "F2: error tolerance varies between regions within an application",
+    "F3: crashes are quick, incorrectness is periodic over time",
+    "F4: some regions are safer (stack masks by overwrite; private/heap "
+    "mask by logic)",
+    "F5: more severe errors mainly decrease correctness, not crash rate",
+    "F6: data recoverability varies across memory regions",
+)

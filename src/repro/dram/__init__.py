@@ -1,0 +1,29 @@
+"""DRAM device model: geometry, fault populations, scrubbing, retirement."""
+
+from repro.dram.device import CellFault, DramDevice
+from repro.dram.fault_models import (
+    DEFAULT_MODE_WEIGHTS,
+    DramFaultModel,
+    FailureMode,
+    FaultFootprint,
+)
+from repro.dram.geometry import CACHE_LINE_SIZE, DramCoordinates, DramGeometry
+from repro.dram.retirement import PageRetirementPolicy, RetirementOutcome
+from repro.dram.scrubber import PatrolScrubber, ScrubReport, SoftwareScrubber
+
+__all__ = [
+    "CellFault",
+    "DramDevice",
+    "DEFAULT_MODE_WEIGHTS",
+    "DramFaultModel",
+    "FailureMode",
+    "FaultFootprint",
+    "CACHE_LINE_SIZE",
+    "DramCoordinates",
+    "DramGeometry",
+    "PageRetirementPolicy",
+    "RetirementOutcome",
+    "PatrolScrubber",
+    "ScrubReport",
+    "SoftwareScrubber",
+]

@@ -1,0 +1,110 @@
+"""Stateful DRAM device holding a population of faulty cells.
+
+Used by the cluster-level availability simulation and the scrubbing /
+page-retirement machinery: faults arrive over (simulated) time according
+to an error-rate model, accumulate in the device, and are observed when
+the corresponding addresses are read (or proactively, by a patrol
+scrubber). This complements :class:`~repro.memory.AddressSpace`, which
+models one application's view; the device models the hardware's view.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.dram.fault_models import DramFaultModel, FaultFootprint
+from repro.dram.geometry import DramGeometry
+from repro.memory.faults import FaultKind
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """One faulty bit in the device."""
+
+    addr: int
+    bit: int
+    kind: FaultKind
+    arrived_at: float
+
+
+@dataclass
+class DramDevice:
+    """A memory system accumulating cell faults over time.
+
+    Attributes:
+        geometry: Shape of the memory system.
+        fault_model: Distribution of fault footprints.
+        less_tested: Marks a device built from less-thoroughly-tested
+            chips (paper §VI-A): carries a higher fault arrival rate,
+            applied by the caller via
+            :meth:`~repro.core.availability.ErrorRateModel`.
+    """
+
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    fault_model: Optional[DramFaultModel] = None
+    less_tested: bool = False
+
+    faults: List[CellFault] = field(default_factory=list)
+    retired_pages: Set[int] = field(default_factory=set)
+    _faulty_addrs: Dict[int, List[CellFault]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.fault_model is None:
+            self.fault_model = DramFaultModel(geometry=self.geometry)
+        elif self.fault_model.geometry is not self.geometry:
+            raise ValueError("fault_model geometry must match device geometry")
+
+    @property
+    def fault_count(self) -> int:
+        """Number of live faulty bits (excluding retired pages)."""
+        return len(self.faults)
+
+    def inject_arrival(self, rng: random.Random, now: float = 0.0) -> FaultFootprint:
+        """Draw a fault footprint and add its cells to the device."""
+        footprint = self.fault_model.draw(rng)
+        for addr, bit in zip(footprint.addresses, footprint.bits):
+            if addr // 4096 in self.retired_pages:
+                continue  # retired pages are never allocated, faults inert
+            fault = CellFault(addr=addr, bit=bit, kind=footprint.kind, arrived_at=now)
+            self.faults.append(fault)
+            self._faulty_addrs.setdefault(addr, []).append(fault)
+        return footprint
+
+    def faults_at(self, addr: int) -> List[CellFault]:
+        """Faults affecting the byte at ``addr`` (empty list if clean)."""
+        return list(self._faulty_addrs.get(addr, ()))
+
+    def faulty_pages(self) -> Dict[int, int]:
+        """Map of page index -> number of faulty bits on that page."""
+        pages: Dict[int, int] = {}
+        for fault in self.faults:
+            page = fault.addr // 4096
+            pages[page] = pages.get(page, 0) + 1
+        return pages
+
+    def retire_page(self, page: int) -> int:
+        """Retire a 4 KB page; returns the number of faults neutralized."""
+        self.retired_pages.add(page)
+        removed = [fault for fault in self.faults if fault.addr // 4096 == page]
+        for fault in removed:
+            self._faulty_addrs[fault.addr].remove(fault)
+            if not self._faulty_addrs[fault.addr]:
+                del self._faulty_addrs[fault.addr]
+        self.faults = [fault for fault in self.faults if fault.addr // 4096 != page]
+        return len(removed)
+
+    def scrub_soft_faults(self) -> int:
+        """Remove all soft faults (a scrub rewrites correct data).
+
+        Hard faults survive scrubbing — the cell is physically broken.
+        Returns the number of faults removed.
+        """
+        removed = [fault for fault in self.faults if fault.kind is FaultKind.SOFT]
+        for fault in removed:
+            self._faulty_addrs[fault.addr].remove(fault)
+            if not self._faulty_addrs[fault.addr]:
+                del self._faulty_addrs[fault.addr]
+        self.faults = [fault for fault in self.faults if fault.kind is not FaultKind.SOFT]
+        return len(removed)

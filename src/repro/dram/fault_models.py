@@ -1,0 +1,186 @@
+"""Failure-mode models for DRAM devices.
+
+Field studies cited by the paper (Schroeder et al. 2009; Sridharan et
+al. 2012/2013; Hwang et al. 2012) show that hard errors dominate and
+frequently affect structured groups of cells — whole rows, columns,
+banks, or chips — rather than isolated bits. The generators here draw
+fault *footprints* (sets of byte addresses plus bit positions) according
+to a configurable failure-mode mix, which the injection framework turns
+into concrete errors and the availability model turns into rates.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dram.geometry import DramCoordinates, DramGeometry
+from repro.memory.faults import FaultKind
+from repro.utils.validation import check_fraction
+
+
+class FailureMode(enum.Enum):
+    """Spatial structure of a DRAM fault."""
+
+    SINGLE_BIT = "single_bit"
+    SINGLE_WORD = "single_word"  # multi-bit within one 64-bit word
+    ROW = "row"
+    COLUMN = "column"
+    BANK = "bank"
+    CHIP = "chip"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Failure-mode mix loosely following Sridharan & Liberty (SC'12), where
+#: single-bit faults dominate but large-footprint faults are material.
+DEFAULT_MODE_WEIGHTS: Dict[FailureMode, float] = {
+    FailureMode.SINGLE_BIT: 0.60,
+    FailureMode.SINGLE_WORD: 0.15,
+    FailureMode.ROW: 0.10,
+    FailureMode.COLUMN: 0.08,
+    FailureMode.BANK: 0.04,
+    FailureMode.CHIP: 0.03,
+}
+
+#: Cap on the number of concrete erroneous bytes materialized for
+#: large-footprint faults; keeps injection tractable while preserving the
+#: "many correlated errors at once" behaviour.
+MAX_FOOTPRINT_BYTES = 64
+
+
+@dataclass(frozen=True)
+class FaultFootprint:
+    """A concrete fault: affected byte addresses, bits, kind, and mode."""
+
+    mode: FailureMode
+    kind: FaultKind
+    addresses: List[int]
+    bits: List[int]
+
+    def __post_init__(self) -> None:
+        if len(self.addresses) != len(self.bits):
+            raise ValueError("addresses and bits must have equal length")
+        if not self.addresses:
+            raise ValueError("footprint must affect at least one byte")
+
+
+@dataclass
+class DramFaultModel:
+    """Draws fault footprints over a DRAM geometry.
+
+    Attributes:
+        geometry: The memory-system shape faults are drawn over.
+        mode_weights: Relative probability of each failure mode.
+        hard_fraction: Probability that a drawn fault is hard (stuck-at)
+            rather than soft; field studies attribute the majority of
+            errors to hard faults, hence the 0.7 default.
+    """
+
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    mode_weights: Dict[FailureMode, float] = field(
+        default_factory=lambda: dict(DEFAULT_MODE_WEIGHTS)
+    )
+    hard_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        check_fraction("hard_fraction", self.hard_fraction)
+        if not self.mode_weights:
+            raise ValueError("mode_weights must be non-empty")
+        if any(weight < 0 for weight in self.mode_weights.values()):
+            raise ValueError("mode weights must be non-negative")
+        if sum(self.mode_weights.values()) <= 0:
+            raise ValueError("mode weights must sum to a positive value")
+
+    def draw(self, rng: random.Random) -> FaultFootprint:
+        """Draw one fault footprint."""
+        modes = list(self.mode_weights)
+        weights = [self.mode_weights[mode] for mode in modes]
+        mode = rng.choices(modes, weights=weights, k=1)[0]
+        kind = FaultKind.HARD if rng.random() < self.hard_fraction else FaultKind.SOFT
+        # Large-footprint faults are persistent by nature.
+        if mode not in (FailureMode.SINGLE_BIT, FailureMode.SINGLE_WORD):
+            kind = FaultKind.HARD
+        addresses, bits = self._materialize(mode, rng)
+        return FaultFootprint(mode=mode, kind=kind, addresses=addresses, bits=bits)
+
+    # ------------------------------------------------------------------
+    def _random_coords(self, rng: random.Random) -> DramCoordinates:
+        geom = self.geometry
+        return DramCoordinates(
+            channel=rng.randrange(geom.channels),
+            dimm=rng.randrange(geom.dimms_per_channel),
+            rank=rng.randrange(geom.ranks_per_dimm),
+            bank=rng.randrange(geom.banks_per_rank),
+            row=rng.randrange(geom.rows_per_bank),
+            column=rng.randrange(geom.columns_per_row),
+        )
+
+    def _materialize(self, mode: FailureMode, rng: random.Random):
+        geom = self.geometry
+        coords = self._random_coords(rng)
+        base = geom.compose(coords, rng.randrange(geom.bytes_per_column))
+        if mode is FailureMode.SINGLE_BIT:
+            return [base], [rng.randrange(8)]
+        if mode is FailureMode.SINGLE_WORD:
+            word_base = base - base % 8
+            count = rng.randint(2, 4)
+            positions = rng.sample(range(64), count)
+            return (
+                [word_base + position // 8 for position in positions],
+                [position % 8 for position in positions],
+            )
+        if mode is FailureMode.ROW:
+            columns = self._sample_columns(rng)
+            addrs = [
+                geom.compose(
+                    DramCoordinates(
+                        coords.channel, coords.dimm, coords.rank, coords.bank,
+                        coords.row, column,
+                    ),
+                    rng.randrange(geom.bytes_per_column),
+                )
+                for column in columns
+            ]
+        elif mode is FailureMode.COLUMN:
+            rows = rng.sample(
+                range(geom.rows_per_bank),
+                min(MAX_FOOTPRINT_BYTES, geom.rows_per_bank),
+            )
+            addrs = [
+                geom.compose(
+                    DramCoordinates(
+                        coords.channel, coords.dimm, coords.rank, coords.bank,
+                        row, coords.column,
+                    ),
+                    rng.randrange(geom.bytes_per_column),
+                )
+                for row in rows
+            ]
+        elif mode is FailureMode.BANK:
+            addrs = []
+            for _ in range(MAX_FOOTPRINT_BYTES):
+                point = self._random_coords(rng)
+                pinned = DramCoordinates(
+                    coords.channel, coords.dimm, coords.rank, coords.bank,
+                    point.row, point.column,
+                )
+                addrs.append(geom.compose(pinned, rng.randrange(geom.bytes_per_column)))
+        else:  # FailureMode.CHIP: whole rank slice (chip granularity proxy)
+            addrs = []
+            for _ in range(MAX_FOOTPRINT_BYTES):
+                point = self._random_coords(rng)
+                pinned = DramCoordinates(
+                    coords.channel, coords.dimm, coords.rank, point.bank,
+                    point.row, point.column,
+                )
+                addrs.append(geom.compose(pinned, rng.randrange(geom.bytes_per_column)))
+        bits = [rng.randrange(8) for _ in addrs]
+        return addrs, bits
+
+    def _sample_columns(self, rng: random.Random) -> List[int]:
+        count = min(MAX_FOOTPRINT_BYTES, self.geometry.columns_per_row)
+        return rng.sample(range(self.geometry.columns_per_row), count)

@@ -1,0 +1,168 @@
+"""DRAM topology and physical-address mapping.
+
+Models the channel / DIMM / rank / chip / bank / row / column hierarchy of
+a server memory system (paper §II-A and Figure 9). Two uses in the
+reproduction:
+
+* the fault models (:mod:`repro.dram.fault_models`) express failure modes
+  positionally — "entire row", "entire chip", "whole DIMM" — which
+  requires mapping between flat physical addresses and coordinates;
+* the heterogeneous provisioning of Figure 9 assigns a (possibly
+  different) ECC scheme per *channel*, so the mapping layer reports which
+  channel serves a given address.
+
+The address interleaving used here is the common
+``row | bank | column | channel`` scheme: consecutive cache lines rotate
+across channels, maximizing channel-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+#: Bytes per DRAM burst/cache line used for channel interleaving.
+CACHE_LINE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """Position of one byte in the DRAM hierarchy."""
+
+    channel: int
+    dimm: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"ch{self.channel}/dimm{self.dimm}/rank{self.rank}/"
+            f"bank{self.bank}/row{self.row}/col{self.column}"
+        )
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Shape of a server's memory system.
+
+    Defaults approximate the paper's evaluation servers (64 GB DDR3):
+    4 channels × 2 DIMMs × 2 ranks × 8 banks × 65536 rows × 1024 columns
+    × 8 B per column = 64 GiB.
+    """
+
+    channels: int = 4
+    dimms_per_channel: int = 2
+    ranks_per_dimm: int = 2
+    banks_per_rank: int = 8
+    rows_per_bank: int = 65536
+    columns_per_row: int = 1024
+    bytes_per_column: int = 8
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "dimms_per_channel",
+            "ranks_per_dimm",
+            "banks_per_rank",
+            "rows_per_bank",
+            "columns_per_row",
+            "bytes_per_column",
+        ):
+            check_positive(name, getattr(self, name))
+
+    @property
+    def row_size(self) -> int:
+        """Bytes per row (the DRAM page size opened by an ACT)."""
+        return self.columns_per_row * self.bytes_per_column
+
+    @property
+    def bank_size(self) -> int:
+        """Bytes per bank."""
+        return self.row_size * self.rows_per_bank
+
+    @property
+    def rank_size(self) -> int:
+        """Bytes per rank."""
+        return self.bank_size * self.banks_per_rank
+
+    @property
+    def dimm_size(self) -> int:
+        """Bytes per DIMM."""
+        return self.rank_size * self.ranks_per_dimm
+
+    @property
+    def channel_size(self) -> int:
+        """Bytes per channel."""
+        return self.dimm_size * self.dimms_per_channel
+
+    @property
+    def total_size(self) -> int:
+        """Total bytes in the memory system."""
+        return self.channel_size * self.channels
+
+    def decompose(self, addr: int) -> DramCoordinates:
+        """Map a flat physical address to DRAM coordinates.
+
+        Raises:
+            ValueError: if ``addr`` is outside the memory system.
+        """
+        if not 0 <= addr < self.total_size:
+            raise ValueError(
+                f"address 0x{addr:x} outside memory system of {self.total_size} B"
+            )
+        line, line_offset = divmod(addr, CACHE_LINE_SIZE)
+        channel = line % self.channels
+        # Address within the channel, reconstructed from the interleave.
+        channel_line = line // self.channels
+        channel_addr = channel_line * CACHE_LINE_SIZE + line_offset
+        dimm, rest = divmod(channel_addr, self.dimm_size)
+        rank, rest = divmod(rest, self.rank_size)
+        bank, rest = divmod(rest, self.bank_size)
+        row, rest = divmod(rest, self.row_size)
+        column = rest // self.bytes_per_column
+        return DramCoordinates(channel, dimm, rank, bank, row, column)
+
+    def compose(self, coords: DramCoordinates, byte_in_column: int = 0) -> int:
+        """Inverse of :meth:`decompose` (returns a flat physical address).
+
+        Raises:
+            ValueError: if any coordinate is out of range.
+        """
+        self._check_coords(coords)
+        if not 0 <= byte_in_column < self.bytes_per_column:
+            raise ValueError(f"byte_in_column {byte_in_column} out of range")
+        channel_addr = (
+            coords.dimm * self.dimm_size
+            + coords.rank * self.rank_size
+            + coords.bank * self.bank_size
+            + coords.row * self.row_size
+            + coords.column * self.bytes_per_column
+            + byte_in_column
+        )
+        channel_line, line_offset = divmod(channel_addr, CACHE_LINE_SIZE)
+        line = channel_line * self.channels + coords.channel
+        return line * CACHE_LINE_SIZE + line_offset
+
+    def channel_of(self, addr: int) -> int:
+        """Which channel serves ``addr`` (fast path for HRM provisioning)."""
+        if not 0 <= addr < self.total_size:
+            raise ValueError(
+                f"address 0x{addr:x} outside memory system of {self.total_size} B"
+            )
+        return (addr // CACHE_LINE_SIZE) % self.channels
+
+    def _check_coords(self, coords: DramCoordinates) -> None:
+        limits = (
+            ("channel", coords.channel, self.channels),
+            ("dimm", coords.dimm, self.dimms_per_channel),
+            ("rank", coords.rank, self.ranks_per_dimm),
+            ("bank", coords.bank, self.banks_per_rank),
+            ("row", coords.row, self.rows_per_bank),
+            ("column", coords.column, self.columns_per_row),
+        )
+        for name, value, limit in limits:
+            if not 0 <= value < limit:
+                raise ValueError(f"{name} {value} out of range [0, {limit})")

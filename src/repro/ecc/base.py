@@ -1,0 +1,112 @@
+"""Codec interface shared by all memory error detection/correction schemes.
+
+Every scheme in the paper's Table 1 is implemented as a :class:`Codec`
+that encodes a fixed-width data word into a wider codeword and decodes a
+(possibly corrupted) codeword back, reporting what happened. The added
+capacity fraction — the driver of memory cost in the paper's cost model —
+is *derived* from the codec's actual bit layout rather than hard-coded,
+so Table 1 is regenerated from the implementations.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class DecodeStatus(enum.Enum):
+    """What the decoder observed and did."""
+
+    OK = "ok"  # no error present (as far as the code can tell)
+    CORRECTED = "corrected"  # error(s) detected and repaired
+    DETECTED = "detected"  # error detected but not correctable
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one codeword.
+
+    Attributes:
+        data: The decoded data word (best effort when uncorrectable).
+        status: What the decoder concluded.
+        corrected_bits: Codeword bit positions that were repaired.
+    """
+
+    data: int
+    status: DecodeStatus
+    corrected_bits: List[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the data word can be trusted (OK or CORRECTED)."""
+        return self.status is not DecodeStatus.DETECTED
+
+
+class Codec(abc.ABC):
+    """A memory error detection/correction scheme over fixed-size words."""
+
+    #: Human-readable technique name (matches Table 1 rows).
+    name: str = "abstract"
+    #: Width of the protected data word in bits.
+    data_bits: int = 64
+    #: Width of the full codeword in bits.
+    code_bits: int = 64
+    #: Qualitative logic complexity per Table 1 ("low" / "high").
+    added_logic: str = "low"
+    #: Capability summary in the paper's "X/Y Z" notation.
+    capability: str = ""
+
+    @property
+    def check_bits(self) -> int:
+        """Number of redundant bits per word."""
+        return self.code_bits - self.data_bits
+
+    @property
+    def added_capacity(self) -> float:
+        """Fractional capacity overhead (drives memory cost)."""
+        return self.check_bits / self.data_bits
+
+    @property
+    def data_bytes(self) -> int:
+        """Data word width in bytes (data_bits must be byte-aligned)."""
+        return self.data_bits // 8
+
+    @abc.abstractmethod
+    def encode(self, data: int) -> int:
+        """Encode a data word into a codeword.
+
+        Raises:
+            ValueError: if ``data`` does not fit in ``data_bits``.
+        """
+
+    @abc.abstractmethod
+    def decode(self, codeword: int) -> DecodeResult:
+        """Decode a (possibly corrupted) codeword."""
+
+    def _check_data(self, data: int) -> None:
+        if data < 0 or data >> self.data_bits:
+            raise ValueError(
+                f"data word does not fit in {self.data_bits} bits: {data:#x}"
+            )
+
+    def _check_codeword(self, codeword: int) -> None:
+        if codeword < 0 or codeword >> self.code_bits:
+            raise ValueError(
+                f"codeword does not fit in {self.code_bits} bits: {codeword:#x}"
+            )
+
+    def roundtrip_ok(self, data: int) -> bool:
+        """Sanity helper: encode→decode with no errors returns the data."""
+        result = self.decode(self.encode(data))
+        return result.status is DecodeStatus.OK and result.data == data
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"{self.name}({self.data_bits}+{self.check_bits} bits, "
+            f"+{self.added_capacity:.1%})"
+        )

@@ -1,0 +1,181 @@
+"""Galois-field arithmetic GF(2^m) used by the BCH and Reed-Solomon codecs.
+
+Implements log/antilog-table arithmetic for small binary extension
+fields. Two instances are used in the package:
+
+* ``GF128`` (m=7, primitive polynomial x^7 + x^3 + 1) for the DEC-TED
+  BCH(127,113) code, and
+* ``GF256`` (m=8, primitive polynomial x^8 + x^4 + x^3 + x^2 + 1) for
+  the Chipkill Reed-Solomon code over 8-bit chip symbols.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+#: Primitive polynomials by field degree (bit i = coefficient of x^i).
+PRIMITIVE_POLYS = {
+    4: 0b10011,  # x^4 + x + 1
+    7: 0b10001001,  # x^7 + x^3 + 1
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1
+}
+
+
+class GF2m:
+    """The finite field GF(2^m) with table-based arithmetic."""
+
+    def __init__(self, m: int, primitive_poly: int = 0) -> None:
+        if primitive_poly == 0:
+            if m not in PRIMITIVE_POLYS:
+                raise ValueError(
+                    f"no default primitive polynomial for GF(2^{m}); pass one"
+                )
+            primitive_poly = PRIMITIVE_POLYS[m]
+        self.m = m
+        self.size = 1 << m
+        self.primitive_poly = primitive_poly
+        # exp table doubled to avoid modular reduction in mul.
+        self._exp: List[int] = [0] * (2 * self.size)
+        self._log: List[int] = [0] * self.size
+        value = 1
+        for power in range(self.size - 1):
+            self._exp[power] = value
+            self._log[value] = power
+            value <<= 1
+            if value & self.size:
+                value ^= primitive_poly
+        if value != 1:
+            raise ValueError(
+                f"polynomial 0x{primitive_poly:x} is not primitive for GF(2^{m})"
+            )
+        for power in range(self.size - 1, 2 * self.size):
+            self._exp[power] = self._exp[power - (self.size - 1)]
+
+    @property
+    def order(self) -> int:
+        """Multiplicative order of the field (size - 1)."""
+        return self.size - 1
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR in characteristic 2)."""
+        return a ^ b
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        """Field division a / b.
+
+        Raises:
+            ZeroDivisionError: if ``b`` is zero.
+        """
+        if b == 0:
+            raise ZeroDivisionError("division by zero in GF(2^m)")
+        if a == 0:
+            return 0
+        return self._exp[self._log[a] - self._log[b] + self.order]
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse.
+
+        Raises:
+            ZeroDivisionError: if ``a`` is zero.
+        """
+        if a == 0:
+            raise ZeroDivisionError("zero has no inverse in GF(2^m)")
+        return self._exp[self.order - self._log[a]]
+
+    def pow(self, a: int, e: int) -> int:
+        """Raise ``a`` to integer power ``e`` (e may be negative)."""
+        if a == 0:
+            if e <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+            return 0
+        exponent = (self._log[a] * e) % self.order
+        return self._exp[exponent]
+
+    def alpha_pow(self, e: int) -> int:
+        """Return α^e where α is the primitive element."""
+        return self._exp[e % self.order]
+
+    def log(self, a: int) -> int:
+        """Discrete log base α.
+
+        Raises:
+            ValueError: if ``a`` is zero (log undefined).
+        """
+        if a == 0:
+            raise ValueError("log of zero is undefined")
+        return self._log[a]
+
+    def sqrt(self, a: int) -> int:
+        """Square root (unique in characteristic 2): a^(2^(m-1))."""
+        if a == 0:
+            return 0
+        return self.pow(a, 1 << (self.m - 1))
+
+
+# Shared singletons — table construction is cheap but there is no reason
+# to repeat it per codec instance.
+GF16 = GF2m(4)
+GF128 = GF2m(7)
+GF256 = GF2m(8)
+
+
+def poly_mul_gf2(a: int, b: int) -> int:
+    """Multiply two GF(2) polynomials packed into integers."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def poly_mod_gf2(a: int, mod: int) -> int:
+    """Reduce GF(2) polynomial ``a`` modulo ``mod``."""
+    if mod == 0:
+        raise ZeroDivisionError("polynomial modulus must be non-zero")
+    mod_degree = mod.bit_length() - 1
+    while a.bit_length() - 1 >= mod_degree and a:
+        shift = (a.bit_length() - 1) - mod_degree
+        a ^= mod << shift
+    return a
+
+
+def minimal_polynomial(field: GF2m, element: int) -> int:
+    """Minimal polynomial over GF(2) of ``element`` of ``field``.
+
+    Computed as the product of (x - c) over the conjugacy class
+    {element^(2^i)}; the result has coefficients in {0, 1} and is packed
+    into an integer (bit i = coefficient of x^i).
+    """
+    if element == 0:
+        return 0b10  # x
+    conjugates = []
+    current = element
+    while current not in conjugates:
+        conjugates.append(current)
+        current = field.mul(current, current)
+    # poly is a list of GF(2^m) coefficients, lowest degree first; start with 1.
+    poly = [1]
+    for conjugate in conjugates:
+        # poly *= (x + conjugate)
+        next_poly = [0] * (len(poly) + 1)
+        for degree, coeff in enumerate(poly):
+            next_poly[degree + 1] ^= coeff  # x * coeff
+            next_poly[degree] ^= field.mul(coeff, conjugate)
+        poly = next_poly
+    packed = 0
+    for degree, coeff in enumerate(poly):
+        if coeff not in (0, 1):
+            raise ArithmeticError(
+                "minimal polynomial has a coefficient outside GF(2); "
+                "conjugacy-class computation is inconsistent"
+            )
+        packed |= coeff << degree
+    return packed

@@ -1,0 +1,117 @@
+"""SEC-DED (72,64) extended Hamming code.
+
+The workhorse server ECC: corrects any single-bit error and detects any
+double-bit error per 64-bit word using 8 check bits (12.5 % added
+capacity — Table 1's "SEC-DED" row and the 12.5 % memory-cost premium the
+paper's Typical Server carries).
+
+Construction: the classic extended Hamming layout. Codeword positions are
+numbered 1..71 with check bits at the seven powers of two (1, 2, 4, 8,
+16, 32, 64) and data bits filling the rest; an overall even-parity bit
+occupies position 0. Decoding computes the 7-bit syndrome plus overall
+parity:
+
+==========================  =======================================
+syndrome == 0, parity even  no error
+parity odd                  single error at the syndrome position
+                            (or the parity bit itself) — corrected
+syndrome != 0, parity even  double error — detected, uncorrectable
+==========================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+from repro.utils.bitops import parity64
+
+_TOTAL_POSITIONS = 72  # positions 0..71; position 0 is the overall parity
+_CHECK_POSITIONS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _data_positions() -> List[int]:
+    """Positions 1..71 that are not powers of two (64 of them)."""
+    positions = [
+        position
+        for position in range(1, _TOTAL_POSITIONS)
+        if position not in _CHECK_POSITIONS
+    ]
+    if len(positions) != 64:
+        raise AssertionError("extended Hamming layout must yield 64 data positions")
+    return positions
+
+
+_DATA_POSITIONS = _data_positions()
+#: For each of the 7 syndrome bits, the mask of codeword positions it covers.
+_COVERAGE_MASKS = [
+    sum(
+        1 << position
+        for position in range(1, _TOTAL_POSITIONS)
+        if position & check_position
+    )
+    for check_position in _CHECK_POSITIONS
+]
+
+
+class SecDed(Codec):
+    """(72,64) single-error-correct, double-error-detect Hamming code."""
+
+    name = "SEC-DED"
+    data_bits = 64
+    code_bits = 72
+    added_logic = "low"
+    capability = "2/64 bits (1/64 bits)"
+
+    def encode(self, data: int) -> int:
+        """Scatter data into positions, then set check + parity bits."""
+        self._check_data(data)
+        codeword = 0
+        for bit_index, position in enumerate(_DATA_POSITIONS):
+            if (data >> bit_index) & 1:
+                codeword |= 1 << position
+        for check_index, check_position in enumerate(_CHECK_POSITIONS):
+            if parity64(codeword & _COVERAGE_MASKS[check_index]):
+                codeword |= 1 << check_position
+        # Overall parity over positions 1..71 stored at position 0.
+        codeword |= parity64(codeword >> 1) & 1
+        return codeword
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """SEC-DED decode per the table in the module docstring."""
+        self._check_codeword(codeword)
+        syndrome = 0
+        for check_index, check_position in enumerate(_CHECK_POSITIONS):
+            covered = codeword & (_COVERAGE_MASKS[check_index] | (1 << check_position))
+            if parity64(covered):
+                syndrome |= check_position
+        parity_odd = parity64(codeword) == 1
+        corrected_bits: List[int] = []
+        if syndrome == 0 and not parity_odd:
+            return DecodeResult(data=self._extract(codeword), status=DecodeStatus.OK)
+        if parity_odd:
+            # Single-bit error: at `syndrome` if non-zero, else the parity bit.
+            flip_position = syndrome if syndrome else 0
+            if flip_position >= _TOTAL_POSITIONS:
+                # Syndrome points outside the word: multi-bit corruption that
+                # aliased to an invalid position — uncorrectable.
+                return DecodeResult(
+                    data=self._extract(codeword), status=DecodeStatus.DETECTED
+                )
+            codeword ^= 1 << flip_position
+            corrected_bits.append(flip_position)
+            return DecodeResult(
+                data=self._extract(codeword),
+                status=DecodeStatus.CORRECTED,
+                corrected_bits=corrected_bits,
+            )
+        # Non-zero syndrome with even parity: double-bit error.
+        return DecodeResult(data=self._extract(codeword), status=DecodeStatus.DETECTED)
+
+    @staticmethod
+    def _extract(codeword: int) -> int:
+        data = 0
+        for bit_index, position in enumerate(_DATA_POSITIONS):
+            if (codeword >> position) & 1:
+                data |= 1 << bit_index
+        return data

@@ -1,0 +1,31 @@
+"""No detection / no correction — the consumer-PC configuration.
+
+Every error is silently consumed by the application; this is the
+zero-overhead end of the paper's design space (Table 4, "No
+detection/correction": "No associated overheads (low cost)" versus
+"Unpredictable crashes and silent data corruption").
+"""
+
+from __future__ import annotations
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+
+
+class NoProtection(Codec):
+    """Identity codec: zero check bits, never detects anything."""
+
+    name = "None"
+    data_bits = 64
+    code_bits = 64
+    added_logic = "none"
+    capability = "none (none)"
+
+    def encode(self, data: int) -> int:
+        """Return ``data`` unchanged."""
+        self._check_data(data)
+        return data
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Return the word as-is; corruption is invisible."""
+        self._check_codeword(codeword)
+        return DecodeResult(data=codeword, status=DecodeStatus.OK)

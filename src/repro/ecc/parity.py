@@ -1,0 +1,38 @@
+"""Single-bit parity over a 64-bit word.
+
+Detects any odd number of bit flips (the paper's Table 1 states
+"2^(n-1)/64 bits" detectable — i.e. all odd-weight error patterns),
+corrects nothing. One check bit per 64 data bits gives the 1.56 % added
+capacity in Table 1. Parity is the hardware half of the paper's
+Detect&Recover (Par+R) design: detection in hardware, correction by
+reloading a clean copy from persistent storage in software.
+"""
+
+from __future__ import annotations
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+from repro.utils.bitops import parity64
+
+
+class Parity(Codec):
+    """Even parity: codeword = data | parity_bit << 64."""
+
+    name = "Parity"
+    data_bits = 64
+    code_bits = 65
+    added_logic = "low"
+    capability = "2^(n-1)/64 bits (none)"
+
+    def encode(self, data: int) -> int:
+        """Append the even-parity bit above the data word."""
+        self._check_data(data)
+        return data | (parity64(data) << self.data_bits)
+
+    def decode(self, codeword: int) -> DecodeResult:
+        """Check parity; odd-weight corruption is DETECTED, never fixed."""
+        self._check_codeword(codeword)
+        data = codeword & ((1 << self.data_bits) - 1)
+        stored_parity = codeword >> self.data_bits
+        if parity64(data) == stored_parity:
+            return DecodeResult(data=data, status=DecodeStatus.OK)
+        return DecodeResult(data=data, status=DecodeStatus.DETECTED)

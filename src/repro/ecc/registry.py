@@ -1,0 +1,54 @@
+"""Registry of implemented ECC techniques, keyed by Table 1 names."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ecc.base import Codec
+from repro.ecc.chipkill import Chipkill
+from repro.ecc.dec_ted import DecTed
+from repro.ecc.hamming import SecDed
+from repro.ecc.mirroring import Mirroring
+from repro.ecc.none import NoProtection
+from repro.ecc.parity import Parity
+from repro.ecc.raim import Raim
+
+_FACTORIES: Dict[str, Callable[[], Codec]] = {
+    "None": NoProtection,
+    "Parity": Parity,
+    "SEC-DED": SecDed,
+    "DEC-TED": DecTed,
+    "Chipkill": Chipkill,
+    "RAIM": Raim,
+    "Mirroring": Mirroring,
+}
+
+
+def available_techniques() -> List[str]:
+    """Names of all implemented codec techniques, Table 1 order."""
+    return list(_FACTORIES)
+
+
+def make_codec(name: str) -> Codec:
+    """Instantiate the codec for technique ``name``.
+
+    Raises:
+        KeyError: for an unknown technique name.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        valid = ", ".join(_FACTORIES)
+        raise KeyError(f"unknown ECC technique '{name}' (expected one of {valid})")
+    return factory()
+
+
+def register_codec(name: str, factory: Callable[[], Codec]) -> None:
+    """Register a user-provided codec under ``name``.
+
+    Raises:
+        ValueError: if the name is already taken.
+    """
+    if name in _FACTORIES:
+        raise ValueError(f"ECC technique '{name}' is already registered")
+    _FACTORIES[name] = factory

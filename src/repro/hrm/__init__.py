@@ -1,0 +1,28 @@
+"""Executable HRM runtime (the paper's §VII future work, implemented).
+
+* :mod:`protected` — ECC-encoded storage with demand scrubbing and
+  software recovery from persistent copies (hardware detection +
+  software correction, running for real on the simulated substrate);
+* :mod:`channels` — Figure 9's per-channel heterogeneous provisioning
+  and placement planning.
+"""
+
+from repro.hrm.channels import (
+    ChannelAllocation,
+    ChannelPlan,
+    ChannelProvisionedMemory,
+    figure9_plan,
+)
+from repro.hrm.protected import (
+    ProtectedArray,
+    UncorrectableMemoryError,
+)
+
+__all__ = [
+    "ChannelAllocation",
+    "ChannelPlan",
+    "ChannelProvisionedMemory",
+    "figure9_plan",
+    "ProtectedArray",
+    "UncorrectableMemoryError",
+]

@@ -1,0 +1,152 @@
+"""Executable hardware-detection + software-recovery storage.
+
+The paper proposes (and leaves as future work, §VII) actually running
+data behind heterogeneous protection: errors detected by cheap hardware
+(parity) are corrected in software from a clean persistent copy, while
+stronger ECC corrects transparently. :class:`ProtectedArray` implements
+that pipeline over the simulated memory substrate:
+
+* data words are stored **encoded** (any :mod:`repro.ecc` codec) inside
+  a simulated region, so the existing injectors corrupt codewords the
+  same way they corrupt raw application data;
+* reads decode: ``CORRECTED`` words are scrubbed back to memory (demand
+  scrubbing, like real ECC controllers), ``DETECTED`` words invoke the
+  configured software recovery (the Par+R path) or raise
+  :class:`UncorrectableMemoryError` (machine check).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.ecc.base import Codec, DecodeStatus
+from repro.memory.address_space import AddressSpace
+from repro.memory.errors import SimulatedMemoryError
+
+
+class UncorrectableMemoryError(SimulatedMemoryError):
+    """A detected-but-uncorrectable word with no recovery path (MCE)."""
+
+    def __init__(self, addr: int, word_index: int):
+        self.word_index = word_index
+        super().__init__(
+            f"uncorrectable memory error in word {word_index} at 0x{addr:x}"
+        )
+
+
+#: Software recovery hook: word_index -> clean data word.
+RecoveryFn = Callable[[int], int]
+
+
+class ProtectedArray:
+    """A fixed-size array of data words stored as ECC codewords."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        base_addr: int,
+        word_count: int,
+        codec: Codec,
+        recovery: Optional[RecoveryFn] = None,
+        scrub_on_read: bool = True,
+    ) -> None:
+        if word_count <= 0:
+            raise ValueError(f"word_count must be positive, got {word_count}")
+        self._space = space
+        self._base = base_addr
+        self._codec = codec
+        self._recovery = recovery
+        self._scrub_on_read = scrub_on_read
+        self.word_count = word_count
+        self._slot_bytes = (codec.code_bits + 7) // 8
+        # Slots are byte-granular but the codeword is code_bits wide;
+        # the padding bits above code_bits correspond to no physical
+        # cell, so corruption there is discarded on read.
+        self._code_mask = (1 << codec.code_bits) - 1
+        # Telemetry matching what a memory controller/BIOS would report.
+        self.corrected_words = 0
+        self.detected_words = 0
+        self.recovered_words = 0
+
+    @property
+    def codec(self) -> Codec:
+        """The protecting codec."""
+        return self._codec
+
+    @property
+    def slot_bytes(self) -> int:
+        """Stored bytes per data word (capacity overhead made concrete)."""
+        return self._slot_bytes
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total simulated-memory footprint of the array."""
+        return self.word_count * self._slot_bytes
+
+    def slot_addr(self, index: int) -> int:
+        """Address of the stored codeword for word ``index``.
+
+        Raises:
+            IndexError: if the index is out of range.
+        """
+        if not 0 <= index < self.word_count:
+            raise IndexError(f"word index {index} out of range")
+        return self._base + index * self._slot_bytes
+
+    # ------------------------------------------------------------------
+    def write(self, index: int, value: int) -> None:
+        """Encode and store a data word."""
+        codeword = self._codec.encode(value)
+        self._space.write(
+            self.slot_addr(index),
+            codeword.to_bytes(self._slot_bytes, "little"),
+        )
+
+    def read(self, index: int) -> int:
+        """Load, decode, and (if needed) repair or recover a data word.
+
+        Raises:
+            UncorrectableMemoryError: on a detected-uncorrectable word
+                with no recovery hook.
+        """
+        addr = self.slot_addr(index)
+        raw = self._space.read(addr, self._slot_bytes)
+        result = self._codec.decode(int.from_bytes(raw, "little") & self._code_mask)
+        if result.status is DecodeStatus.OK:
+            return result.data
+        if result.status is DecodeStatus.CORRECTED:
+            self.corrected_words += 1
+            if self._scrub_on_read:
+                # Demand scrub: rewrite the clean codeword so transient
+                # errors do not accumulate into uncorrectable ones.
+                self._space.write(
+                    addr,
+                    self._codec.encode(result.data).to_bytes(
+                        self._slot_bytes, "little"
+                    ),
+                )
+            return result.data
+        self.detected_words += 1
+        if self._recovery is None:
+            raise UncorrectableMemoryError(addr, index)
+        clean = self._recovery(index)
+        self.write(index, clean)
+        self.recovered_words += 1
+        return clean
+
+    def scrub(self) -> dict:
+        """Patrol pass over every word; returns repair counts.
+
+        Raises:
+            UncorrectableMemoryError: via :meth:`read` when an
+                unrecoverable word is found (real scrubbers raise an MCE
+                or retire the page here).
+        """
+        corrected_before = self.corrected_words
+        recovered_before = self.recovered_words
+        for index in range(self.word_count):
+            self.read(index)
+        return {
+            "corrected": self.corrected_words - corrected_before,
+            "recovered": self.recovered_words - recovered_before,
+        }

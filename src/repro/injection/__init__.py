@@ -1,0 +1,25 @@
+"""Error-injection framework (paper §IV-A)."""
+
+from repro.injection.hard_error import PeriodicReapplier
+from repro.injection.injector import (
+    MULTI_BIT_HARD,
+    MULTI_BIT_SOFT,
+    SINGLE_BIT_HARD,
+    SINGLE_BIT_SOFT,
+    ErrorInjector,
+    ErrorSpec,
+    InjectionRecord,
+)
+from repro.injection.sampler import AddressSampler
+
+__all__ = [
+    "PeriodicReapplier",
+    "MULTI_BIT_HARD",
+    "MULTI_BIT_SOFT",
+    "SINGLE_BIT_HARD",
+    "SINGLE_BIT_SOFT",
+    "ErrorInjector",
+    "ErrorSpec",
+    "InjectionRecord",
+    "AddressSampler",
+]

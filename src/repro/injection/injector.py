@@ -1,0 +1,172 @@
+"""Controlled memory-error injection (the paper's Algorithm 1a).
+
+:class:`ErrorInjector` emulates the paper's error types against a
+simulated address space:
+
+* **single-bit soft** — one random bit of a sampled byte is flipped once;
+* **multi-bit soft** — lines 3-4 of Algorithm 1(a) repeated with
+  different bit indices within the same 64-bit word;
+* **single-/multi-bit hard** — the same patterns installed as stuck-at
+  faults that survive overwrites (see :mod:`repro.memory.faults`);
+* **correlated footprints** — optional DRAM-geometry-aware patterns
+  (whole row/chip) drawn from :class:`~repro.dram.DramFaultModel` for
+  the extension experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dram.fault_models import DramFaultModel
+from repro.injection.sampler import AddressSampler
+from repro.memory.address_space import AddressSpace
+from repro.memory.faults import FaultKind, InjectedFault
+from repro.memory.regions import Region
+
+
+@dataclass(frozen=True)
+class ErrorSpec:
+    """A named error type: kind (soft/hard) and bit multiplicity.
+
+    The ``bits`` count is the number of distinct bit flips injected; for
+    multi-bit errors the flips land in the same 64-bit word (adjacent
+    cells on the same row), matching how multi-bit DRAM faults manifest.
+    """
+
+    kind: FaultKind
+    bits: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"bits must be >= 1, got {self.bits}")
+        if self.bits > 64:
+            raise ValueError(f"multi-bit spec limited to one word (64), got {self.bits}")
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``"single-bit soft"``."""
+        multiplicity = "single-bit" if self.bits == 1 else f"{self.bits}-bit"
+        return f"{multiplicity} {self.kind.value}"
+
+
+#: The three error types characterized in the paper's Figure 6.
+SINGLE_BIT_SOFT = ErrorSpec(FaultKind.SOFT, 1)
+SINGLE_BIT_HARD = ErrorSpec(FaultKind.HARD, 1)
+MULTI_BIT_HARD = ErrorSpec(FaultKind.HARD, 2)
+#: Additional severity point used by the severity-sweep extension.
+MULTI_BIT_SOFT = ErrorSpec(FaultKind.SOFT, 2)
+
+
+@dataclass
+class InjectionRecord:
+    """Everything about one injection event (for logging/analysis)."""
+
+    spec: ErrorSpec
+    faults: List[InjectedFault] = field(default_factory=list)
+
+    @property
+    def addresses(self) -> List[int]:
+        """Byte addresses affected by this injection."""
+        return [fault.addr for fault in self.faults]
+
+    @property
+    def anchor_addr(self) -> int:
+        """The sampled address the injection was anchored at."""
+        if not self.faults:
+            raise ValueError("injection record is empty")
+        return self.faults[0].addr
+
+
+class ErrorInjector:
+    """Injects error specs into an address space at sampled addresses."""
+
+    def __init__(self, space: AddressSpace, rng: random.Random) -> None:
+        self._space = space
+        self._rng = rng
+        self.sampler = AddressSampler(space, rng)
+
+    def inject(
+        self,
+        spec: ErrorSpec,
+        addr: Optional[int] = None,
+        region: Optional[Region] = None,
+        ranges: Optional[List] = None,
+    ) -> InjectionRecord:
+        """Inject one error of type ``spec``.
+
+        Args:
+            spec: Error kind and multiplicity.
+            addr: Anchor byte address; sampled if not given.
+            ranges: Explicit (base, end) live-data spans to sample from
+                (preferred; ignored when ``addr`` is given).
+            region: Restrict sampling to this region (used when neither
+                ``addr`` nor ``ranges`` is given).
+
+        Returns:
+            The injection record with all installed faults.
+        """
+        if addr is None:
+            if ranges is not None:
+                addr = self.sampler.sample_from_ranges(ranges)
+            else:
+                addr = self.sampler.sample(region)
+        record = InjectionRecord(spec=spec)
+        # Choose distinct bit positions within the 64-bit word containing
+        # the anchor byte; the first flip always lands in the anchor byte
+        # itself so per-address statistics stay meaningful.
+        word_base = addr - (addr % 8)
+        region_of_addr = self._space.region_at(addr)
+        if region_of_addr is None:
+            raise ValueError(f"anchor address 0x{addr:x} is unmapped")
+        # Clamp the word to the region so flips never escape into guards.
+        word_limit = min(word_base + 8, region_of_addr.end)
+        word_base = max(word_base, region_of_addr.base)
+        anchor_bit = self._rng.randrange(8)
+        positions = [(addr, anchor_bit)]
+        available = [
+            (byte_addr, bit)
+            for byte_addr in range(word_base, word_limit)
+            for bit in range(8)
+            if (byte_addr, bit) != (addr, anchor_bit)
+        ]
+        extra = self._rng.sample(available, min(spec.bits - 1, len(available)))
+        positions.extend(extra)
+        for byte_addr, bit in positions:
+            if spec.kind is FaultKind.SOFT:
+                fault = self._space.inject_soft_flip(byte_addr, bit)
+            else:
+                fault = self._space.inject_hard_fault(byte_addr, bit)
+            record.faults.append(fault)
+        return record
+
+    def inject_footprint(self, model: DramFaultModel, scale_to_space: bool = True) -> InjectionRecord:
+        """Inject a geometry-correlated fault footprint (extension).
+
+        Draws a footprint from ``model`` (whose geometry is typically far
+        larger than the simulated space) and, when ``scale_to_space`` is
+        set, maps each footprint address onto the mapped portion of this
+        space by modular folding — preserving the footprint's spatial
+        *pattern density* while landing inside real application data.
+        """
+        footprint = model.draw(self._rng)
+        record = InjectionRecord(spec=ErrorSpec(footprint.kind, 1))
+        mapped = self._space.mapped_ranges()
+        total_mapped = sum(end - base for base, end in mapped)
+        for raw_addr, bit in zip(footprint.addresses, footprint.bits):
+            addr = raw_addr
+            if scale_to_space:
+                offset = raw_addr % total_mapped
+                for base, end in mapped:
+                    span = end - base
+                    if offset < span:
+                        addr = base + offset
+                        break
+                    offset -= span
+            if footprint.kind is FaultKind.SOFT:
+                fault = self._space.inject_soft_flip(addr, bit)
+            else:
+                fault = self._space.inject_hard_fault(addr, bit)
+            record.faults.append(fault)
+        return record

@@ -1,0 +1,108 @@
+"""Address sampling — the paper's ``getMappedAddr()`` (Algorithm 1a, line 1).
+
+Selects valid byte-aligned addresses from an application's mapped
+memory, either uniformly over all mapped bytes (which automatically
+weights regions by size, as the paper's sampling does) or restricted to
+one region (for the per-region characterizations of Figures 4-6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.regions import Region, RegionKind
+
+
+class AddressSampler:
+    """Draws sample addresses from the mapped regions of a space."""
+
+    def __init__(self, space: AddressSpace, rng: random.Random) -> None:
+        self._space = space
+        self._rng = rng
+
+    def sample(self, region: Optional[Region] = None) -> int:
+        """Return one mapped byte address.
+
+        Args:
+            region: Restrict sampling to this region; None samples over
+                all mapped bytes (size-weighted across regions).
+        """
+        if region is not None:
+            return region.base + self._rng.randrange(region.size)
+        regions = self._space.regions
+        weights = [candidate.size for candidate in regions]
+        chosen = self._rng.choices(regions, weights=weights, k=1)[0]
+        return chosen.base + self._rng.randrange(chosen.size)
+
+    def sample_from_ranges(self, ranges: Sequence[Tuple[int, int]]) -> int:
+        """Sample one address from explicit (base, end) spans, size-weighted.
+
+        Used with :meth:`repro.apps.base.Workload.sample_ranges` so
+        injections target live application data instead of free space.
+
+        Raises:
+            ValueError: for empty or degenerate spans.
+        """
+        spans = [(base, end) for base, end in ranges if end > base]
+        if not spans:
+            raise ValueError("sample_from_ranges requires at least one non-empty span")
+        weights = [end - base for base, end in spans]
+        base, end = self._rng.choices(spans, weights=weights, k=1)[0]
+        return base + self._rng.randrange(end - base)
+
+    def sample_many(self, count: int, region: Optional[Region] = None) -> List[int]:
+        """Return ``count`` sample addresses (with replacement)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.sample(region) for _ in range(count)]
+
+    def sample_unique(self, count: int, region: Optional[Region] = None) -> List[int]:
+        """Return ``count`` distinct addresses.
+
+        Raises:
+            ValueError: if the region cannot supply that many addresses.
+        """
+        capacity = region.size if region is not None else sum(
+            candidate.size for candidate in self._space.regions
+        )
+        if count > capacity:
+            raise ValueError(
+                f"cannot sample {count} unique addresses from {capacity} bytes"
+            )
+        seen: set = set()
+        result: List[int] = []
+        while len(result) < count:
+            addr = self.sample(region)
+            if addr not in seen:
+                seen.add(addr)
+                result.append(addr)
+        return result
+
+    def sample_per_region(
+        self, total: int, kinds: Optional[Sequence[RegionKind]] = None
+    ) -> dict:
+        """Sample ``total`` addresses split across regions by size.
+
+        Mirrors the paper's Figure 5(b) methodology ("the number of
+        sampled addresses in each memory region roughly proportional to
+        the size of that region"), with every region receiving at least
+        one sample.
+
+        Returns:
+            Mapping of region name to list of sampled addresses.
+        """
+        regions = [
+            region
+            for region in self._space.regions
+            if kinds is None or region.kind in kinds
+        ]
+        if not regions:
+            raise ValueError("no regions match the requested kinds")
+        total_size = sum(region.size for region in regions)
+        plan = {}
+        for region in regions:
+            share = max(1, round(total * region.size / total_size))
+            plan[region.name] = self.sample_many(share, region)
+        return plan

@@ -1,0 +1,559 @@
+"""Byte-addressable simulated application address space.
+
+This module is the load-bearing substitution of the reproduction (see
+DESIGN.md): instead of flipping bits in a native process with a debugger
+as the paper does, the workloads serialize *all* of their state into an
+:class:`AddressSpace`, and the error-injection framework flips bits in it
+directly. Because application control data (offsets, lengths, counts)
+lives in the same simulated bytes as payload data, injected errors
+propagate exactly as in the paper's taxonomy — masked by overwrite,
+masked by logic, incorrect output, or crash (via
+:class:`~repro.memory.errors.SegmentationFault` and friends).
+
+Facilities provided:
+
+* region-mapped reads/writes with guard-gap fault semantics,
+* typed accessors (``read_u32``, ``write_f64``, ...),
+* a logical clock that advances on every access (used for safe-ratio and
+  recoverability analyses),
+* soft bit flips and stuck-at hard faults (:mod:`repro.memory.faults`),
+* software watchpoints equivalent to the paper's ``awatch`` usage,
+* per-region access counters and optional per-page write tracking,
+* snapshot/restore for fast campaign trial resets.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.memory.errors import ProtectionFault, SegmentationFault
+from repro.memory.faults import FaultKind, FaultLog, HardFaultOverlay, InjectedFault
+from repro.memory.regions import (
+    PAGE_SIZE,
+    MemoryLayout,
+    Region,
+    RegionSpec,
+)
+
+#: Signature of a watchpoint callback: (addr, is_store, byte_value, time).
+WatchCallback = Callable[[int, bool, int, int], None]
+
+_STRUCT_F32 = struct.Struct("<f")
+_STRUCT_F64 = struct.Struct("<d")
+
+
+class MemorySnapshot:
+    """Opaque snapshot of an address space's contents and clock.
+
+    Captures raw memory and the logical clock but *not* injected faults,
+    watchpoints, or access statistics — restoring a snapshot models
+    restarting the application with pristine data (step 1 of the paper's
+    Figure 2 loop), after which fresh faults are injected.
+    """
+
+    __slots__ = ("mem", "time")
+
+    def __init__(self, mem: bytes, time: int) -> None:
+        self.mem = mem
+        self.time = time
+
+
+class AddressSpace:
+    """A simulated process address space with fault-injection support."""
+
+    def __init__(self, layout: MemoryLayout) -> None:
+        self._layout = layout
+        self._size = layout.total_size
+        self._mem = bytearray(self._size)
+        self.regions: List[Region] = layout.regions
+        # Coarse page -> region-index map for O(1) bounds/region checks.
+        page_map = [-1] * ((self._size + PAGE_SIZE - 1) // PAGE_SIZE)
+        for region in self.regions:
+            for page in range(region.base // PAGE_SIZE, region.end // PAGE_SIZE):
+                page_map[page] = region.index
+        self._page_map = page_map
+        self._time = 0
+        # Per-region access counters (bytes loaded / stored, access counts).
+        n = len(self.regions)
+        self._load_bytes = [0] * n
+        self._store_bytes = [0] * n
+        self._load_ops = [0] * n
+        self._store_ops = [0] * n
+        # Fault machinery.
+        self._overlay = HardFaultOverlay()
+        self.fault_log = FaultLog()
+        # Watchpoints: addr -> list of callbacks.
+        self._watchpoints: Dict[int, List[WatchCallback]] = {}
+        # Disturbance couplings: aggressor addr -> [(victim, bit, prob, rng)].
+        self._disturbances: Dict[int, List] = {}
+        # Consumption tracking for injected fault addresses (used by the
+        # outcome taxonomy): addr -> [reads_before_overwrite, overwritten].
+        self._tracked_faults: Dict[int, List[int]] = {}
+        # Optional per-page write tracking for recoverability analysis.
+        self._page_write_tracking = False
+        self._page_write_counts: Dict[int, int] = {}
+        self._page_last_write: Dict[int, int] = {}
+        self._page_first_write: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Total span of the address space including guard gaps."""
+        return self._size
+
+    @property
+    def layout(self) -> MemoryLayout:
+        """The layout this space was built from."""
+        return self._layout
+
+    @property
+    def time(self) -> int:
+        """Current logical time (advances by 1 per access)."""
+        return self._time
+
+    def advance_time(self, units: int) -> None:
+        """Advance the logical clock, e.g. to model think time between queries."""
+        if units < 0:
+            raise ValueError(f"time units must be non-negative, got {units}")
+        self._time += units
+
+    def region_named(self, name: str) -> Region:
+        """Return the region called ``name`` (KeyError if absent)."""
+        return self._layout.region_named(name)
+
+    def region_at(self, addr: int) -> Optional[Region]:
+        """Return the region containing ``addr``, or None for guard gaps."""
+        if 0 <= addr < self._size:
+            index = self._page_map[addr // PAGE_SIZE]
+            if index >= 0:
+                return self.regions[index]
+        return None
+
+    def mapped_ranges(self) -> List[Tuple[int, int]]:
+        """Return (base, end) for every mapped region, in address order."""
+        return [(region.base, region.end) for region in self.regions]
+
+    # ------------------------------------------------------------------
+    # Checked access path (what applications use)
+    # ------------------------------------------------------------------
+    def _region_index_for(self, addr: int, n: int) -> int:
+        """Validate an access and return its region index.
+
+        Raises:
+            SegmentationFault: for unmapped, out-of-bounds, or
+                region-straddling accesses.
+        """
+        if n <= 0:
+            raise SegmentationFault(addr, n, "non-positive access size")
+        end = addr + n - 1
+        if addr < 0 or end >= self._size:
+            raise SegmentationFault(addr, n, "address out of bounds")
+        index = self._page_map[addr // PAGE_SIZE]
+        if index < 0:
+            raise SegmentationFault(addr, n, "unmapped address")
+        region = self.regions[index]
+        if end >= region.end:
+            raise SegmentationFault(addr, n, "access crosses region boundary")
+        return index
+
+    def read(self, addr: int, n: int) -> bytes:
+        """Load ``n`` bytes from ``addr`` with full fault/watch semantics."""
+        index = self._region_index_for(addr, n)
+        self._time += 1
+        self._load_ops[index] += 1
+        self._load_bytes[index] += n
+        data = bytes(self._mem[addr : addr + n])
+        if self._overlay:
+            data = self._apply_overlay(addr, data)
+        if self._tracked_faults:
+            self._note_tracked(addr, n, is_store=False)
+        if self._disturbances:
+            self._fire_disturbances(addr, n)
+        if self._watchpoints:
+            self._fire_watchpoints(addr, data, is_store=False)
+        return data
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Store ``data`` at ``addr`` with full fault/watch semantics.
+
+        Raises:
+            ProtectionFault: if the target region is frozen.
+        """
+        n = len(data)
+        index = self._region_index_for(addr, n)
+        region = self.regions[index]
+        if region.frozen:
+            raise ProtectionFault(addr, region.name)
+        self._time += 1
+        self._store_ops[index] += 1
+        self._store_bytes[index] += n
+        self._mem[addr : addr + n] = data
+        if self._tracked_faults:
+            self._note_tracked(addr, n, is_store=True)
+        if self._page_write_tracking:
+            self._note_page_writes(addr, n)
+        if self._watchpoints:
+            self._fire_watchpoints(addr, data, is_store=True)
+
+    def _apply_overlay(self, addr: int, data: bytes) -> bytes:
+        end = addr + len(data)
+        patched: Optional[bytearray] = None
+        for fault_addr in self._overlay.faulty_addresses():
+            if addr <= fault_addr < end:
+                if patched is None:
+                    patched = bytearray(data)
+                offset = fault_addr - addr
+                patched[offset] = self._overlay.apply(fault_addr, patched[offset])
+        return bytes(patched) if patched is not None else data
+
+    def _note_tracked(self, addr: int, n: int, is_store: bool) -> None:
+        end = addr + n
+        for fault_addr, state in self._tracked_faults.items():
+            if addr <= fault_addr < end:
+                if is_store:
+                    state[1] = 1
+                elif not state[1]:
+                    state[0] += 1
+
+    def _note_page_writes(self, addr: int, n: int) -> None:
+        now = self._time
+        for page in range(addr // PAGE_SIZE, (addr + n - 1) // PAGE_SIZE + 1):
+            self._page_write_counts[page] = self._page_write_counts.get(page, 0) + 1
+            self._page_last_write[page] = now
+            if page not in self._page_first_write:
+                self._page_first_write[page] = now
+
+    def _fire_disturbances(self, addr: int, n: int) -> None:
+        end = addr + n
+        for aggressor, couplings in self._disturbances.items():
+            if addr <= aggressor < end:
+                for coupling in couplings:
+                    victim, bit, probability, rng = coupling
+                    if rng.random() < probability:
+                        self._mem[victim] ^= 1 << bit
+                        fault = InjectedFault(
+                            addr=victim,
+                            bit=bit,
+                            kind=FaultKind.DISTURBANCE,
+                            stuck_value=(self._mem[victim] >> bit) & 1,
+                            injected_at=self._time,
+                        )
+                        self.fault_log.record(fault)
+                        self._tracked_faults.setdefault(victim, [0, 0])
+
+    def _fire_watchpoints(self, addr: int, data: bytes, is_store: bool) -> None:
+        now = self._time
+        watchpoints = self._watchpoints
+        for offset, byte in enumerate(data):
+            callbacks = watchpoints.get(addr + offset)
+            if callbacks:
+                for callback in callbacks:
+                    callback(addr + offset, is_store, byte, now)
+
+    # ------------------------------------------------------------------
+    # Typed accessors
+    # ------------------------------------------------------------------
+    def read_u8(self, addr: int) -> int:
+        """Load one unsigned byte."""
+        return self.read(addr, 1)[0]
+
+    def read_u16(self, addr: int) -> int:
+        """Load an unsigned little-endian 16-bit integer."""
+        return int.from_bytes(self.read(addr, 2), "little")
+
+    def read_u32(self, addr: int) -> int:
+        """Load an unsigned little-endian 32-bit integer."""
+        return int.from_bytes(self.read(addr, 4), "little")
+
+    def read_u64(self, addr: int) -> int:
+        """Load an unsigned little-endian 64-bit integer."""
+        return int.from_bytes(self.read(addr, 8), "little")
+
+    def read_i32(self, addr: int) -> int:
+        """Load a signed little-endian 32-bit integer."""
+        return int.from_bytes(self.read(addr, 4), "little", signed=True)
+
+    def read_f32(self, addr: int) -> float:
+        """Load a little-endian IEEE-754 single."""
+        return _STRUCT_F32.unpack(self.read(addr, 4))[0]
+
+    def read_f64(self, addr: int) -> float:
+        """Load a little-endian IEEE-754 double."""
+        return _STRUCT_F64.unpack(self.read(addr, 8))[0]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        """Store one unsigned byte."""
+        self.write(addr, bytes(((value & 0xFF),)))
+
+    def write_u16(self, addr: int, value: int) -> None:
+        """Store an unsigned little-endian 16-bit integer."""
+        self.write(addr, (value & 0xFFFF).to_bytes(2, "little"))
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Store an unsigned little-endian 32-bit integer."""
+        self.write(addr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def write_u64(self, addr: int, value: int) -> None:
+        """Store an unsigned little-endian 64-bit integer."""
+        self.write(addr, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+
+    def write_f32(self, addr: int, value: float) -> None:
+        """Store a little-endian IEEE-754 single.
+
+        Doubles beyond f32 range overflow to ±infinity, matching IEEE
+        double→single conversion in hardware.
+        """
+        try:
+            packed = _STRUCT_F32.pack(value)
+        except (OverflowError, ValueError):
+            packed = _STRUCT_F32.pack(
+                float("inf") if value > 0 else float("-inf")
+            )
+        self.write(addr, packed)
+
+    def write_f64(self, addr: int, value: float) -> None:
+        """Store a little-endian IEEE-754 double."""
+        self.write(addr, _STRUCT_F64.pack(value))
+
+    # ------------------------------------------------------------------
+    # Raw access path (hardware / framework side, bypasses all semantics)
+    # ------------------------------------------------------------------
+    def peek(self, addr: int, n: int = 1) -> bytes:
+        """Read raw stored bytes without clock, counters, faults, or watchpoints.
+
+        This is the debugger's-eye view used by the injector and by
+        recovery code: it sees the *stored* value, before any stuck-at
+        overlay is applied.
+        """
+        if addr < 0 or addr + n > self._size:
+            raise SegmentationFault(addr, n, "peek out of bounds")
+        return bytes(self._mem[addr : addr + n])
+
+    def poke(self, addr: int, data: bytes) -> None:
+        """Write raw bytes, ignoring frozen regions and watchpoints.
+
+        Used by the injector (hardware errors do not respect page
+        protection) and by software recovery (restoring a clean copy).
+        """
+        if addr < 0 or addr + len(data) > self._size:
+            raise SegmentationFault(addr, len(data), "poke out of bounds")
+        self._mem[addr : addr + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def inject_soft_flip(self, addr: int, bit: int) -> InjectedFault:
+        """Flip one stored bit (transient error), Algorithm 1(a) of the paper."""
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index must be in [0, 8), got {bit}")
+        if self.region_at(addr) is None:
+            raise SegmentationFault(addr, 1, "soft-error injection at unmapped address")
+        self._mem[addr] ^= 1 << bit
+        fault = InjectedFault(
+            addr=addr,
+            bit=bit,
+            kind=FaultKind.SOFT,
+            stuck_value=(self._mem[addr] >> bit) & 1,
+            injected_at=self._time,
+        )
+        self.fault_log.record(fault)
+        self._tracked_faults.setdefault(addr, [0, 0])
+        return fault
+
+    def inject_hard_fault(self, addr: int, bit: int, stuck_value: Optional[int] = None) -> InjectedFault:
+        """Install a stuck-at bit (recurring error).
+
+        If ``stuck_value`` is None the bit is stuck at the *complement* of
+        its current value, matching the paper's flip-and-reapply emulation.
+        """
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index must be in [0, 8), got {bit}")
+        if self.region_at(addr) is None:
+            raise SegmentationFault(addr, 1, "hard-error injection at unmapped address")
+        if stuck_value is None:
+            stuck_value = 1 - ((self._mem[addr] >> bit) & 1)
+        self._overlay.add_stuck_bit(addr, bit, stuck_value)
+        fault = InjectedFault(
+            addr=addr,
+            bit=bit,
+            kind=FaultKind.HARD,
+            stuck_value=stuck_value,
+            injected_at=self._time,
+        )
+        self.fault_log.record(fault)
+        self._tracked_faults.setdefault(addr, [0, 0])
+        return fault
+
+    def install_disturbance(
+        self,
+        aggressor_addr: int,
+        victim_addr: int,
+        bit: int,
+        probability: float,
+        rng,
+    ) -> None:
+        """Couple an aggressor and a victim cell (disturbance fault).
+
+        Every *load* touching ``aggressor_addr`` flips ``bit`` of the
+        byte at ``victim_addr`` with the given probability — the
+        access-pattern-dependent failure mode (RowHammer-style
+        disturbance, data-retention weakness under neighbouring
+        activations) the paper's footnote 2 highlights. Flips are
+        recorded in the fault log as :attr:`FaultKind.DISTURBANCE`.
+
+        Raises:
+            SegmentationFault: if either address is unmapped.
+            ValueError: for an invalid bit index or probability.
+        """
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index must be in [0, 8), got {bit}")
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        for label, check_addr in (("aggressor", aggressor_addr), ("victim", victim_addr)):
+            if self.region_at(check_addr) is None:
+                raise SegmentationFault(
+                    check_addr, 1, f"disturbance {label} at unmapped address"
+                )
+        self._disturbances.setdefault(aggressor_addr, []).append(
+            (victim_addr, bit, probability, rng)
+        )
+
+    def clear_faults(self) -> None:
+        """Remove all injected faults, their log, and consumption tracking."""
+        self._overlay.clear()
+        self.fault_log.clear()
+        self._tracked_faults.clear()
+        self._disturbances.clear()
+
+    def fault_consumption(self, addr: int) -> Tuple[int, bool]:
+        """Return (reads_before_overwrite, overwritten) for a fault address.
+
+        Used by the taxonomy to distinguish *masked by overwrite* (never
+        read before being overwritten) from *consumed* errors.
+
+        Raises:
+            KeyError: if no fault was injected at ``addr``.
+        """
+        state = self._tracked_faults[addr]
+        return state[0], bool(state[1])
+
+    def correct_value_of(self, addr: int) -> int:
+        """Return the value the byte at ``addr`` *should* hold.
+
+        For soft faults this is unknowable after the fact, so callers
+        needing golden data must consult a snapshot or backing store; this
+        helper simply exposes the stored byte without the hard-fault
+        overlay, which is what a repair of the stuck cell would reveal.
+        """
+        return self._mem[addr]
+
+    # ------------------------------------------------------------------
+    # Region protection
+    # ------------------------------------------------------------------
+    def freeze_region(self, name: str) -> None:
+        """Mark a region read-only (e.g. after building a file-mapped index)."""
+        self.region_named(name).frozen = True
+
+    def thaw_region(self, name: str) -> None:
+        """Allow writes to a previously frozen region."""
+        self.region_named(name).frozen = False
+
+    # ------------------------------------------------------------------
+    # Watchpoints
+    # ------------------------------------------------------------------
+    def add_watchpoint(self, addr: int, callback: WatchCallback) -> None:
+        """Invoke ``callback`` on every load/store touching byte ``addr``.
+
+        Equivalent to GDB's ``awatch`` used by the paper's monitoring
+        framework (Algorithm 1(b)).
+        """
+        if self.region_at(addr) is None:
+            raise SegmentationFault(addr, 1, "watchpoint at unmapped address")
+        self._watchpoints.setdefault(addr, []).append(callback)
+
+    def remove_watchpoint(self, addr: int, callback: WatchCallback) -> None:
+        """Remove a previously registered watchpoint callback."""
+        callbacks = self._watchpoints.get(addr)
+        if not callbacks or callback not in callbacks:
+            raise KeyError(f"no such watchpoint at 0x{addr:x}")
+        callbacks.remove(callback)
+        if not callbacks:
+            del self._watchpoints[addr]
+
+    def clear_watchpoints(self) -> None:
+        """Remove all watchpoints."""
+        self._watchpoints.clear()
+
+    # ------------------------------------------------------------------
+    # Access statistics
+    # ------------------------------------------------------------------
+    def access_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-region load/store counters since construction (or reset)."""
+        stats: Dict[str, Dict[str, int]] = {}
+        for region in self.regions:
+            i = region.index
+            stats[region.name] = {
+                "load_ops": self._load_ops[i],
+                "store_ops": self._store_ops[i],
+                "load_bytes": self._load_bytes[i],
+                "store_bytes": self._store_bytes[i],
+            }
+        return stats
+
+    def reset_access_stats(self) -> None:
+        """Zero all per-region counters and page write tracking."""
+        n = len(self.regions)
+        self._load_bytes = [0] * n
+        self._store_bytes = [0] * n
+        self._load_ops = [0] * n
+        self._store_ops = [0] * n
+        self._page_write_counts.clear()
+        self._page_last_write.clear()
+        self._page_first_write.clear()
+
+    def enable_page_write_tracking(self) -> None:
+        """Start recording per-page write counts and timestamps."""
+        self._page_write_tracking = True
+
+    def disable_page_write_tracking(self) -> None:
+        """Stop recording per-page write statistics (data is retained)."""
+        self._page_write_tracking = False
+
+    def page_write_stats(self) -> Dict[int, Dict[str, int]]:
+        """Return {page_index: {count, first_write, last_write}}."""
+        return {
+            page: {
+                "count": count,
+                "first_write": self._page_first_write[page],
+                "last_write": self._page_last_write[page],
+            }
+            for page, count in self._page_write_counts.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MemorySnapshot:
+        """Capture memory contents + clock for later restoration."""
+        return MemorySnapshot(bytes(self._mem), self._time)
+
+    def restore(self, snap: MemorySnapshot) -> None:
+        """Restore a snapshot: clears faults, keeps watchpoints/stats.
+
+        Models an application restart with pristine data (Figure 2 step 1).
+        """
+        if len(snap.mem) != self._size:
+            raise ValueError(
+                f"snapshot size {len(snap.mem)} does not match space size {self._size}"
+            )
+        self._mem[:] = snap.mem
+        self._time = snap.time
+        self.clear_faults()
+
+
+def build_address_space(specs: Sequence[RegionSpec]) -> AddressSpace:
+    """Convenience constructor from a list of region specs."""
+    return AddressSpace(MemoryLayout(list(specs)))

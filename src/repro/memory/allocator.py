@@ -1,0 +1,217 @@
+"""First-fit heap allocator with in-memory block headers.
+
+The allocator manages the *heap* region of a simulated address space.
+Each allocated block is preceded by an 8-byte header stored **inside the
+simulated memory** — 4 bytes of size and a 4-byte magic/checksum word —
+so that bit flips landing in allocator metadata are detected exactly the
+way a real allocator detects them: a corrupted header observed during
+``free``/``realloc`` raises :class:`HeapCorruptionError`, which the
+workload harness treats as an application crash. This reproduces the
+paper's observation that heap errors can crash an application even when
+payload data would have been tolerated.
+
+Free-space bookkeeping (the free list) is kept on the Python side for
+speed; only per-block headers are exposed to fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.errors import AllocationError, HeapCorruptionError
+from repro.memory.regions import Region
+
+#: Bytes of header preceding every allocated block (size + magic).
+HEADER_SIZE = 8
+#: Allocation granularity; keeps blocks aligned for typed accessors.
+ALIGNMENT = 8
+_MAGIC_BASE = 0x5A5A0000
+
+
+def _header_magic(size: int) -> int:
+    """Magic word derived from the block size; detects size corruption too."""
+    return (_MAGIC_BASE ^ (size * 2654435761)) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class AllocationInfo:
+    """Metadata about a live allocation (payload address and size)."""
+
+    addr: int
+    size: int
+
+
+class HeapAllocator:
+    """First-fit allocator with coalescing free list over one region."""
+
+    def __init__(self, space: AddressSpace, region: Region) -> None:
+        self._space = space
+        self._region = region
+        # Free list of (base, size) spans, kept sorted by base address.
+        self._free: List[Tuple[int, int]] = [(region.base, region.size)]
+        self._live: Dict[int, int] = {}  # payload addr -> payload size
+        self._peak_bytes = 0
+        self._allocated_bytes = 0
+
+    @property
+    def region(self) -> Region:
+        """The heap region being managed."""
+        return self._region
+
+    @property
+    def live_allocations(self) -> int:
+        """Number of currently live blocks."""
+        return len(self._live)
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total live payload bytes."""
+        return self._allocated_bytes
+
+    @property
+    def peak_bytes(self) -> int:
+        """High-water mark of live payload bytes."""
+        return self._peak_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Total bytes available in the free list (excludes headers)."""
+        return sum(size for _, size in self._free)
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` payload bytes; returns the payload address.
+
+        Raises:
+            AllocationError: for non-positive sizes or exhausted heap.
+        """
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        padded = HEADER_SIZE + ((size + ALIGNMENT - 1) // ALIGNMENT) * ALIGNMENT
+        for index, (base, span) in enumerate(self._free):
+            if span >= padded:
+                remainder = span - padded
+                if remainder:
+                    self._free[index] = (base + padded, remainder)
+                else:
+                    del self._free[index]
+                payload = base + HEADER_SIZE
+                self._write_header(base, padded)
+                self._live[payload] = padded
+                self._allocated_bytes += padded - HEADER_SIZE
+                self._peak_bytes = max(self._peak_bytes, self._allocated_bytes)
+                return payload
+        raise AllocationError(
+            f"out of heap memory: requested {size} B, {self.free_bytes} B free "
+            f"(fragmented across {len(self._free)} spans)"
+        )
+
+    def calloc(self, size: int) -> int:
+        """Allocate ``size`` zeroed payload bytes."""
+        addr = self.malloc(size)
+        self._space.write(addr, bytes(size))
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Release a block previously returned by :meth:`malloc`.
+
+        Raises:
+            AllocationError: for an address that is not a live allocation.
+            HeapCorruptionError: if the block header fails validation —
+                the simulated-memory analogue of a glibc heap abort.
+        """
+        padded = self._live.pop(addr, None)
+        if padded is None:
+            raise AllocationError(f"free of non-allocated address 0x{addr:x}")
+        self._validate_header(addr - HEADER_SIZE, padded)
+        self._allocated_bytes -= padded - HEADER_SIZE
+        self._insert_free_span(addr - HEADER_SIZE, padded)
+
+    def usable_size(self, addr: int) -> int:
+        """Return the payload capacity of a live block."""
+        padded = self._live.get(addr)
+        if padded is None:
+            raise AllocationError(f"usable_size of non-allocated address 0x{addr:x}")
+        return padded - HEADER_SIZE
+
+    def state(self) -> dict:
+        """Capture the allocator's bookkeeping for later restoration.
+
+        Pairs with :meth:`restore_state` and a memory snapshot: restoring
+        both returns the heap to a bit- and metadata-consistent past
+        state (used by workload checkpoints when operations allocate and
+        free after build, e.g. key-value DELETEs).
+        """
+        return {
+            "free": list(self._free),
+            "live": dict(self._live),
+            "allocated_bytes": self._allocated_bytes,
+            "peak_bytes": self._peak_bytes,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore bookkeeping captured by :meth:`state`."""
+        self._free = list(state["free"])
+        self._live = dict(state["live"])
+        self._allocated_bytes = state["allocated_bytes"]
+        self._peak_bytes = state["peak_bytes"]
+
+    def live_spans(self) -> List[Tuple[int, int]]:
+        """(base, end) of every live block including its header.
+
+        Used by samplers that must target *application data* rather than
+        free heap space (the paper's ``getMappedAddr`` only returns
+        addresses where "a program has data stored").
+        """
+        spans = [
+            (addr - HEADER_SIZE, addr - HEADER_SIZE + padded)
+            for addr, padded in self._live.items()
+        ]
+        spans.sort()
+        return spans
+
+    def check_integrity(self) -> None:
+        """Validate every live block header (a heap-consistency sweep).
+
+        Raises:
+            HeapCorruptionError: on the first corrupted header found.
+        """
+        for addr, padded in self._live.items():
+            self._validate_header(addr - HEADER_SIZE, padded)
+
+    # ------------------------------------------------------------------
+    def _write_header(self, base: int, padded: int) -> None:
+        space = self._space
+        space.write_u32(base, padded)
+        space.write_u32(base + 4, _header_magic(padded))
+
+    def _validate_header(self, base: int, padded: int) -> None:
+        space = self._space
+        stored_size = space.read_u32(base)
+        stored_magic = space.read_u32(base + 4)
+        if stored_size != padded or stored_magic != _header_magic(padded):
+            raise HeapCorruptionError(
+                base,
+                f"header mismatch (size {stored_size} vs {padded}, "
+                f"magic 0x{stored_magic:x})",
+            )
+
+    def _insert_free_span(self, base: int, size: int) -> None:
+        """Insert a span into the sorted free list, coalescing neighbours."""
+        free = self._free
+        lo, hi = 0, len(free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if free[mid][0] < base:
+                lo = mid + 1
+            else:
+                hi = mid
+        free.insert(lo, (base, size))
+        # Coalesce with successor then predecessor.
+        if lo + 1 < len(free) and free[lo][0] + free[lo][1] == free[lo + 1][0]:
+            free[lo] = (free[lo][0], free[lo][1] + free[lo + 1][1])
+            del free[lo + 1]
+        if lo > 0 and free[lo - 1][0] + free[lo - 1][1] == free[lo][0]:
+            free[lo - 1] = (free[lo - 1][0], free[lo - 1][1] + free[lo][1])
+            del free[lo]

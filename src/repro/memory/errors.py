@@ -1,0 +1,60 @@
+"""Exception types raised by the simulated memory subsystem.
+
+These play the role of hardware traps in the real system: an application
+running on the simulated :class:`~repro.memory.address_space.AddressSpace`
+that dereferences a corrupted offset receives a
+:class:`SegmentationFault`, which the workload harness interprets as an
+application crash (outcome 2.3 in the paper's Figure 1 taxonomy).
+"""
+
+from __future__ import annotations
+
+
+class SimulatedMemoryError(Exception):
+    """Base class for all simulated-memory faults and misuse errors."""
+
+
+class SegmentationFault(SimulatedMemoryError):
+    """Access to an unmapped or out-of-bounds simulated address."""
+
+    def __init__(self, addr: int, size: int, reason: str = "unmapped address"):
+        self.addr = addr
+        self.size = size
+        super().__init__(f"segmentation fault: {reason} at 0x{addr:x} (+{size})")
+
+
+class ProtectionFault(SimulatedMemoryError):
+    """Write to a frozen (read-only) region, e.g. a file-mapped index."""
+
+    def __init__(self, addr: int, region_name: str):
+        self.addr = addr
+        self.region_name = region_name
+        super().__init__(
+            f"protection fault: write to read-only region '{region_name}' "
+            f"at 0x{addr:x}"
+        )
+
+
+class AllocationError(SimulatedMemoryError):
+    """The heap allocator could not satisfy a request."""
+
+
+class HeapCorruptionError(SimulatedMemoryError):
+    """Allocator metadata stored in simulated memory failed validation.
+
+    This is the analogue of glibc's ``malloc(): corrupted`` abort — a bit
+    flip landing in a block header is detected when the block is freed or
+    reallocated, and takes the application down.
+    """
+
+    def __init__(self, addr: int, detail: str):
+        self.addr = addr
+        super().__init__(f"heap corruption at 0x{addr:x}: {detail}")
+
+
+class StackOverflowError(SimulatedMemoryError):
+    """The simulated stack region ran out of space."""
+
+
+class LayoutError(SimulatedMemoryError):
+    """Invalid region layout (overlap, bad size, duplicate name)."""

@@ -1,0 +1,162 @@
+"""Simulated persistent storage (disk/flash) behind the address space.
+
+Two paper mechanisms depend on a persistent clean copy of data:
+
+* **Implicit recoverability** (§III-C): file-mapped, read-only data — the
+  WebSearch index — can be re-read from disk after an error is detected.
+* **Explicit recoverability / Par+R** (§VI-B): the OS keeps a backup of
+  infrequently-written pages, flushed every ≈5 minutes, and restores a
+  page when parity detects an error.
+
+:class:`BackingStore` is a content-addressed dictionary standing in for
+the disk; :class:`RegionBacking` connects a store file to a region and
+implements page-granularity recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.regions import PAGE_SIZE, Region
+
+
+class BackingStore:
+    """In-memory stand-in for a disk: named immutable-by-default files."""
+
+    def __init__(self) -> None:
+        self._files: Dict[str, bytes] = {}
+        self.read_ops = 0
+        self.write_ops = 0
+
+    def store(self, path: str, data: bytes) -> None:
+        """Write (or overwrite) the file at ``path``."""
+        self._files[path] = bytes(data)
+        self.write_ops += 1
+
+    def load(self, path: str) -> bytes:
+        """Read the file at ``path``.
+
+        Raises:
+            FileNotFoundError: if the file does not exist.
+        """
+        if path not in self._files:
+            raise FileNotFoundError(f"no such backing file: {path}")
+        self.read_ops += 1
+        return self._files[path]
+
+    def exists(self, path: str) -> bool:
+        """Whether a file exists at ``path``."""
+        return path in self._files
+
+    def size_of(self, path: str) -> int:
+        """Size in bytes of the file at ``path``."""
+        return len(self.load(path))
+
+    def paths(self) -> List[str]:
+        """All stored file paths."""
+        return sorted(self._files)
+
+
+@dataclass
+class RecoveryStats:
+    """Counters describing software recovery activity."""
+
+    pages_recovered: int = 0
+    bytes_recovered: int = 0
+    flushes: int = 0
+
+
+@dataclass
+class RegionBacking:
+    """Binds a region of simulated memory to a backing-store file.
+
+    For a read-only file mapping (``writable=False``) the file holds the
+    build-time contents and never changes — recovery always has a clean
+    copy (implicit recoverability). For a writable backing
+    (``writable=True``, the Par+R scheme) :meth:`flush` must be called
+    periodically to refresh the on-disk copy; recovery then restores the
+    most recent flush, which is correct as long as the page was not
+    modified after the last flush.
+    """
+
+    space: AddressSpace
+    region: Region
+    store: BackingStore
+    path: str
+    writable: bool = False
+    stats: RecoveryStats = field(default_factory=RecoveryStats)
+
+    def mirror_current_contents(self) -> None:
+        """Copy the region's current bytes to the backing file."""
+        data = self.space.peek(self.region.base, self.region.size)
+        self.store.store(self.path, data)
+        self.stats.flushes += 1
+
+    def flush(self) -> None:
+        """Refresh the on-disk copy (Par+R periodic flush).
+
+        Raises:
+            PermissionError: on a read-only backing, which must never be
+                rewritten (it is the golden copy).
+        """
+        if not self.writable:
+            raise PermissionError(
+                f"backing '{self.path}' is read-only; flush is only valid "
+                "for Par+R writable backings"
+            )
+        self.mirror_current_contents()
+
+    def recover_page(self, addr: int) -> None:
+        """Restore the 4 KB page containing ``addr`` from the backing file.
+
+        Raises:
+            ValueError: if ``addr`` is outside the backed region.
+        """
+        if not self.region.contains(addr):
+            raise ValueError(
+                f"address 0x{addr:x} outside backed region '{self.region.name}'"
+            )
+        page_base = self.region.base + ((addr - self.region.base) // PAGE_SIZE) * PAGE_SIZE
+        offset = page_base - self.region.base
+        clean = self.store.load(self.path)[offset : offset + PAGE_SIZE]
+        self.space.poke(page_base, clean)
+        self.stats.pages_recovered += 1
+        self.stats.bytes_recovered += len(clean)
+
+    def recover_region(self) -> None:
+        """Restore the entire region from the backing file."""
+        clean = self.store.load(self.path)
+        self.space.poke(self.region.base, clean)
+        self.stats.pages_recovered += self.region.page_count
+        self.stats.bytes_recovered += len(clean)
+
+
+def mmap_region(
+    space: AddressSpace,
+    region_name: str,
+    store: BackingStore,
+    path: str,
+    freeze: bool = True,
+) -> RegionBacking:
+    """Map a backing file into a region (simulated read-only ``mmap``).
+
+    Loads the file contents into the region, optionally freezes it, and
+    returns the :class:`RegionBacking` for later recovery.
+
+    Raises:
+        ValueError: if the file is larger than the region.
+    """
+    region = space.region_named(region_name)
+    data = store.load(path)
+    if len(data) > region.size:
+        raise ValueError(
+            f"file '{path}' ({len(data)} B) larger than region "
+            f"'{region_name}' ({region.size} B)"
+        )
+    space.poke(region.base, data)
+    if freeze:
+        space.freeze_region(region_name)
+    region.file_backed = True
+    return RegionBacking(space=space, region=region, store=store, path=path, writable=False)

@@ -1,0 +1,199 @@
+"""Logical memory regions of an application address space.
+
+The paper (Table 2) partitions an application's data into *private*
+(pre-allocated, user-managed, e.g. ``VirtualAlloc``/``mmap``), *heap*
+(dynamically allocated), *stack* (function parameters and locals), and
+*other* (code, managed heap). The characterization methodology and the
+heterogeneous-reliability mapping both operate at this granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.memory.errors import LayoutError
+
+#: Default page size used for page-granularity analyses (region retirement,
+#: recoverability, page→region lookup). Matches the ~4 KB granularity the
+#: paper cites for page retirement.
+PAGE_SIZE = 4096
+
+
+class RegionKind(enum.Enum):
+    """The paper's Table 2 region taxonomy."""
+
+    PRIVATE = "private"
+    HEAP = "heap"
+    STACK = "stack"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class RegionSpec:
+    """Declarative description of a region used to build an address space.
+
+    Attributes:
+        name: Unique region name (e.g. ``"private"``).
+        kind: The Table 2 classification of the region.
+        size: Region size in bytes; rounded up to a page multiple.
+        file_backed: Whether a clean copy of the region's initial contents
+            exists in simulated persistent storage (enables *implicit*
+            recoverability per paper §III-C).
+    """
+
+    name: str
+    kind: RegionKind
+    size: int
+    file_backed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise LayoutError(f"region '{self.name}' must have positive size")
+        # Round up to a whole number of pages so page-level analyses are exact.
+        remainder = self.size % PAGE_SIZE
+        if remainder:
+            self.size += PAGE_SIZE - remainder
+
+
+@dataclass
+class Region:
+    """A mapped region inside an :class:`AddressSpace`.
+
+    Attributes:
+        name: Unique region name.
+        kind: Region classification.
+        base: First valid address of the region.
+        size: Size in bytes (page multiple).
+        file_backed: Whether the initial contents have a persistent copy.
+        frozen: Whether application writes are rejected (read-only mapping).
+        index: Dense region id assigned by the address space.
+    """
+
+    name: str
+    kind: RegionKind
+    base: int
+    size: int
+    file_backed: bool = False
+    frozen: bool = False
+    index: int = -1
+
+    @property
+    def end(self) -> int:
+        """One past the last valid address."""
+        return self.base + self.size
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages spanned by the region."""
+        return self.size // PAGE_SIZE
+
+    def contains(self, addr: int) -> bool:
+        """Return True if ``addr`` lies within the region."""
+        return self.base <= addr < self.end
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"Region({self.name}/{self.kind.value}: "
+            f"0x{self.base:x}-0x{self.end:x}, {self.size} B)"
+        )
+
+
+@dataclass
+class MemoryLayout:
+    """Computes region placement with guard gaps between regions.
+
+    Guard gaps ensure that a corrupted pointer that walks off the end of a
+    region faults (as it would with real unmapped pages) instead of
+    silently reading a neighbouring region.
+    """
+
+    specs: List[RegionSpec]
+    guard_pages: int = 1
+    null_guard_pages: int = 1
+
+    regions: List[Region] = field(init=False, default_factory=list)
+    total_size: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise LayoutError("layout requires at least one region")
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise LayoutError(f"duplicate region names in layout: {names}")
+        if self.guard_pages < 0 or self.null_guard_pages < 0:
+            raise LayoutError("guard page counts must be non-negative")
+        cursor = self.null_guard_pages * PAGE_SIZE
+        for index, spec in enumerate(self.specs):
+            region = Region(
+                name=spec.name,
+                kind=spec.kind,
+                base=cursor,
+                size=spec.size,
+                file_backed=spec.file_backed,
+                index=index,
+            )
+            self.regions.append(region)
+            cursor = region.end + self.guard_pages * PAGE_SIZE
+        self.total_size = cursor
+
+    def region_named(self, name: str) -> Region:
+        """Return the region called ``name``.
+
+        Raises:
+            KeyError: if no region has that name.
+        """
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise KeyError(f"no region named '{name}'")
+
+    def regions_of_kind(self, kind: RegionKind) -> List[Region]:
+        """Return all regions of classification ``kind``."""
+        return [region for region in self.regions if region.kind is kind]
+
+
+def standard_layout(
+    private_size: int = 0,
+    heap_size: int = 0,
+    stack_size: int = 0,
+    other_size: int = 0,
+    private_file_backed: bool = True,
+) -> MemoryLayout:
+    """Build the canonical private/heap/stack layout used by the workloads.
+
+    Regions with zero size are omitted (e.g. Memcached and GraphLab have no
+    private region in Table 3).
+    """
+    specs: List[RegionSpec] = []
+    if private_size:
+        specs.append(
+            RegionSpec(
+                "private",
+                RegionKind.PRIVATE,
+                private_size,
+                file_backed=private_file_backed,
+            )
+        )
+    if heap_size:
+        specs.append(RegionSpec("heap", RegionKind.HEAP, heap_size))
+    if stack_size:
+        specs.append(RegionSpec("stack", RegionKind.STACK, stack_size))
+    if other_size:
+        specs.append(RegionSpec("other", RegionKind.OTHER, other_size))
+    if not specs:
+        raise LayoutError("standard_layout requires at least one non-zero region")
+    return MemoryLayout(specs)
+
+
+def region_kind_from_string(value: str) -> RegionKind:
+    """Parse a region kind from a string, case-insensitively."""
+    try:
+        return RegionKind(value.lower())
+    except ValueError as exc:
+        valid = ", ".join(kind.value for kind in RegionKind)
+        raise ValueError(f"unknown region kind '{value}' (expected one of {valid})") from exc

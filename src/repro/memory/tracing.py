@@ -1,0 +1,77 @@
+"""Access-trace recording built on top of watchpoints.
+
+The paper's Algorithm 1(b) attaches a hardware watchpoint to a sampled
+address and logs ``(value, load-or-store, time)`` on every access. The
+:class:`AccessTrace` here is the software equivalent: it accumulates
+:class:`AccessEvent` records that the safe-ratio and recoverability
+analyses (:mod:`repro.core.safe_ratio`, :mod:`repro.monitoring`) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.memory.address_space import AddressSpace
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One observed access to a watched byte."""
+
+    addr: int
+    is_store: bool
+    value: int
+    time: int
+
+    @property
+    def kind(self) -> str:
+        """``"store"`` or ``"load"`` — convenient for display and filters."""
+        return "store" if self.is_store else "load"
+
+
+@dataclass
+class AccessTrace:
+    """Collects access events for a set of watched addresses."""
+
+    events: List[AccessEvent] = field(default_factory=list)
+    _attached: Dict[int, AddressSpace] = field(default_factory=dict)
+
+    def record(self, addr: int, is_store: bool, value: int, time: int) -> None:
+        """Watchpoint callback; appends one event."""
+        self.events.append(AccessEvent(addr, is_store, value, time))
+
+    def attach(self, space: AddressSpace, addr: int) -> None:
+        """Watch ``addr`` in ``space``, logging into this trace."""
+        space.add_watchpoint(addr, self.record)
+        self._attached[addr] = space
+
+    def detach_all(self) -> None:
+        """Remove every watchpoint this trace installed."""
+        for addr, space in self._attached.items():
+            try:
+                space.remove_watchpoint(addr, self.record)
+            except KeyError:
+                pass  # space may have been cleared wholesale
+        self._attached.clear()
+
+    def events_for(self, addr: int) -> List[AccessEvent]:
+        """All events observed at ``addr``, in time order."""
+        return [event for event in self.events if event.addr == addr]
+
+    def by_address(self) -> Dict[int, List[AccessEvent]]:
+        """Group events by address, preserving time order within each."""
+        grouped: Dict[int, List[AccessEvent]] = {}
+        for event in self.events:
+            grouped.setdefault(event.addr, []).append(event)
+        return grouped
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[AccessEvent]:
+        return iter(self.events)

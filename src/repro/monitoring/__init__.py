@@ -1,0 +1,20 @@
+"""Memory access monitoring framework (paper §IV-B)."""
+
+from repro.monitoring.analysis import (
+    PageWriteInterval,
+    RegionSafeRatioReport,
+    TimeScale,
+    page_write_intervals,
+    safe_ratio_report,
+)
+from repro.monitoring.monitor import AccessMonitor, MonitoringResult
+
+__all__ = [
+    "PageWriteInterval",
+    "RegionSafeRatioReport",
+    "TimeScale",
+    "page_write_intervals",
+    "safe_ratio_report",
+    "AccessMonitor",
+    "MonitoringResult",
+]

@@ -1,0 +1,121 @@
+"""Access monitoring over sampled addresses (paper Algorithm 1b).
+
+:class:`AccessMonitor` is the software-watchpoint counterpart of the
+paper's debugger framework: it samples addresses (proportionally to
+region sizes), installs watchpoints, runs a caller-provided workload
+driver, and returns the per-address event streams for safe-ratio and
+recoverability analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.injection.sampler import AddressSampler
+from repro.memory.address_space import AddressSpace
+from repro.memory.regions import Region
+from repro.memory.tracing import AccessEvent, AccessTrace
+
+
+@dataclass
+class MonitoringResult:
+    """Traces gathered by one monitoring session."""
+
+    start_time: int
+    end_time: int
+    traces: Dict[int, List[AccessEvent]] = field(default_factory=dict)
+    region_of_addr: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> int:
+        """Logical time covered by the session."""
+        return self.end_time - self.start_time
+
+    def addresses_in_region(self, region_name: str) -> List[int]:
+        """Sampled addresses belonging to ``region_name``."""
+        return [
+            addr
+            for addr, name in self.region_of_addr.items()
+            if name == region_name
+        ]
+
+    def traces_for_region(self, region_name: str) -> Dict[int, List[AccessEvent]]:
+        """Event streams restricted to one region's sampled addresses."""
+        return {
+            addr: self.traces[addr]
+            for addr in self.addresses_in_region(region_name)
+        }
+
+
+class AccessMonitor:
+    """Samples addresses, watches them, and records their access events."""
+
+    def __init__(self, space: AddressSpace, rng: random.Random) -> None:
+        self._space = space
+        self._rng = rng
+        self._sampler = AddressSampler(space, rng)
+
+    def monitor(
+        self,
+        driver: Callable[[], None],
+        sample_count: int = 256,
+        addresses: Optional[Sequence[int]] = None,
+        regions: Optional[Sequence[Region]] = None,
+    ) -> MonitoringResult:
+        """Run ``driver()`` while watching sampled addresses.
+
+        Args:
+            driver: Callable that exercises the application (e.g. replays
+                a client workload).
+            sample_count: Number of addresses to sample when explicit
+                ``addresses`` are not given.
+            addresses: Exact addresses to watch (overrides sampling).
+            regions: Restrict sampling to these regions (split
+                proportionally to size).
+
+        Returns:
+            The per-address event streams and session time bounds.
+        """
+        if addresses is None:
+            if regions:
+                addresses = []
+                total = sum(region.size for region in regions)
+                for region in regions:
+                    share = max(1, round(sample_count * region.size / total))
+                    addresses.extend(self._sampler.sample_many(share, region))
+            else:
+                addresses = self._sampler.sample_many(sample_count)
+        trace = AccessTrace()
+        watched: List[int] = []
+        for addr in addresses:
+            if addr not in watched:
+                trace.attach(self._space, addr)
+                watched.append(addr)
+        start_time = self._space.time
+        try:
+            driver()
+        finally:
+            trace.detach_all()
+        end_time = self._space.time
+        result = MonitoringResult(start_time=start_time, end_time=end_time)
+        grouped = trace.by_address()
+        for addr in watched:
+            result.traces[addr] = grouped.get(addr, [])
+            region = self._space.region_at(addr)
+            result.region_of_addr[addr] = region.name if region else "?"
+        return result
+
+    def monitor_page_writes(self, driver: Callable[[], None]) -> Dict[int, Dict[str, int]]:
+        """Run ``driver()`` with page-granularity write tracking enabled.
+
+        Returns the per-page write statistics used by the explicit-
+        recoverability analysis (write interval >= 5 minutes on average).
+        """
+        self._space.enable_page_write_tracking()
+        try:
+            driver()
+        finally:
+            self._space.disable_page_write_tracking()
+        return self._space.page_write_stats()

@@ -1,0 +1,46 @@
+"""Shared low-level utilities: bit manipulation, statistics, seeded RNG."""
+
+from repro.utils.bitops import (
+    bit_count,
+    extract_bit,
+    flip_bit,
+    flip_bits,
+    hamming_distance,
+    parity64,
+    set_bit,
+    to_bits,
+    from_bits,
+)
+from repro.utils.rng import SeedSequenceFactory, derive_seed
+from repro.utils.stats import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    summarize_samples,
+    wilson_interval,
+)
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "bit_count",
+    "extract_bit",
+    "flip_bit",
+    "flip_bits",
+    "hamming_distance",
+    "parity64",
+    "set_bit",
+    "to_bits",
+    "from_bits",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "summarize_samples",
+    "wilson_interval",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+]

@@ -1,0 +1,149 @@
+"""Statistics helpers for characterization results.
+
+The paper reports crash probabilities with 90 % confidence intervals
+(Figures 3, 4, 6) and incorrectness rates with min/max error bars. The
+helpers here compute those summaries from raw trial outcomes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+# Two-sided z value for a 90 % confidence level (the paper's choice).
+Z_90 = 1.6448536269514722
+# Two-sided z value for a 95 % confidence level.
+Z_95 = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a symmetric-or-not confidence interval."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not (self.lower <= self.estimate <= self.upper):
+            raise ValueError(
+                f"interval [{self.lower}, {self.upper}] does not contain "
+                f"estimate {self.estimate}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+
+    @property
+    def half_width(self) -> float:
+        """Half the interval width (useful for ± display)."""
+        return (self.upper - self.lower) / 2.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.estimate:.4g} "
+            f"[{self.lower:.4g}, {self.upper:.4g}] @ {self.confidence:.0%}"
+        )
+
+
+def _z_for_confidence(confidence: float) -> float:
+    if math.isclose(confidence, 0.90, abs_tol=1e-9):
+        return Z_90
+    if math.isclose(confidence, 0.95, abs_tol=1e-9):
+        return Z_95
+    # Inverse error function via Newton iterations on the normal CDF; this
+    # avoids a scipy dependency in the core package for arbitrary levels.
+    target = 1.0 - (1.0 - confidence) / 2.0
+    z = 1.0
+    for _ in range(60):
+        cdf = 0.5 * (1.0 + math.erf(z / math.sqrt(2.0)))
+        pdf = math.exp(-0.5 * z * z) / math.sqrt(2.0 * math.pi)
+        if pdf == 0.0:
+            break
+        z -= (cdf - target) / pdf
+    return z
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.90
+) -> ConfidenceInterval:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because characterization
+    campaigns frequently observe zero or very few crashes, where the
+    normal interval degenerates.
+
+    Raises:
+        ValueError: if ``trials`` is not positive or ``successes`` is out
+            of range.
+    """
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(f"successes {successes} out of range for {trials} trials")
+    z = _z_for_confidence(confidence)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1.0 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    # Clamp to [0, 1] and guarantee the point estimate is contained even
+    # under floating-point rounding at the p_hat = 0 or 1 extremes (where
+    # the Wilson bound is exactly 0 or 1 analytically).
+    lower = min(max(0.0, centre - margin), p_hat)
+    upper = max(min(1.0, centre + margin), p_hat)
+    return ConfidenceInterval(p_hat, lower, upper, confidence)
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.90
+) -> ConfidenceInterval:
+    """Normal-approximation confidence interval for a sample mean."""
+    if not samples:
+        raise ValueError("samples must be non-empty")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return ConfidenceInterval(mean, mean, mean, confidence)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    sem = math.sqrt(variance / n)
+    z = _z_for_confidence(confidence)
+    return ConfidenceInterval(mean, mean - z * sem, mean + z * sem, confidence)
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Five-number-style summary of a sample used by the safe-ratio plots."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    stddev: float
+
+
+def summarize_samples(samples: Sequence[float]) -> SampleSummary:
+    """Return count/mean/min/max/stddev of ``samples``.
+
+    Raises:
+        ValueError: if ``samples`` is empty.
+    """
+    if not samples:
+        raise ValueError("samples must be non-empty")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n > 1:
+        stddev = math.sqrt(sum((x - mean) ** 2 for x in samples) / (n - 1))
+    else:
+        stddev = 0.0
+    return SampleSummary(
+        count=n,
+        mean=mean,
+        minimum=min(samples),
+        maximum=max(samples),
+        stddev=stddev,
+    )

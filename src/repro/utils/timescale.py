@@ -1,0 +1,33 @@
+"""Conversion between logical clock units and simulated wall time.
+
+The address-space clock ticks once per memory access; workloads declare
+how many units correspond to one simulated minute so that thresholds
+expressed in minutes (the paper's 5-minute explicit-recoverability rule,
+the 10-minute crash-recovery time) can be applied to logical
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimeScale:
+    """Logical-units ↔ simulated-minutes conversion."""
+
+    units_per_minute: float
+
+    def __post_init__(self) -> None:
+        if self.units_per_minute <= 0:
+            raise ValueError(
+                f"units_per_minute must be positive, got {self.units_per_minute}"
+            )
+
+    def minutes(self, units: float) -> float:
+        """Convert logical units to simulated minutes."""
+        return units / self.units_per_minute
+
+    def units(self, minutes: float) -> float:
+        """Convert simulated minutes to logical units."""
+        return minutes * self.units_per_minute

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite.
+
+Workload fixtures are session-scoped because building an application
+(corpus generation, index serialization, graph construction) costs
+hundreds of milliseconds; tests that need pristine state call
+``workload.reset()`` — which is exactly what the campaign does between
+trials, so the tests exercise the same reset path.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.graphmining import GraphMining
+from repro.apps.kvstore import KVStoreWorkload
+from repro.apps.websearch import WebSearch
+from repro.memory import AddressSpace, standard_layout
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    """A small three-region address space."""
+    layout = standard_layout(
+        private_size=65536, heap_size=65536, stack_size=8192
+    )
+    return AddressSpace(layout)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for tests."""
+    return random.Random(12345)
+
+
+def _built(workload):
+    workload.build()
+    workload.checkpoint()
+    return workload
+
+
+@pytest.fixture(scope="session")
+def websearch_small() -> WebSearch:
+    """A small, fully built WebSearch instance (shared; reset() before use)."""
+    return _built(
+        WebSearch(
+            vocabulary_size=400, doc_count=300, query_count=120, heap_size=65536
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def kvstore_small() -> KVStoreWorkload:
+    """A small, fully built key-value store workload."""
+    return _built(KVStoreWorkload(key_count=500, op_count=200, heap_size=262144))
+
+
+@pytest.fixture(scope="session")
+def graphmining_small() -> GraphMining:
+    """A small, fully built graph-mining workload."""
+    return _built(
+        GraphMining(vertex_count=150, edges_per_vertex=6, iterations=4, jobs=2)
+    )

@@ -1,0 +1,129 @@
+"""Integration: the characterization campaign end-to-end (Figure 2)."""
+
+import json
+
+import pytest
+
+from repro.apps.websearch import WebSearch
+from repro.core.campaign import (
+    CampaignConfig,
+    CharacterizationCampaign,
+    load_or_run_profile,
+)
+from repro.core.taxonomy import ErrorOutcome
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.injection import SINGLE_BIT_HARD, SINGLE_BIT_SOFT
+
+CONFIG = CampaignConfig(trials_per_cell=6, queries_per_trial=40, seed=7)
+
+
+@pytest.fixture(scope="module")
+def campaign(websearch_small_module):
+    runner = CharacterizationCampaign(websearch_small_module, CONFIG)
+    runner.prepare()
+    return runner
+
+
+@pytest.fixture(scope="module")
+def websearch_small_module():
+    workload = WebSearch(
+        vocabulary_size=300, doc_count=200, query_count=80, heap_size=65536
+    )
+    return workload
+
+
+class TestCampaign:
+    def test_trials_classified_exhaustively(self, campaign):
+        trial = campaign.run_trial("private", SINGLE_BIT_SOFT)
+        assert isinstance(trial.outcome, ErrorOutcome)
+        assert trial.region == "private"
+        assert trial.responded + trial.failed <= CONFIG.queries_per_trial
+
+    def test_run_produces_full_profile(self, campaign):
+        profile = campaign.run(
+            regions=["private", "stack"],
+            specs=(SINGLE_BIT_SOFT, SINGLE_BIT_HARD),
+            trials_per_cell=4,
+        )
+        assert set(profile.regions()) == {"private", "stack"}
+        assert set(profile.error_labels()) == {
+            "single-bit soft",
+            "single-bit hard",
+        }
+        for cell in profile.cells.values():
+            assert cell.trials == 4
+            counted = sum(cell.outcome_counts.values())
+            assert counted == 4  # taxonomy partitions every trial
+
+    def test_campaign_deterministic(self):
+        def run_once():
+            workload = WebSearch(
+                vocabulary_size=300, doc_count=200, query_count=80, heap_size=65536
+            )
+            runner = CharacterizationCampaign(workload, CONFIG)
+            runner.prepare()
+            profile = runner.run(regions=["stack"], specs=(SINGLE_BIT_SOFT,),
+                                 trials_per_cell=5)
+            return profile.to_dict()
+
+        assert run_once() == run_once()
+
+    def test_live_region_sizes_positive(self, campaign):
+        sizes = campaign.live_region_sizes()
+        assert all(size > 0 for size in sizes.values())
+        heap = campaign.workload.space.region_named("heap")
+        assert sizes["heap"] < heap.size  # live data only, not slack
+
+    def test_trial_resets_leave_no_faults(self, campaign):
+        campaign.run_trial("heap", SINGLE_BIT_SOFT)
+        campaign.workload.reset()
+        assert len(campaign.workload.space.fault_log) == 0
+
+    def test_effect_delay_only_for_visible_outcomes(self, campaign):
+        profile = campaign.run(
+            regions=["stack"], specs=(SINGLE_BIT_HARD,), trials_per_cell=8
+        )
+        cell = profile.cell("stack", "single-bit hard")
+        visible = cell.crashes + cell.incorrect_trials
+        assert len(cell.effect_delay_minutes) >= 0
+        assert len(cell.effect_delay_minutes) <= cell.trials
+        assert len(cell.crash_delay_minutes) <= max(1, cell.crashes)
+        assert visible >= len(cell.crash_delay_minutes) - cell.crashes
+
+
+class TestProfileCache:
+    def test_cache_roundtrip(self, tmp_path):
+        cache = tmp_path / "profile.json"
+
+        def factory():
+            return WebSearch(
+                vocabulary_size=300, doc_count=200, query_count=80,
+                heap_size=65536,
+            )
+
+        config = CampaignConfig(trials_per_cell=3, queries_per_trial=30, seed=5)
+        first = load_or_run_profile(
+            factory, config, cache_path=cache, regions=["stack"]
+        )
+        assert cache.exists()
+        second = load_or_run_profile(
+            factory, config, cache_path=cache, regions=["stack"]
+        )
+        assert second.to_dict() == first.to_dict()
+
+    def test_corrupt_cache_remeasured(self, tmp_path):
+        cache = tmp_path / "profile.json"
+        cache.write_text("{not json")
+
+        def factory():
+            return WebSearch(
+                vocabulary_size=300, doc_count=200, query_count=80,
+                heap_size=65536,
+            )
+
+        config = CampaignConfig(trials_per_cell=2, queries_per_trial=20, seed=5)
+        profile = load_or_run_profile(
+            factory, config, cache_path=cache, regions=["stack"]
+        )
+        assert isinstance(profile, VulnerabilityProfile)
+        json.loads(cache.read_text())  # cache rewritten valid

@@ -1,0 +1,74 @@
+"""Integration: recoverability analysis over the real workloads (Table 5)."""
+
+import pytest
+
+from repro.core.recoverability import (
+    analyze_recoverability,
+    overall_recoverability,
+)
+
+
+class TestWebSearchRecoverability:
+    @pytest.fixture(scope="class")
+    def reports(self, websearch_small):
+        websearch_small.reset()
+        return analyze_recoverability(websearch_small, queries=100)
+
+    def test_private_fully_implicit(self, reports):
+        # The read-only file-mapped index always has a clean disk copy.
+        assert reports["private"].implicit_fraction == 1.0
+
+    def test_private_fully_explicit(self, reports):
+        # Never written -> trivially below the 5-minute write threshold.
+        assert reports["private"].explicit_fraction == 1.0
+
+    def test_heap_partially_implicit(self, reports):
+        # Doc/snippet tables are disk-derived; the query cache is not.
+        assert 0.0 < reports["heap"].implicit_fraction < 1.0
+
+    def test_stack_not_implicit(self, reports):
+        assert reports["stack"].implicit_fraction == 0.0
+
+    def test_stack_not_explicit(self, reports):
+        # Rewritten every query: far more often than every 5 minutes.
+        assert reports["stack"].explicit_fraction < 1.0
+
+    def test_overall_weighted_by_size(self, reports):
+        overall = overall_recoverability(reports)
+        fractions = [report.implicit_fraction for report in reports.values()]
+        assert min(fractions) <= overall.implicit_fraction <= max(fractions)
+        # Like the paper's WebSearch: the vast majority is recoverable.
+        assert overall.best_fraction > 0.8
+
+    def test_ordering_matches_paper(self, reports):
+        # Table 5 ordering: private most recoverable, stack least.
+        assert (
+            reports["private"].implicit_fraction
+            > reports["heap"].implicit_fraction
+            > reports["stack"].implicit_fraction
+        )
+
+
+class TestKVStoreRecoverability:
+    def test_cache_data_not_implicitly_recoverable(self, kvstore_small):
+        kvstore_small.reset()
+        reports = analyze_recoverability(kvstore_small, queries=100)
+        # A key-value cache keeps no persistent copy of its contents.
+        assert reports["heap"].implicit_fraction == 0.0
+
+    def test_cold_keys_explicitly_recoverable(self, kvstore_small):
+        kvstore_small.reset()
+        reports = analyze_recoverability(kvstore_small, queries=100)
+        # Zipfian writes touch few keys; most pages are rarely written.
+        assert reports["heap"].explicit_fraction > 0.5
+
+
+class TestValidation:
+    def test_zero_queries_rejected(self, websearch_small):
+        with pytest.raises(ValueError):
+            analyze_recoverability(websearch_small, queries=0)
+
+    def test_overall_empty(self):
+        overall = overall_recoverability({})
+        assert overall.live_bytes == 0
+        assert overall.implicit_fraction == 0.0

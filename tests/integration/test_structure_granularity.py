@@ -1,0 +1,74 @@
+"""Integration: structure-granularity characterization (Table 4's finest
+granularity rows, implemented via campaign custom cells)."""
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+from repro.injection import SINGLE_BIT_HARD
+
+
+@pytest.fixture(scope="module")
+def structure_profile(websearch_small):
+    campaign = CharacterizationCampaign(
+        websearch_small,
+        CampaignConfig(trials_per_cell=25, queries_per_trial=60, seed=88),
+    )
+    campaign.prepare()
+    structures = websearch_small.data_structure_ranges()
+    return campaign.run_custom_cells(
+        structures, specs=(SINGLE_BIT_HARD,), trials_per_cell=25
+    )
+
+
+class TestStructureGranularity:
+    def test_all_structures_characterized(self, structure_profile):
+        expected = {
+            "term_table",
+            "posting_headers",
+            "posting_payload",
+            "doc_table",
+            "snippets",
+            "query_cache",
+            "stack_frames",
+        }
+        assert set(structure_profile.regions()) == expected
+
+    def test_every_trial_classified(self, structure_profile):
+        for cell in structure_profile.cells.values():
+            assert cell.trials == 25
+            assert sum(cell.outcome_counts.values()) == 25
+
+    def test_metadata_more_crash_prone_than_payload(self, structure_profile):
+        """The structural insight: pointer-bearing metadata crashes;
+        payload only corrupts answers."""
+        headers = structure_profile.region_crash_probability(
+            "posting_headers", "single-bit hard"
+        )
+        payload = structure_profile.region_crash_probability(
+            "posting_payload", "single-bit hard"
+        )
+        assert headers >= payload
+
+    def test_payload_errors_mostly_nonfatal(self, structure_profile):
+        cell = structure_profile.cells[("posting_payload", "single-bit hard")]
+        assert cell.crashes <= cell.trials * 0.2
+
+    def test_structure_sizes_recorded(self, structure_profile):
+        sizes = structure_profile.region_sizes
+        assert sizes["posting_payload"] > sizes["posting_headers"]
+        assert sizes["term_table"] > 0
+
+    def test_injections_land_inside_structures(self, websearch_small):
+        import random
+
+        from repro.injection import ErrorInjector, SINGLE_BIT_SOFT
+
+        websearch_small.reset()
+        structures = websearch_small.data_structure_ranges()
+        injector = ErrorInjector(websearch_small.space, random.Random(4))
+        for name, spans in structures.items():
+            for _ in range(10):
+                websearch_small.space.clear_faults()
+                record = injector.inject(SINGLE_BIT_SOFT, ranges=spans)
+                addr = record.anchor_addr
+                assert any(base <= addr < end for base, end in spans), name

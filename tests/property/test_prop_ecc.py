@@ -1,0 +1,164 @@
+"""Property-based tests for the ECC codecs (hypothesis).
+
+The Table 1 capability claims as universally-quantified properties:
+roundtrip identity, correction within capability, detection at the
+capability boundary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc import (
+    Chipkill,
+    DecodeStatus,
+    DecTed,
+    Parity,
+    SecDed,
+    make_codec,
+)
+
+WORD64 = st.integers(min_value=0, max_value=2**64 - 1)
+WORD128 = st.integers(min_value=0, max_value=2**128 - 1)
+WORD256 = st.integers(min_value=0, max_value=2**256 - 1)
+
+CODEC_DATA = [
+    ("None", WORD64),
+    ("Parity", WORD64),
+    ("SEC-DED", WORD64),
+    ("DEC-TED", WORD64),
+    ("Chipkill", WORD128),
+    ("RAIM", WORD256),
+    ("Mirroring", WORD64),
+]
+
+
+class TestRoundtripProperty:
+    @given(data=WORD64)
+    def test_secded_roundtrip(self, data):
+        assert SecDed().roundtrip_ok(data)
+
+    @given(data=WORD64)
+    def test_dected_roundtrip(self, data):
+        assert DecTed().roundtrip_ok(data)
+
+    @given(data=WORD128)
+    def test_chipkill_roundtrip(self, data):
+        assert Chipkill().roundtrip_ok(data)
+
+    @given(data=WORD256)
+    @settings(max_examples=40)
+    def test_raim_roundtrip(self, data):
+        assert make_codec("RAIM").roundtrip_ok(data)
+
+    @given(data=WORD64)
+    @settings(max_examples=40)
+    def test_mirroring_roundtrip(self, data):
+        assert make_codec("Mirroring").roundtrip_ok(data)
+
+
+class TestSecDedProperties:
+    @given(data=WORD64, bit=st.integers(min_value=0, max_value=71))
+    def test_single_bit_corrected(self, data, bit):
+        codec = SecDed()
+        result = codec.decode(codec.encode(data) ^ (1 << bit))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        data=WORD64,
+        bits=st.lists(
+            st.integers(min_value=0, max_value=71),
+            min_size=2,
+            max_size=2,
+            unique=True,
+        ),
+    )
+    def test_double_bit_detected(self, data, bits):
+        codec = SecDed()
+        corrupted = codec.encode(data) ^ (1 << bits[0]) ^ (1 << bits[1])
+        assert codec.decode(corrupted).status is DecodeStatus.DETECTED
+
+
+class TestDecTedProperties:
+    @given(
+        data=WORD64,
+        bits=st.lists(
+            st.integers(min_value=0, max_value=78),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+    )
+    def test_up_to_double_corrected(self, data, bits):
+        codec = DecTed()
+        corrupted = codec.encode(data)
+        for bit in bits:
+            corrupted ^= 1 << bit
+        result = codec.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        data=WORD64,
+        bits=st.lists(
+            st.integers(min_value=0, max_value=78),
+            min_size=3,
+            max_size=3,
+            unique=True,
+        ),
+    )
+    def test_triple_detected(self, data, bits):
+        codec = DecTed()
+        corrupted = codec.encode(data)
+        for bit in bits:
+            corrupted ^= 1 << bit
+        assert codec.decode(corrupted).status is DecodeStatus.DETECTED
+
+
+class TestChipkillProperties:
+    @given(
+        data=WORD128,
+        symbol=st.integers(min_value=0, max_value=35),
+        error=st.integers(min_value=1, max_value=15),
+    )
+    def test_single_symbol_corrected(self, data, symbol, error):
+        codec = Chipkill()
+        corrupted = codec.encode(data) ^ (error << (symbol * 4))
+        result = codec.decode(corrupted)
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    @given(
+        data=WORD128,
+        symbols=st.lists(
+            st.integers(min_value=0, max_value=35),
+            min_size=2,
+            max_size=2,
+            unique=True,
+        ),
+        errors=st.tuples(
+            st.integers(min_value=1, max_value=15),
+            st.integers(min_value=1, max_value=15),
+        ),
+    )
+    def test_double_symbol_detected(self, data, symbols, errors):
+        codec = Chipkill()
+        corrupted = codec.encode(data)
+        corrupted ^= errors[0] << (symbols[0] * 4)
+        corrupted ^= errors[1] << (symbols[1] * 4)
+        assert codec.decode(corrupted).status is DecodeStatus.DETECTED
+
+
+class TestParityProperties:
+    @given(data=WORD64, bits=st.lists(
+        st.integers(min_value=0, max_value=64), min_size=1, max_size=7,
+        unique=True,
+    ))
+    def test_odd_weight_always_detected(self, data, bits):
+        if len(bits) % 2 == 0:
+            bits = bits[:-1]
+        codec = Parity()
+        corrupted = codec.encode(data)
+        for bit in bits:
+            corrupted ^= 1 << bit
+        assert codec.decode(corrupted).status is DecodeStatus.DETECTED

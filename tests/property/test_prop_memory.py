@@ -1,0 +1,142 @@
+"""Property-based tests for the simulated memory substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.memory import (
+    AddressSpace,
+    AllocationError,
+    HeapAllocator,
+    standard_layout,
+)
+from repro.memory.allocator import HEADER_SIZE
+
+
+def fresh_space():
+    return AddressSpace(standard_layout(heap_size=32768, stack_size=4096))
+
+
+class TestAddressSpaceProperties:
+    @given(
+        offset=st.integers(min_value=0, max_value=32000),
+        payload=st.binary(min_size=1, max_size=64),
+    )
+    @settings(max_examples=60)
+    def test_read_after_write(self, offset, payload):
+        space = fresh_space()
+        heap = space.region_named("heap")
+        if offset + len(payload) > heap.size:
+            offset = heap.size - len(payload)
+        addr = heap.base + offset
+        space.write(addr, payload)
+        assert space.read(addr, len(payload)) == payload
+
+    @given(
+        offset=st.integers(min_value=0, max_value=32000),
+        bit=st.integers(min_value=0, max_value=7),
+        value=st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=60)
+    def test_soft_flip_then_flip_back(self, offset, bit, value):
+        space = fresh_space()
+        heap = space.region_named("heap")
+        addr = heap.base + min(offset, heap.size - 1)
+        space.write_u8(addr, value)
+        space.inject_soft_flip(addr, bit)
+        space.inject_soft_flip(addr, bit)
+        assert space.read_u8(addr) == value
+
+    @given(
+        bit=st.integers(min_value=0, max_value=7),
+        stuck=st.integers(min_value=0, max_value=1),
+        writes=st.lists(st.integers(min_value=0, max_value=255), max_size=8),
+    )
+    @settings(max_examples=60)
+    def test_hard_fault_forces_bit_on_every_read(self, bit, stuck, writes):
+        space = fresh_space()
+        heap = space.region_named("heap")
+        space.inject_hard_fault(heap.base, bit, stuck_value=stuck)
+        for value in writes:
+            space.write_u8(heap.base, value)
+            observed = space.read_u8(heap.base)
+            assert (observed >> bit) & 1 == stuck
+            # Other bits pass through unchanged.
+            assert observed & ~(1 << bit) == value & ~(1 << bit)
+
+    @given(payload=st.binary(min_size=1, max_size=128))
+    @settings(max_examples=40)
+    def test_snapshot_restore_identity(self, payload):
+        space = fresh_space()
+        heap = space.region_named("heap")
+        space.write(heap.base, payload)
+        snap = space.snapshot()
+        space.write(heap.base, bytes(len(payload)))
+        space.restore(snap)
+        assert space.read(heap.base, len(payload)) == payload
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Stateful property test: allocator invariants under random usage."""
+
+    def __init__(self):
+        super().__init__()
+        self.space = fresh_space()
+        self.allocator = HeapAllocator(
+            self.space, self.space.region_named("heap")
+        )
+        self.live = {}  # addr -> size
+        self.initial_free = self.allocator.free_bytes
+
+    @rule(size=st.integers(min_value=1, max_value=2048))
+    def malloc(self, size):
+        try:
+            addr = self.allocator.malloc(size)
+        except AllocationError:
+            return  # exhaustion is legal under fragmentation
+        assert addr not in self.live
+        self.live[addr] = size
+        # Payload must be writable over its full requested size.
+        self.space.write(addr, b"\xab" * size)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def free(self, data):
+        addr = data.draw(st.sampled_from(sorted(self.live)))
+        self.allocator.free(addr)
+        del self.live[addr]
+
+    @invariant()
+    def no_overlap(self):
+        spans = sorted(
+            (addr, addr + self.allocator.usable_size(addr))
+            for addr in self.live
+        )
+        for (start_a, end_a), (start_b, _end_b) in zip(spans, spans[1:]):
+            assert end_a + HEADER_SIZE <= start_b
+
+    @invariant()
+    def conservation(self):
+        used = sum(
+            self.allocator.usable_size(addr) + HEADER_SIZE for addr in self.live
+        )
+        assert self.allocator.free_bytes + used == self.initial_free
+
+    @invariant()
+    def headers_intact(self):
+        self.allocator.check_integrity()
+
+    @invariant()
+    def live_spans_match(self):
+        assert len(self.allocator.live_spans()) == len(self.live)
+
+
+TestAllocatorMachine = AllocatorMachine.TestCase
+TestAllocatorMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,162 @@
+"""Unit tests for repro.core.availability."""
+
+import pytest
+
+from repro.core.availability import (
+    MINUTES_PER_MONTH,
+    AvailabilityParams,
+    ErrorRateModel,
+    availability_from_crashes,
+    crashes_from_availability,
+    design_outcome_rates,
+    region_outcome_rates,
+)
+from repro.core.design_space import (
+    HardwareTechnique,
+    RegionPolicy,
+    SoftwareResponse,
+)
+from repro.core.taxonomy import ErrorOutcome
+from repro.core.vulnerability import VulnerabilityProfile
+
+
+@pytest.fixture
+def profile():
+    prof = VulnerabilityProfile(app="X")
+    prof.region_sizes = {"private": 800, "heap": 200}
+    cell = prof.cell("private", "single-bit soft")
+    # 10% crash probability, 0.5 incorrect responses per error.
+    for _ in range(9):
+        cell.record(ErrorOutcome.MASKED_LOGIC, 100, 0, 0, None)
+    cell.record(ErrorOutcome.CRASH, 10, 5, 5, 1.0)
+    heap_cell = prof.cell("heap", "single-bit soft")
+    for _ in range(10):
+        heap_cell.record(ErrorOutcome.MASKED_NEVER_ACCESSED, 100, 0, 0, None)
+    return prof
+
+
+class TestAvailabilityMath:
+    def test_paper_example_19_crashes(self):
+        # Table 6: 19 crashes x 10 min -> 99.55/99.56% availability.
+        assert availability_from_crashes(19) == pytest.approx(0.9956, abs=0.0001)
+
+    def test_paper_example_3_crashes(self):
+        assert availability_from_crashes(3) == pytest.approx(0.99931, abs=0.0001)
+
+    def test_zero_crashes_full_availability(self):
+        assert availability_from_crashes(0) == 1.0
+
+    def test_negative_crashes_rejected(self):
+        with pytest.raises(ValueError):
+            availability_from_crashes(-1)
+
+    def test_inverse_relationship(self):
+        for crashes in (0.0, 1.0, 19.0, 100.0):
+            availability = availability_from_crashes(crashes)
+            assert crashes_from_availability(availability) == pytest.approx(crashes)
+
+    def test_availability_floor(self):
+        assert availability_from_crashes(1e9) == 0.0
+
+    def test_month_constant(self):
+        assert MINUTES_PER_MONTH == 43200
+
+
+class TestErrorRateModel:
+    def test_region_rate_proportional(self):
+        model = ErrorRateModel(errors_per_server_month=2000)
+        assert model.region_rate(0.5, False) == 1000.0
+
+    def test_less_tested_multiplier(self):
+        model = ErrorRateModel(errors_per_server_month=2000, less_tested_multiplier=5)
+        assert model.region_rate(1.0, True) == 10000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ErrorRateModel(errors_per_server_month=0)
+        with pytest.raises(ValueError):
+            ErrorRateModel(less_tested_multiplier=0.5)
+
+
+class TestRegionOutcomeRates:
+    def test_no_protection_uses_measured_probabilities(self, profile):
+        policy = RegionPolicy(technique=HardwareTechnique.NONE)
+        rates = region_outcome_rates(
+            profile, "private", policy, 0.8, ErrorRateModel(2000)
+        )
+        assert rates.errors_per_month == pytest.approx(1600)
+        assert rates.crashes_per_month == pytest.approx(1600 * 0.1)
+        assert rates.incorrect_responses_per_month == pytest.approx(1600 * 1.0)
+
+    def test_ecc_absorbs_everything(self, profile):
+        policy = RegionPolicy(technique=HardwareTechnique.SEC_DED)
+        rates = region_outcome_rates(
+            profile, "private", policy, 0.8, ErrorRateModel(2000)
+        )
+        assert rates.crashes_per_month == 0.0
+        assert rates.incorrect_responses_per_month == 0.0
+
+    def test_parity_recover_absorbs_recoverable_fraction(self, profile):
+        policy = RegionPolicy(
+            technique=HardwareTechnique.PARITY,
+            response=SoftwareResponse.RECOVER,
+            recoverable_fraction=0.75,
+        )
+        rates = region_outcome_rates(
+            profile, "private", policy, 0.8, ErrorRateModel(2000)
+        )
+        assert rates.recoveries_per_month == pytest.approx(1200)
+        assert rates.consumed_errors_per_month == pytest.approx(400)
+        assert rates.crashes_per_month == pytest.approx(40)
+
+    def test_restart_suppresses_incorrectness(self, profile):
+        policy = RegionPolicy(
+            technique=HardwareTechnique.PARITY,
+            response=SoftwareResponse.RESTART,
+        )
+        rates = region_outcome_rates(
+            profile, "private", policy, 0.8, ErrorRateModel(2000)
+        )
+        assert rates.incorrect_responses_per_month == 0.0
+        assert rates.crashes_per_month > 0
+
+    def test_unmeasured_region_has_no_consequences(self, profile):
+        policy = RegionPolicy(technique=HardwareTechnique.NONE)
+        rates = region_outcome_rates(
+            profile, "unknown", policy, 0.5, ErrorRateModel(2000)
+        )
+        assert rates.crashes_per_month == 0.0
+
+
+class TestDesignOutcomeRates:
+    def test_aggregates_all_regions(self, profile):
+        policies = {
+            "private": RegionPolicy(technique=HardwareTechnique.NONE),
+            "heap": RegionPolicy(technique=HardwareTechnique.NONE),
+        }
+        rates = design_outcome_rates(profile, policies)
+        assert set(rates) == {"private", "heap"}
+        total_errors = sum(r.errors_per_month for r in rates.values())
+        assert total_errors == pytest.approx(2000)
+
+    def test_empty_design_rejected(self, profile):
+        with pytest.raises(ValueError):
+            design_outcome_rates(profile, {})
+
+    def test_explicit_region_sizes_override(self, profile):
+        policies = {
+            "private": RegionPolicy(technique=HardwareTechnique.NONE),
+            "heap": RegionPolicy(technique=HardwareTechnique.NONE),
+        }
+        rates = design_outcome_rates(
+            profile, policies, region_sizes={"private": 1, "heap": 1}
+        )
+        assert rates["private"].errors_per_month == rates["heap"].errors_per_month
+
+
+class TestAvailabilityParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AvailabilityParams(crash_recovery_minutes=0)
+        with pytest.raises(ValueError):
+            AvailabilityParams(queries_per_month=0)

@@ -1,0 +1,111 @@
+"""Unit tests for repro.core.cost_model — must reproduce Table 6 (left)."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, CostModelParams
+from repro.core.design_space import (
+    HardwareTechnique,
+    RegionPolicy,
+    SoftwareResponse,
+)
+
+SIZES = {"private": 36, "heap": 9, "stack": 1}
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+def uniform(technique, less_tested=False):
+    return {
+        region: RegionPolicy(technique=technique, less_tested=less_tested)
+        for region in SIZES
+    }
+
+
+class TestTable6Parameters:
+    """The paper's derived cost constants, regenerated from the codecs."""
+
+    def test_noecc_saves_11_1_percent(self, model):
+        savings = model.memory_cost_savings(uniform(HardwareTechnique.NONE), SIZES)
+        assert savings == pytest.approx(0.111, abs=0.001)
+
+    def test_parity_saves_9_7_percent(self, model):
+        savings = model.memory_cost_savings(uniform(HardwareTechnique.PARITY), SIZES)
+        assert savings == pytest.approx(0.097, abs=0.001)
+
+    def test_less_tested_noecc_saves_27_1_percent(self, model):
+        savings = model.memory_cost_savings(
+            uniform(HardwareTechnique.NONE, less_tested=True), SIZES
+        )
+        assert savings == pytest.approx(0.271, abs=0.002)
+
+    def test_less_tested_range_matches_paper(self, model):
+        low, nominal, high = model.savings_range(
+            uniform(HardwareTechnique.NONE, less_tested=True), SIZES
+        )
+        assert low == pytest.approx(0.164, abs=0.002)
+        assert high == pytest.approx(0.378, abs=0.002)
+
+    def test_server_savings_scaled_by_dram_fraction(self, model):
+        assert model.server_cost_savings(0.111) == pytest.approx(0.0333, abs=0.001)
+
+    def test_baseline_saves_nothing(self, model):
+        savings = model.memory_cost_savings(uniform(HardwareTechnique.SEC_DED), SIZES)
+        assert savings == pytest.approx(0.0)
+
+
+class TestCostFactors:
+    def test_overheads_come_from_codecs(self, model):
+        assert model.capacity_overhead(HardwareTechnique.SEC_DED) == 0.125
+        assert model.capacity_overhead(HardwareTechnique.NONE) == 0.0
+        assert model.capacity_overhead(HardwareTechnique.MIRRORING) == 1.25
+
+    def test_mirroring_more_expensive_than_baseline(self, model):
+        savings = model.memory_cost_savings(
+            uniform(HardwareTechnique.MIRRORING), SIZES
+        )
+        assert savings < 0  # costs more than the Typical Server
+
+    def test_less_tested_discount_applied(self, model):
+        policy = RegionPolicy(technique=HardwareTechnique.SEC_DED, less_tested=True)
+        assert model.memory_cost_factor(policy) == pytest.approx(1.125 * 0.82)
+
+    def test_heterogeneous_design_weighted_by_size(self, model):
+        policies = {
+            "private": RegionPolicy(
+                technique=HardwareTechnique.PARITY,
+                response=SoftwareResponse.RECOVER,
+            ),
+            "heap": RegionPolicy(technique=HardwareTechnique.NONE),
+            "stack": RegionPolicy(technique=HardwareTechnique.NONE),
+        }
+        savings = model.memory_cost_savings(policies, SIZES)
+        parity_only = model.memory_cost_savings(
+            uniform(HardwareTechnique.PARITY), SIZES
+        )
+        noecc_only = model.memory_cost_savings(uniform(HardwareTechnique.NONE), SIZES)
+        assert parity_only < savings < noecc_only
+
+
+class TestValidation:
+    def test_missing_policy_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.memory_cost_savings({}, SIZES)
+
+    def test_zero_sizes_skipped(self, model):
+        policies = uniform(HardwareTechnique.NONE)
+        sizes = dict(SIZES, extra=0)
+        assert model.memory_cost_savings(policies, sizes) > 0
+
+    def test_empty_design_no_savings(self, model):
+        assert model.memory_cost_savings({}, {}) == 0.0
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CostModelParams(dram_fraction_of_server_cost=1.5)
+        with pytest.raises(ValueError):
+            CostModelParams(
+                less_tested_discount=0.5, less_tested_discount_high=0.4
+            )

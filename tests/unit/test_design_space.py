@@ -1,0 +1,72 @@
+"""Unit tests for repro.core.design_space."""
+
+import pytest
+
+from repro.core.design_space import (
+    GRANULARITY_ENTRIES,
+    HARDWARE_ENTRIES,
+    SOFTWARE_ENTRIES,
+    Granularity,
+    HardwareTechnique,
+    RegionPolicy,
+    SoftwareResponse,
+)
+from repro.ecc import Codec
+
+
+class TestHardwareTechnique:
+    def test_every_technique_has_a_codec(self):
+        for technique in HardwareTechnique:
+            assert isinstance(technique.codec(), Codec)
+
+    def test_correction_capability_flags(self):
+        assert not HardwareTechnique.NONE.corrects_single_bit
+        assert not HardwareTechnique.PARITY.corrects_single_bit
+        assert HardwareTechnique.SEC_DED.corrects_single_bit
+        assert HardwareTechnique.CHIPKILL.corrects_single_bit
+
+    def test_detection_capability_flags(self):
+        assert not HardwareTechnique.NONE.detects_single_bit
+        assert HardwareTechnique.PARITY.detects_single_bit
+
+
+class TestTable4Entries:
+    def test_all_dimensions_documented(self):
+        assert set(HARDWARE_ENTRIES) == set(HardwareTechnique)
+        assert set(SOFTWARE_ENTRIES) == set(SoftwareResponse)
+        assert set(GRANULARITY_ENTRIES) == set(Granularity)
+
+    def test_entries_have_text(self):
+        for entry in HARDWARE_ENTRIES.values():
+            assert entry.benefits and entry.trade_offs
+
+
+class TestRegionPolicy:
+    def test_describe_plain(self):
+        policy = RegionPolicy(technique=HardwareTechnique.SEC_DED)
+        assert policy.describe() == "SEC-DED"
+
+    def test_describe_par_r(self):
+        policy = RegionPolicy(
+            technique=HardwareTechnique.PARITY, response=SoftwareResponse.RECOVER
+        )
+        assert policy.describe() == "Parity+R"
+
+    def test_describe_less_tested(self):
+        policy = RegionPolicy(technique=HardwareTechnique.NONE, less_tested=True)
+        assert policy.describe() == "None/L"
+
+    def test_recover_requires_detection(self):
+        with pytest.raises(ValueError):
+            RegionPolicy(
+                technique=HardwareTechnique.NONE,
+                response=SoftwareResponse.RECOVER,
+            )
+
+    def test_recoverable_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            RegionPolicy(
+                technique=HardwareTechnique.PARITY,
+                response=SoftwareResponse.RECOVER,
+                recoverable_fraction=1.2,
+            )

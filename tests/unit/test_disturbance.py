@@ -1,0 +1,136 @@
+"""Unit tests for disturbance (access-pattern-dependent) errors."""
+
+import random
+
+import pytest
+
+from repro.core.disturbance import (
+    DISTURBANCE_LABEL,
+    characterize_disturbance,
+    hammer_rate,
+)
+from repro.memory import SegmentationFault
+from repro.memory.faults import FaultKind
+
+
+class TestSubstrateSupport:
+    def test_reads_of_aggressor_flip_victim(self, space):
+        heap = space.region_named("heap")
+        space.write_u8(heap.base, 0)
+        space.write_u8(heap.base + 64, 0)
+        space.install_disturbance(
+            heap.base, heap.base + 64, 0, probability=1.0,
+            rng=random.Random(1),
+        )
+        space.read_u8(heap.base)
+        assert space.peek(heap.base + 64)[0] == 1  # flipped
+        space.read_u8(heap.base)
+        assert space.peek(heap.base + 64)[0] == 0  # flipped back
+
+    def test_victim_reads_do_not_trigger(self, space):
+        heap = space.region_named("heap")
+        space.install_disturbance(
+            heap.base, heap.base + 64, 0, probability=1.0,
+            rng=random.Random(1),
+        )
+        space.read_u8(heap.base + 64)
+        assert space.peek(heap.base + 64)[0] == 0
+
+    def test_block_reads_covering_aggressor_trigger(self, space):
+        heap = space.region_named("heap")
+        space.install_disturbance(
+            heap.base + 5, heap.base + 64, 3, probability=1.0,
+            rng=random.Random(1),
+        )
+        space.read(heap.base, 16)  # covers the aggressor
+        assert space.peek(heap.base + 64)[0] == 8
+
+    def test_flips_logged_as_disturbance(self, space):
+        heap = space.region_named("heap")
+        space.install_disturbance(
+            heap.base, heap.base + 8, 0, probability=1.0, rng=random.Random(1)
+        )
+        space.read_u8(heap.base)
+        faults = space.fault_log.of_kind(FaultKind.DISTURBANCE)
+        assert len(faults) == 1
+        assert faults[0].addr == heap.base + 8
+
+    def test_probability_zero_rejected(self, space):
+        heap = space.region_named("heap")
+        with pytest.raises(ValueError):
+            space.install_disturbance(
+                heap.base, heap.base + 8, 0, probability=0.0,
+                rng=random.Random(1),
+            )
+        with pytest.raises(ValueError):
+            space.install_disturbance(
+                heap.base, heap.base + 8, 9, probability=0.5,
+                rng=random.Random(1),
+            )
+
+    def test_unmapped_addresses_rejected(self, space):
+        heap = space.region_named("heap")
+        with pytest.raises(SegmentationFault):
+            space.install_disturbance(0, heap.base, 0, 0.5, random.Random(1))
+        with pytest.raises(SegmentationFault):
+            space.install_disturbance(heap.base, 0, 0, 0.5, random.Random(1))
+
+    def test_clear_faults_removes_couplings(self, space):
+        heap = space.region_named("heap")
+        space.install_disturbance(
+            heap.base, heap.base + 8, 0, probability=1.0, rng=random.Random(1)
+        )
+        space.clear_faults()
+        space.read_u8(heap.base)
+        assert space.peek(heap.base + 8)[0] == 0
+
+    def test_probabilistic_firing_rate(self, space):
+        heap = space.region_named("heap")
+        space.install_disturbance(
+            heap.base, heap.base + 8, 0, probability=0.25,
+            rng=random.Random(7),
+        )
+        for _ in range(400):
+            space.read_u8(heap.base)
+        flips = len(space.fault_log.of_kind(FaultKind.DISTURBANCE))
+        assert 60 < flips < 140  # ~100 expected
+
+
+class TestCharacterizeDisturbance:
+    def test_websearch_private_disturbance(self, websearch_small):
+        profile = characterize_disturbance(
+            websearch_small,
+            trials_per_region=12,
+            queries_per_trial=40,
+            regions=["private"],
+            seed=9,
+        )
+        cell = profile.cells[("private", DISTURBANCE_LABEL)]
+        assert cell.trials == 12
+        assert sum(cell.outcome_counts.values()) == 12
+
+    def test_hot_data_more_exposed_than_cold(self, websearch_small):
+        # High flip probability in the always-read private region should
+        # materialize flips in a good share of trials; outcomes must be
+        # a mix rather than all-masked.
+        profile = characterize_disturbance(
+            websearch_small,
+            trials_per_region=15,
+            queries_per_trial=60,
+            flip_probability=0.5,
+            regions=["private"],
+            seed=10,
+        )
+        cell = profile.cells[("private", DISTURBANCE_LABEL)]
+        assert cell.trials == 15
+
+    def test_validation(self, websearch_small):
+        with pytest.raises(ValueError):
+            characterize_disturbance(websearch_small, trials_per_region=0)
+        with pytest.raises(ValueError):
+            characterize_disturbance(websearch_small, flip_probability=0.0)
+
+    def test_hammer_rate(self):
+        assert hammer_rate(10, 100) == 0.1
+        with pytest.raises(ValueError):
+            hammer_rate(1, 0)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.dram.geometry."""
+
+import random
+
+import pytest
+
+from repro.dram import CACHE_LINE_SIZE, DramCoordinates, DramGeometry
+
+
+@pytest.fixture
+def geometry():
+    return DramGeometry()
+
+
+class TestSizes:
+    def test_hierarchy_products(self, geometry):
+        assert geometry.row_size == 1024 * 8
+        assert geometry.bank_size == geometry.row_size * 65536
+        assert geometry.rank_size == geometry.bank_size * 8
+        assert geometry.dimm_size == geometry.rank_size * 2
+        assert geometry.channel_size == geometry.dimm_size * 2
+        assert geometry.total_size == geometry.channel_size * 4
+
+    def test_default_is_64gib(self, geometry):
+        assert geometry.total_size == 64 * 2**30
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            DramGeometry(channels=0)
+
+
+class TestMapping:
+    def test_compose_decompose_roundtrip(self, geometry):
+        rng = random.Random(4)
+        for _ in range(200):
+            addr = rng.randrange(geometry.total_size)
+            coords = geometry.decompose(addr)
+            byte = addr - geometry.compose(coords)
+            recomposed = geometry.compose(coords, byte)
+            assert recomposed == addr
+
+    def test_channel_interleave_per_cache_line(self, geometry):
+        channels = [
+            geometry.decompose(line * CACHE_LINE_SIZE).channel
+            for line in range(8)
+        ]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_line_same_channel(self, geometry):
+        base = 5 * CACHE_LINE_SIZE
+        assert (
+            geometry.decompose(base).channel
+            == geometry.decompose(base + CACHE_LINE_SIZE - 1).channel
+        )
+
+    def test_channel_of_matches_decompose(self, geometry):
+        rng = random.Random(5)
+        for _ in range(100):
+            addr = rng.randrange(geometry.total_size)
+            assert geometry.channel_of(addr) == geometry.decompose(addr).channel
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.decompose(geometry.total_size)
+        with pytest.raises(ValueError):
+            geometry.decompose(-1)
+        with pytest.raises(ValueError):
+            geometry.channel_of(geometry.total_size)
+
+    def test_bad_coordinates_rejected(self, geometry):
+        bad = DramCoordinates(channel=99, dimm=0, rank=0, bank=0, row=0, column=0)
+        with pytest.raises(ValueError):
+            geometry.compose(bad)
+
+    def test_bad_byte_in_column_rejected(self, geometry):
+        coords = geometry.decompose(0)
+        with pytest.raises(ValueError):
+            geometry.compose(coords, geometry.bytes_per_column)
+
+    def test_coordinates_within_limits(self, geometry):
+        rng = random.Random(6)
+        for _ in range(100):
+            coords = geometry.decompose(rng.randrange(geometry.total_size))
+            assert 0 <= coords.channel < geometry.channels
+            assert 0 <= coords.dimm < geometry.dimms_per_channel
+            assert 0 <= coords.rank < geometry.ranks_per_dimm
+            assert 0 <= coords.bank < geometry.banks_per_rank
+            assert 0 <= coords.row < geometry.rows_per_bank
+            assert 0 <= coords.column < geometry.columns_per_row

@@ -1,0 +1,313 @@
+"""Unit tests for the ECC codecs (repro.ecc) — Table 1 capabilities.
+
+Each codec is tested against its claimed detection/correction
+capability; Table 1 capacity overheads are asserted exactly, since the
+cost model derives from them.
+"""
+
+import random
+
+import pytest
+
+from repro.ecc import (
+    Chipkill,
+    DecodeStatus,
+    DecTed,
+    Mirroring,
+    NoProtection,
+    Parity,
+    Raim,
+    SecDed,
+    available_techniques,
+    make_codec,
+    register_codec,
+)
+
+RNG = random.Random(999)
+
+
+def flip(codeword: int, *bits: int) -> int:
+    for bit in bits:
+        codeword ^= 1 << bit
+    return codeword
+
+
+class TestOverheads:
+    """Table 1's 'Added capacity' column, derived from the layouts."""
+
+    @pytest.mark.parametrize(
+        "name,overhead",
+        [
+            ("None", 0.0),
+            ("Parity", 1 / 64),
+            ("SEC-DED", 8 / 64),
+            ("DEC-TED", 15 / 64),
+            ("Chipkill", 16 / 128),
+            ("RAIM", 104 / 256),
+            ("Mirroring", 80 / 64),
+        ],
+    )
+    def test_added_capacity(self, name, overhead):
+        assert make_codec(name).added_capacity == pytest.approx(overhead)
+
+    def test_secded_matches_table1_exactly(self):
+        assert SecDed().added_capacity == 0.125
+
+    def test_chipkill_matches_secded_overhead(self):
+        # The paper's point: chipkill costs the same 12.5 % as SEC-DED.
+        assert Chipkill().added_capacity == SecDed().added_capacity
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("name", available_techniques())
+    def test_clean_roundtrip(self, name):
+        codec = make_codec(name)
+        for _ in range(40):
+            data = RNG.getrandbits(codec.data_bits)
+            result = codec.decode(codec.encode(data))
+            assert result.status is DecodeStatus.OK
+            assert result.data == data
+
+    @pytest.mark.parametrize("name", available_techniques())
+    def test_boundary_words(self, name):
+        codec = make_codec(name)
+        for data in (0, 1, (1 << codec.data_bits) - 1):
+            assert codec.roundtrip_ok(data) or codec.decode(
+                codec.encode(data)
+            ).data == data
+
+    @pytest.mark.parametrize("name", available_techniques())
+    def test_oversized_data_rejected(self, name):
+        codec = make_codec(name)
+        with pytest.raises(ValueError):
+            codec.encode(1 << codec.data_bits)
+        with pytest.raises(ValueError):
+            codec.decode(1 << codec.code_bits)
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+
+
+class TestNoProtection:
+    def test_silently_consumes_errors(self):
+        codec = NoProtection()
+        data = RNG.getrandbits(64)
+        corrupted = flip(codec.encode(data), 5)
+        result = codec.decode(corrupted)
+        assert result.status is DecodeStatus.OK  # never detects
+        assert result.data != data  # silent corruption
+
+
+class TestParity:
+    def test_detects_all_single_bit_errors(self):
+        codec = Parity()
+        data = RNG.getrandbits(64)
+        for bit in range(codec.code_bits):
+            result = codec.decode(flip(codec.encode(data), bit))
+            assert result.status is DecodeStatus.DETECTED
+
+    def test_detects_odd_weight_errors(self):
+        codec = Parity()
+        data = RNG.getrandbits(64)
+        result = codec.decode(flip(codec.encode(data), 1, 2, 3))
+        assert result.status is DecodeStatus.DETECTED
+
+    def test_misses_even_weight_errors(self):
+        codec = Parity()
+        data = RNG.getrandbits(64)
+        result = codec.decode(flip(codec.encode(data), 1, 2))
+        assert result.status is DecodeStatus.OK  # fundamental parity limit
+
+
+class TestSecDed:
+    def test_corrects_every_single_bit_error(self):
+        codec = SecDed()
+        data = RNG.getrandbits(64)
+        encoded = codec.encode(data)
+        for bit in range(codec.code_bits):
+            result = codec.decode(flip(encoded, bit))
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+            assert result.corrected_bits == [bit] or result.corrected_bits
+
+    def test_detects_every_double_bit_error(self):
+        codec = SecDed()
+        data = RNG.getrandbits(64)
+        encoded = codec.encode(data)
+        for _ in range(300):
+            b1, b2 = RNG.sample(range(codec.code_bits), 2)
+            result = codec.decode(flip(encoded, b1, b2))
+            assert result.status is DecodeStatus.DETECTED
+
+
+class TestDecTed:
+    def test_corrects_every_single_bit_error(self):
+        codec = DecTed()
+        data = RNG.getrandbits(64)
+        encoded = codec.encode(data)
+        for bit in range(codec.code_bits):
+            result = codec.decode(flip(encoded, bit))
+            assert result.status is DecodeStatus.CORRECTED, f"bit {bit}"
+            assert result.data == data
+
+    def test_corrects_double_bit_errors(self):
+        codec = DecTed()
+        data = RNG.getrandbits(64)
+        encoded = codec.encode(data)
+        for _ in range(300):
+            b1, b2 = RNG.sample(range(codec.code_bits), 2)
+            result = codec.decode(flip(encoded, b1, b2))
+            assert result.status is DecodeStatus.CORRECTED, f"bits {b1},{b2}"
+            assert result.data == data
+
+    def test_detects_triple_bit_errors(self):
+        codec = DecTed()
+        data = RNG.getrandbits(64)
+        encoded = codec.encode(data)
+        for _ in range(300):
+            bits = RNG.sample(range(codec.code_bits), 3)
+            result = codec.decode(flip(encoded, *bits))
+            assert result.status is DecodeStatus.DETECTED, f"bits {bits}"
+
+
+class TestChipkill:
+    def test_corrects_any_single_symbol_error(self):
+        codec = Chipkill()
+        data = RNG.getrandbits(codec.data_bits)
+        encoded = codec.encode(data)
+        for symbol in range(codec.total_symbols):
+            for _ in range(5):
+                error = RNG.randrange(1, 16) << (symbol * codec.symbol_bits)
+                result = codec.decode(encoded ^ error)
+                assert result.status is DecodeStatus.CORRECTED
+                assert result.data == data
+
+    def test_corrects_whole_chip_failure(self):
+        # All four bits of a symbol corrupted = one dead x4 chip.
+        codec = Chipkill()
+        data = RNG.getrandbits(codec.data_bits)
+        encoded = codec.encode(data)
+        for symbol in (0, 4, 20, 35):
+            error = 0xF << (symbol * codec.symbol_bits)
+            result = codec.decode(encoded ^ error)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_detects_every_double_symbol_error(self):
+        codec = Chipkill()
+        data = RNG.getrandbits(codec.data_bits)
+        encoded = codec.encode(data)
+        for _ in range(500):
+            s1, s2 = RNG.sample(range(codec.total_symbols), 2)
+            error = (RNG.randrange(1, 16) << (s1 * 4)) | (
+                RNG.randrange(1, 16) << (s2 * 4)
+            )
+            result = codec.decode(encoded ^ error)
+            assert result.status is DecodeStatus.DETECTED
+
+
+class TestMirroring:
+    def test_survives_dead_primary_copy(self):
+        codec = Mirroring()
+        data = RNG.getrandbits(64)
+        encoded = codec.encode(data)
+        # Destroy the entire primary copy (low 72 bits).
+        dead_primary = (encoded >> 72 << 72) | RNG.getrandbits(72)
+        result = codec.decode(dead_primary)
+        assert result.ok
+        assert result.data == data
+
+    def test_single_bit_in_primary_corrected_locally(self):
+        codec = Mirroring()
+        data = RNG.getrandbits(64)
+        result = codec.decode(flip(codec.encode(data), 10))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_error_in_mirror_invisible(self):
+        codec = Mirroring()
+        data = RNG.getrandbits(64)
+        result = codec.decode(flip(codec.encode(data), 72 + 10))
+        assert result.data == data
+
+    def test_both_copies_dead_detected(self):
+        codec = Mirroring()
+        data = RNG.getrandbits(64)
+        encoded = codec.encode(data)
+        # Double-bit error in each copy: both SEC-DED words uncorrectable.
+        corrupted = flip(encoded, 3, 4, 72 + 3, 72 + 4)
+        result = codec.decode(corrupted)
+        assert result.status is DecodeStatus.DETECTED
+
+
+class TestRaim:
+    def test_survives_marked_module_failure(self):
+        # A dead DIMM is announced by channel CRC (RAIM "marking"); the
+        # stripe is then treated as an erasure and XOR-reconstructed even
+        # when its garbage contents happen to alias inside SEC-DED.
+        codec = Raim()
+        data = RNG.getrandbits(codec.data_bits)
+        encoded = codec.encode(data)
+        for stripe in range(5):
+            mask = ((1 << 72) - 1) << (stripe * 72)
+            corrupted = (encoded & ~mask) | (RNG.getrandbits(72) << (stripe * 72))
+            result = codec.decode(corrupted, erased_stripe=stripe)
+            assert result.ok
+            assert result.data == data
+
+    def test_survives_unmarked_detectable_module_failure(self):
+        # Without marking, a stripe whose SEC-DED reports uncorrectable
+        # (e.g. a double-bit error) is inferred failed and reconstructed.
+        codec = Raim()
+        data = RNG.getrandbits(codec.data_bits)
+        encoded = codec.encode(data)
+        for stripe in range(5):
+            corrupted = flip(encoded, stripe * 72 + 3, stripe * 72 + 11)
+            result = codec.decode(corrupted)
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+
+    def test_bad_erasure_index_rejected(self):
+        codec = Raim()
+        with pytest.raises(ValueError):
+            codec.decode(codec.encode(1), erased_stripe=5)
+
+    def test_single_bit_errors_in_two_stripes_corrected(self):
+        codec = Raim()
+        data = RNG.getrandbits(codec.data_bits)
+        result = codec.decode(flip(codec.encode(data), 5, 72 + 9))
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.data == data
+
+    def test_two_dead_modules_detected(self):
+        codec = Raim()
+        data = RNG.getrandbits(codec.data_bits)
+        encoded = codec.encode(data)
+        corrupted = flip(encoded, 3, 4, 72 + 3, 72 + 4)  # 2 uncorrectable stripes
+        result = codec.decode(corrupted)
+        assert result.status is DecodeStatus.DETECTED
+
+
+class TestRegistry:
+    def test_all_table1_techniques_present(self):
+        assert available_techniques() == [
+            "None",
+            "Parity",
+            "SEC-DED",
+            "DEC-TED",
+            "Chipkill",
+            "RAIM",
+            "Mirroring",
+        ]
+
+    def test_unknown_technique(self):
+        with pytest.raises(KeyError):
+            make_codec("FancyECC")
+
+    def test_register_custom_codec(self):
+        class Custom(NoProtection):
+            name = "Custom"
+
+        register_codec("Custom-test", Custom)
+        assert isinstance(make_codec("Custom-test"), Custom)
+        with pytest.raises(ValueError):
+            register_codec("Custom-test", Custom)

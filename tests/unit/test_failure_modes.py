@@ -1,0 +1,72 @@
+"""Unit tests for correlated-failure-mode characterization."""
+
+import pytest
+
+from repro.core.failure_modes import (
+    ALL_REGIONS,
+    characterize_failure_modes,
+    mode_summary,
+)
+from repro.dram.fault_models import FailureMode
+
+
+@pytest.fixture(scope="module")
+def footprint_profile(websearch_small):
+    return characterize_failure_modes(
+        websearch_small,
+        trials_per_mode=10,
+        queries_per_trial=40,
+        modes=(FailureMode.SINGLE_BIT, FailureMode.ROW, FailureMode.CHIP),
+        seed=5,
+    )
+
+
+# The session fixture is shared; redeclare at module scope for clarity.
+@pytest.fixture(scope="module")
+def websearch_small(request):
+    return request.getfixturevalue("websearch_small")
+
+
+class TestCharacterizeFailureModes:
+    def test_cells_keyed_by_mode(self, footprint_profile):
+        labels = {label for _region, label in footprint_profile.cells}
+        assert labels == {"single_bit", "row", "chip"}
+        regions = {region for region, _label in footprint_profile.cells}
+        assert regions == {ALL_REGIONS}
+
+    def test_every_trial_classified(self, footprint_profile):
+        for cell in footprint_profile.cells.values():
+            assert cell.trials == 10
+            assert sum(cell.outcome_counts.values()) == 10
+
+    def test_large_footprints_at_least_as_visible(self, footprint_profile):
+        cells = footprint_profile.cells
+        single = cells[(ALL_REGIONS, "single_bit")]
+        chip = cells[(ALL_REGIONS, "chip")]
+        single_visible = single.crashes + single.incorrect_trials
+        chip_visible = chip.crashes + chip.incorrect_trials
+        assert chip_visible >= single_visible
+
+    def test_summary_shape(self, footprint_profile):
+        summary = mode_summary(footprint_profile)
+        assert set(summary) == {"single_bit", "row", "chip"}
+        for fractions in summary.values():
+            total = (
+                fractions["crash"] + fractions["incorrect"] + fractions["masked"]
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_validation(self, websearch_small):
+        with pytest.raises(ValueError):
+            characterize_failure_modes(websearch_small, trials_per_mode=0)
+
+    def test_deterministic(self, websearch_small):
+        kwargs = dict(
+            trials_per_mode=4,
+            queries_per_trial=20,
+            modes=(FailureMode.SINGLE_WORD,),
+            seed=11,
+        )
+        first = characterize_failure_modes(websearch_small, **kwargs)
+        second = characterize_failure_modes(websearch_small, **kwargs)
+        assert first.to_dict() == second.to_dict()

@@ -1,0 +1,107 @@
+"""Unit tests for repro.ecc.galois."""
+
+import pytest
+
+from repro.ecc.galois import (
+    GF16,
+    GF128,
+    GF256,
+    GF2m,
+    minimal_polynomial,
+    poly_mod_gf2,
+    poly_mul_gf2,
+)
+
+
+class TestFieldConstruction:
+    def test_known_sizes(self):
+        assert GF16.size == 16
+        assert GF128.size == 128
+        assert GF256.size == 256
+
+    def test_non_primitive_poly_rejected(self):
+        # x^4 + x^2 + 1 = (x^2+x+1)^2 is reducible, hence not primitive.
+        with pytest.raises(ValueError):
+            GF2m(4, 0b10101)
+
+    def test_unknown_degree_needs_poly(self):
+        with pytest.raises(ValueError):
+            GF2m(13)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("field", [GF16, GF128, GF256])
+    def test_multiplicative_inverse(self, field):
+        for a in range(1, field.size):
+            assert field.mul(a, field.inv(a)) == 1
+
+    @pytest.mark.parametrize("field", [GF16, GF256])
+    def test_distributivity_sample(self, field):
+        for a, b, c in [(3, 5, 7), (9, 2, 14), (1, field.size - 1, 6)]:
+            left = field.mul(a, field.add(b, c))
+            right = field.add(field.mul(a, b), field.mul(a, c))
+            assert left == right
+
+    def test_mul_by_zero(self):
+        assert GF256.mul(0, 77) == 0
+        assert GF256.mul(77, 0) == 0
+
+    def test_div_matches_mul(self):
+        for a in (1, 7, 100, 255):
+            for b in (1, 3, 200):
+                assert GF256.mul(GF256.div(a, b), b) == a
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            GF256.inv(0)
+
+    def test_pow_and_log_consistent(self):
+        for exponent in (0, 1, 5, 254, 255, 300, -1):
+            value = GF256.pow(GF256.alpha_pow(1), exponent)
+            assert value == GF256.alpha_pow(exponent)
+
+    def test_log_of_zero_rejected(self):
+        with pytest.raises(ValueError):
+            GF256.log(0)
+
+    def test_alpha_generates_field(self):
+        seen = {GF128.alpha_pow(i) for i in range(GF128.order)}
+        assert len(seen) == GF128.order  # alpha is primitive
+
+    def test_sqrt(self):
+        for a in (0, 1, 5, 100, 127):
+            root = GF128.sqrt(a)
+            assert GF128.mul(root, root) == a
+
+
+class TestPolynomialHelpers:
+    def test_poly_mul(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        assert poly_mul_gf2(0b11, 0b11) == 0b101
+
+    def test_poly_mod(self):
+        # x^3 mod (x^2 + 1) = x  (since x^3 = x(x^2+1) + x)
+        assert poly_mod_gf2(0b1000, 0b101) == 0b10
+
+    def test_poly_mod_zero_modulus(self):
+        with pytest.raises(ZeroDivisionError):
+            poly_mod_gf2(5, 0)
+
+    def test_minimal_polynomial_of_alpha(self):
+        # m1 of the primitive element is the defining polynomial itself.
+        assert minimal_polynomial(GF128, GF128.alpha_pow(1)) == GF128.primitive_poly
+
+    def test_minimal_polynomial_annihilates_element(self):
+        element = GF128.alpha_pow(3)
+        poly = minimal_polynomial(GF128, element)
+        # Evaluate poly at the element over GF(128).
+        acc = 0
+        for degree in range(poly.bit_length()):
+            if (poly >> degree) & 1:
+                acc ^= GF128.pow(element, degree) if degree else 1
+        assert acc == 0
+
+    def test_minimal_polynomial_of_zero(self):
+        assert minimal_polynomial(GF128, 0) == 0b10  # x

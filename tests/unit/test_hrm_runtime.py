@@ -1,0 +1,203 @@
+"""Unit tests for the executable HRM runtime (repro.hrm)."""
+
+import random
+
+import pytest
+
+from repro.core.design_space import HardwareTechnique
+from repro.dram import DramGeometry
+from repro.ecc import NoProtection, Parity, SecDed
+from repro.hrm import (
+    ChannelPlan,
+    ChannelProvisionedMemory,
+    ProtectedArray,
+    UncorrectableMemoryError,
+    figure9_plan,
+)
+from repro.memory import AddressSpace, standard_layout
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(standard_layout(heap_size=65536))
+
+
+@pytest.fixture
+def heap_base(space):
+    return space.region_named("heap").base
+
+
+class TestProtectedArraySecDed:
+    def make(self, space, heap_base, **kwargs):
+        array = ProtectedArray(space, heap_base, 32, SecDed(), **kwargs)
+        for index in range(32):
+            array.write(index, index * 0x0101010101010101 & (2**64 - 1))
+        return array
+
+    def test_roundtrip(self, space, heap_base):
+        array = self.make(space, heap_base)
+        for index in range(32):
+            assert array.read(index) == index * 0x0101010101010101 & (2**64 - 1)
+        assert array.corrected_words == 0
+
+    def test_footprint_reflects_overhead(self, space, heap_base):
+        array = self.make(space, heap_base)
+        assert array.slot_bytes == 9  # 72 bits
+        assert array.footprint_bytes == 32 * 9
+
+    def test_single_bit_error_corrected_and_scrubbed(self, space, heap_base):
+        array = self.make(space, heap_base)
+        space.inject_soft_flip(array.slot_addr(5) + 2, 3)
+        assert array.read(5) == 5 * 0x0101010101010101
+        assert array.corrected_words == 1
+        # Demand scrub rewrote the clean codeword: next read is clean.
+        array.read(5)
+        assert array.corrected_words == 1
+
+    def test_scrub_disabled_recorrects(self, space, heap_base):
+        array = self.make(space, heap_base, scrub_on_read=False)
+        # A hard fault keeps re-corrupting; without scrub the counter
+        # climbs on every read.
+        space.inject_hard_fault(array.slot_addr(3), 0)
+        array.read(3)
+        array.read(3)
+        assert array.corrected_words == 2
+
+    def test_double_bit_error_uncorrectable(self, space, heap_base):
+        array = self.make(space, heap_base)
+        addr = array.slot_addr(7)
+        space.inject_soft_flip(addr, 0)
+        space.inject_soft_flip(addr, 1)
+        with pytest.raises(UncorrectableMemoryError):
+            array.read(7)
+        assert array.detected_words == 1
+
+    def test_patrol_scrub_counts(self, space, heap_base):
+        array = self.make(space, heap_base)
+        space.inject_soft_flip(array.slot_addr(1), 0)
+        space.inject_soft_flip(array.slot_addr(2), 4)
+        report = array.scrub()
+        assert report == {"corrected": 2, "recovered": 0}
+
+
+class TestProtectedArrayParityRecovery:
+    def test_par_r_pipeline(self, space, heap_base):
+        # The Detect&Recover path: parity detects, software recovers the
+        # clean value from "disk" (here: the golden function).
+        golden = {index: index * 7 + 1 for index in range(16)}
+        array = ProtectedArray(
+            space, heap_base, 16, Parity(), recovery=golden.__getitem__
+        )
+        for index, value in golden.items():
+            array.write(index, value)
+        space.inject_soft_flip(array.slot_addr(4), 2)
+        assert array.read(4) == golden[4]
+        assert array.detected_words == 1
+        assert array.recovered_words == 1
+        # Recovery rewrote the slot: subsequent reads are clean.
+        assert array.read(4) == golden[4]
+        assert array.detected_words == 1
+
+    def test_parity_without_recovery_raises(self, space, heap_base):
+        array = ProtectedArray(space, heap_base, 4, Parity())
+        array.write(0, 99)
+        space.inject_soft_flip(array.slot_addr(0), 0)
+        with pytest.raises(UncorrectableMemoryError):
+            array.read(0)
+
+    def test_no_protection_consumes_silently(self, space, heap_base):
+        array = ProtectedArray(space, heap_base, 4, NoProtection())
+        array.write(0, 0)
+        space.inject_soft_flip(array.slot_addr(0), 5)
+        assert array.read(0) == 32  # silent corruption, as designed
+        assert array.detected_words == 0
+
+    def test_validation(self, space, heap_base):
+        with pytest.raises(ValueError):
+            ProtectedArray(space, heap_base, 0, SecDed())
+        array = ProtectedArray(space, heap_base, 2, SecDed())
+        with pytest.raises(IndexError):
+            array.slot_addr(2)
+
+
+class TestChannelProvisioning:
+    def make(self):
+        geometry = DramGeometry(channels=3, rows_per_bank=1024)
+        return ChannelProvisionedMemory(geometry, figure9_plan())
+
+    def test_figure9_plan_shape(self):
+        plan = figure9_plan()
+        assert plan.channel_count == 3
+        assert plan.grade(0) == (HardwareTechnique.SEC_DED, False)
+        assert plan.grade(1) == (HardwareTechnique.NONE, False)
+
+    def test_allocation_routed_to_matching_channel(self):
+        memory = self.make()
+        ecc = memory.allocate(4096, HardwareTechnique.SEC_DED)
+        raw = memory.allocate(4096, HardwareTechnique.NONE)
+        assert ecc.channel == 0
+        assert raw.channel in (1, 2)
+
+    def test_no_matching_channel_rejected(self):
+        memory = self.make()
+        with pytest.raises(ValueError):
+            memory.allocate(4096, HardwareTechnique.MIRRORING)
+
+    def test_capacity_exhaustion_spills_then_fails(self):
+        memory = self.make()
+        capacity = memory.geometry.channel_size
+        first = memory.allocate(capacity, HardwareTechnique.NONE)
+        second = memory.allocate(capacity, HardwareTechnique.NONE)
+        assert {first.channel, second.channel} == {1, 2}
+        with pytest.raises(ValueError):
+            memory.allocate(1, HardwareTechnique.NONE)
+
+    def test_placement_summary(self):
+        memory = self.make()
+        memory.allocate(100, HardwareTechnique.SEC_DED)
+        summary = memory.placement_summary()
+        assert summary[0]["used_bytes"] == 100
+        assert summary[1]["technique"] == "None"
+
+    def test_plan_geometry_mismatch_rejected(self):
+        geometry = DramGeometry(channels=4, rows_per_bank=1024)
+        with pytest.raises(ValueError):
+            ChannelProvisionedMemory(geometry, figure9_plan())
+
+    def test_bad_plan_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelPlan(techniques=())
+        with pytest.raises(ValueError):
+            ChannelPlan(
+                techniques=(HardwareTechnique.NONE,),
+                less_tested=(True, False),
+            )
+
+    def test_less_tested_grade_filter(self):
+        geometry = DramGeometry(channels=2, rows_per_bank=1024)
+        plan = ChannelPlan(
+            techniques=(HardwareTechnique.NONE, HardwareTechnique.NONE),
+            less_tested=(False, True),
+        )
+        memory = ChannelProvisionedMemory(geometry, plan)
+        cheap = memory.allocate(64, HardwareTechnique.NONE, less_tested=True)
+        assert cheap.channel == 1 and cheap.less_tested
+
+
+class TestProtectedArrayUnderRandomFire:
+    def test_secded_survives_scattered_single_bit_errors(self, space, heap_base):
+        rng = random.Random(8)
+        array = ProtectedArray(space, heap_base, 64, SecDed())
+        golden = {}
+        for index in range(64):
+            value = rng.getrandbits(64)
+            golden[index] = value
+            array.write(index, value)
+        # One flip per word max: always correctable.
+        for index in range(64):
+            space.inject_soft_flip(
+                array.slot_addr(index) + rng.randrange(9), rng.randrange(8)
+            )
+        for index in range(64):
+            assert array.read(index) == golden[index]
+        assert array.corrected_words == 64

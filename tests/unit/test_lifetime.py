@@ -1,0 +1,69 @@
+"""Unit tests for the retirement lifetime simulation."""
+
+import pytest
+
+from repro.dram.lifetime import (
+    LifetimeConfig,
+    retirement_threshold_sweep,
+    simulate_lifetime,
+)
+
+CONFIG = LifetimeConfig(months=12, fault_arrivals_per_month=3.0, seed=3)
+
+
+class TestSimulateLifetime:
+    def test_baseline_accumulates_events(self):
+        baseline = simulate_lifetime(CONFIG, threshold=None)
+        assert baseline.total_error_events > 0
+        assert baseline.pages_retired == 0
+        assert len(baseline.monthly_events) == 12
+
+    def test_hard_faults_make_baseline_grow(self):
+        # With recurring hard faults, later months see more events than
+        # the first month (faults accumulate without retirement).
+        baseline = simulate_lifetime(CONFIG, threshold=None)
+        assert baseline.monthly_events[-1] >= baseline.monthly_events[0]
+
+    def test_retirement_eliminates_most_events(self):
+        baseline = simulate_lifetime(CONFIG, threshold=None)
+        aggressive = simulate_lifetime(CONFIG, threshold=1)
+        eliminated = aggressive.events_eliminated_fraction(baseline)
+        assert eliminated > 0.5
+        assert aggressive.pages_retired > 0
+
+    def test_capacity_cost_is_small(self):
+        aggressive = simulate_lifetime(CONFIG, threshold=1)
+        assert aggressive.retired_capacity_fraction < 0.01
+
+    def test_lower_threshold_retires_no_fewer_pages(self):
+        eager = simulate_lifetime(CONFIG, threshold=1)
+        lazy = simulate_lifetime(CONFIG, threshold=8)
+        assert eager.pages_retired >= lazy.pages_retired
+        assert eager.total_error_events <= lazy.total_error_events
+
+    def test_deterministic_given_seed(self):
+        first = simulate_lifetime(CONFIG, threshold=2)
+        second = simulate_lifetime(CONFIG, threshold=2)
+        assert first.total_error_events == second.total_error_events
+        assert first.monthly_events == second.monthly_events
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LifetimeConfig(months=0)
+        with pytest.raises(ValueError):
+            LifetimeConfig(fault_arrivals_per_month=0)
+
+
+class TestSweep:
+    def test_sweep_contains_baseline_and_thresholds(self):
+        results = retirement_threshold_sweep(CONFIG, thresholds=(1, 4))
+        assert set(results) == {None, 1, 4}
+
+    def test_elimination_monotone_in_threshold(self):
+        results = retirement_threshold_sweep(CONFIG, thresholds=(1, 2, 4, 8))
+        baseline = results[None]
+        fractions = [
+            results[threshold].events_eliminated_fraction(baseline)
+            for threshold in (1, 2, 4, 8)
+        ]
+        assert fractions == sorted(fractions, reverse=True)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.monitoring (monitor + analysis)."""
+
+import pytest
+
+from repro.monitoring import (
+    AccessMonitor,
+    TimeScale,
+    page_write_intervals,
+    safe_ratio_report,
+)
+
+
+class TestTimeScale:
+    def test_conversion_roundtrip(self):
+        scale = TimeScale(units_per_minute=600)
+        assert scale.minutes(1200) == 2.0
+        assert scale.units(0.5) == 300.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TimeScale(units_per_minute=0)
+
+
+class TestAccessMonitor:
+    def test_monitors_explicit_addresses(self, space, rng):
+        heap = space.region_named("heap")
+        monitor = AccessMonitor(space, rng)
+
+        def driver():
+            space.write_u8(heap.base, 1)
+            space.read_u8(heap.base)
+
+        result = monitor.monitor(driver, addresses=[heap.base, heap.base + 9])
+        assert [e.kind for e in result.traces[heap.base]] == ["store", "load"]
+        assert result.traces[heap.base + 9] == []
+        assert result.duration >= 2
+        assert result.region_of_addr[heap.base] == "heap"
+
+    def test_sampled_monitoring_covers_regions(self, space, rng):
+        monitor = AccessMonitor(space, rng)
+        result = monitor.monitor(lambda: None, sample_count=60)
+        regions = set(result.region_of_addr.values())
+        assert regions == {"private", "heap", "stack"}
+
+    def test_region_restricted_sampling(self, space, rng):
+        heap = space.region_named("heap")
+        monitor = AccessMonitor(space, rng)
+        result = monitor.monitor(lambda: None, sample_count=10, regions=[heap])
+        assert set(result.region_of_addr.values()) == {"heap"}
+
+    def test_watchpoints_removed_after_session(self, space, rng):
+        heap = space.region_named("heap")
+        monitor = AccessMonitor(space, rng)
+        result = monitor.monitor(lambda: None, addresses=[heap.base])
+        space.write_u8(heap.base, 1)  # after session: must not record
+        assert result.traces[heap.base] == []
+
+    def test_page_write_monitoring(self, space, rng):
+        heap = space.region_named("heap")
+        monitor = AccessMonitor(space, rng)
+        stats = monitor.monitor_page_writes(
+            lambda: space.write_u8(heap.base, 1)
+        )
+        assert stats[heap.base // 4096]["count"] == 1
+
+
+class TestAnalysis:
+    def test_safe_ratio_report_by_region(self, space, rng):
+        heap = space.region_named("heap")
+        stack = space.region_named("stack")
+        monitor = AccessMonitor(space, rng)
+
+        def driver():
+            for _ in range(5):
+                space.write_u8(stack.base, 1)  # write-heavy
+                space.read_u8(heap.base)  # read-heavy
+
+        result = monitor.monitor(driver, addresses=[heap.base, stack.base])
+        reports = safe_ratio_report(result)
+        assert reports["stack"].mean_safe_ratio == pytest.approx(1.0, abs=0.05)
+        assert reports["heap"].mean_safe_ratio == pytest.approx(0.0, abs=0.05)
+        assert sum(reports["heap"].histogram) == 1
+
+    def test_page_write_intervals(self):
+        stats = {
+            1: {"count": 3, "first_write": 0, "last_write": 100},
+            2: {"count": 1, "first_write": 5, "last_write": 5},
+        }
+        intervals = {i.page: i for i in page_write_intervals(stats)}
+        assert intervals[1].mean_interval_units == pytest.approx(50.0)
+        assert intervals[2].mean_interval_units is None
+
+    def test_interval_minutes_conversion(self):
+        stats = {1: {"count": 2, "first_write": 0, "last_write": 600}}
+        interval = page_write_intervals(stats)[0]
+        assert interval.mean_interval_minutes(TimeScale(60)) == pytest.approx(10.0)

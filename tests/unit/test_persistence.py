@@ -1,0 +1,113 @@
+"""Unit tests for repro.memory.persistence."""
+
+import pytest
+
+from repro.memory import (
+    BackingStore,
+    ProtectionFault,
+    RegionBacking,
+    mmap_region,
+)
+from repro.memory.regions import PAGE_SIZE
+
+
+@pytest.fixture
+def store():
+    backing = BackingStore()
+    backing.store("file.dat", bytes(range(256)) * (PAGE_SIZE // 256) * 2)
+    return backing
+
+
+class TestBackingStore:
+    def test_store_load_roundtrip(self, store):
+        store.store("x", b"abc")
+        assert store.load("x") == b"abc"
+
+    def test_missing_file(self, store):
+        with pytest.raises(FileNotFoundError):
+            store.load("nope")
+
+    def test_exists_and_paths(self, store):
+        assert store.exists("file.dat")
+        assert not store.exists("other")
+        assert "file.dat" in store.paths()
+
+    def test_size_of(self, store):
+        assert store.size_of("file.dat") == 2 * PAGE_SIZE
+
+    def test_io_counters(self, store):
+        reads_before = store.read_ops
+        store.load("file.dat")
+        assert store.read_ops == reads_before + 1
+
+
+class TestMmapRegion:
+    def test_loads_and_freezes(self, space, store):
+        backing = mmap_region(space, "private", store, "file.dat")
+        private = space.region_named("private")
+        assert space.read_u8(private.base + 10) == 10
+        assert private.frozen and private.file_backed
+        with pytest.raises(ProtectionFault):
+            space.write_u8(private.base, 0)
+        assert isinstance(backing, RegionBacking)
+
+    def test_no_freeze_option(self, space, store):
+        mmap_region(space, "heap", store, "file.dat", freeze=False)
+        heap = space.region_named("heap")
+        space.write_u8(heap.base, 9)  # still writable
+
+    def test_oversized_file_rejected(self, space, store):
+        store.store("big", bytes(space.region_named("stack").size + 1))
+        with pytest.raises(ValueError):
+            mmap_region(space, "stack", store, "big")
+
+
+class TestRecovery:
+    def test_recover_page_restores_clean_bytes(self, space, store):
+        backing = mmap_region(space, "private", store, "file.dat")
+        private = space.region_named("private")
+        target = private.base + PAGE_SIZE + 37
+        clean = space.peek(target)[0]
+        space.poke(target, bytes([clean ^ 0xFF]))
+        backing.recover_page(target)
+        assert space.peek(target)[0] == clean
+        assert backing.stats.pages_recovered == 1
+        assert backing.stats.bytes_recovered == PAGE_SIZE
+
+    def test_recover_page_only_touches_its_page(self, space, store):
+        backing = mmap_region(space, "private", store, "file.dat")
+        private = space.region_named("private")
+        other = private.base  # page 0
+        space.poke(other, b"\xaa")
+        backing.recover_page(private.base + PAGE_SIZE)  # recover page 1
+        assert space.peek(other)[0] == 0xAA  # page 0 untouched
+
+    def test_recover_region(self, space, store):
+        backing = mmap_region(space, "private", store, "file.dat")
+        private = space.region_named("private")
+        space.poke(private.base, b"\xff" * 64)
+        backing.recover_region()
+        assert space.peek(private.base, 4) == bytes([0, 1, 2, 3])
+
+    def test_recover_outside_region_rejected(self, space, store):
+        backing = mmap_region(space, "private", store, "file.dat")
+        with pytest.raises(ValueError):
+            backing.recover_page(space.region_named("heap").base)
+
+    def test_readonly_backing_rejects_flush(self, space, store):
+        backing = mmap_region(space, "private", store, "file.dat")
+        with pytest.raises(PermissionError):
+            backing.flush()
+
+    def test_writable_backing_flush_cycle(self, space, store):
+        # Par+R pattern: writable backing refreshed by flush, used by recover.
+        heap = space.region_named("heap")
+        space.write(heap.base, b"v1-data!")
+        backing = RegionBacking(
+            space=space, region=heap, store=store, path="heap.bak", writable=True
+        )
+        backing.flush()
+        space.write(heap.base, b"corrupt!")
+        backing.recover_page(heap.base)
+        assert space.read(heap.base, 8) == b"v1-data!"
+        assert backing.stats.flushes == 1

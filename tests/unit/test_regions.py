@@ -1,0 +1,114 @@
+"""Unit tests for repro.memory.regions."""
+
+import pytest
+
+from repro.memory.errors import LayoutError
+from repro.memory.regions import (
+    PAGE_SIZE,
+    MemoryLayout,
+    RegionKind,
+    RegionSpec,
+    region_kind_from_string,
+    standard_layout,
+)
+
+
+class TestRegionSpec:
+    def test_rounds_to_page_multiple(self):
+        spec = RegionSpec("r", RegionKind.HEAP, 100)
+        assert spec.size == PAGE_SIZE
+
+    def test_exact_multiple_unchanged(self):
+        spec = RegionSpec("r", RegionKind.HEAP, 2 * PAGE_SIZE)
+        assert spec.size == 2 * PAGE_SIZE
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(LayoutError):
+            RegionSpec("r", RegionKind.HEAP, 0)
+
+
+class TestMemoryLayout:
+    def test_guard_gaps_between_regions(self):
+        layout = MemoryLayout(
+            [
+                RegionSpec("a", RegionKind.HEAP, PAGE_SIZE),
+                RegionSpec("b", RegionKind.STACK, PAGE_SIZE),
+            ]
+        )
+        a, b = layout.regions
+        assert b.base - a.end == PAGE_SIZE  # default one guard page
+
+    def test_null_guard_page(self):
+        layout = MemoryLayout([RegionSpec("a", RegionKind.HEAP, PAGE_SIZE)])
+        assert layout.regions[0].base == PAGE_SIZE  # address 0 unmapped
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(LayoutError):
+            MemoryLayout(
+                [
+                    RegionSpec("a", RegionKind.HEAP, PAGE_SIZE),
+                    RegionSpec("a", RegionKind.STACK, PAGE_SIZE),
+                ]
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(LayoutError):
+            MemoryLayout([])
+
+    def test_region_named(self):
+        layout = standard_layout(heap_size=PAGE_SIZE, stack_size=PAGE_SIZE)
+        assert layout.region_named("heap").kind is RegionKind.HEAP
+        with pytest.raises(KeyError):
+            layout.region_named("nope")
+
+    def test_regions_of_kind(self):
+        layout = standard_layout(
+            private_size=PAGE_SIZE, heap_size=PAGE_SIZE, stack_size=PAGE_SIZE
+        )
+        assert [r.name for r in layout.regions_of_kind(RegionKind.PRIVATE)] == [
+            "private"
+        ]
+
+    def test_indices_dense(self):
+        layout = standard_layout(
+            private_size=PAGE_SIZE, heap_size=PAGE_SIZE, stack_size=PAGE_SIZE
+        )
+        assert [region.index for region in layout.regions] == [0, 1, 2]
+
+
+class TestStandardLayout:
+    def test_zero_regions_omitted(self):
+        layout = standard_layout(heap_size=PAGE_SIZE)
+        assert [region.name for region in layout.regions] == ["heap"]
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(LayoutError):
+            standard_layout()
+
+    def test_private_file_backed_default(self):
+        layout = standard_layout(private_size=PAGE_SIZE, heap_size=PAGE_SIZE)
+        assert layout.region_named("private").file_backed
+        assert not layout.region_named("heap").file_backed
+
+
+class TestRegionProperties:
+    def test_contains(self):
+        layout = standard_layout(heap_size=PAGE_SIZE)
+        region = layout.region_named("heap")
+        assert region.contains(region.base)
+        assert region.contains(region.end - 1)
+        assert not region.contains(region.end)
+        assert not region.contains(region.base - 1)
+
+    def test_page_count(self):
+        layout = standard_layout(heap_size=3 * PAGE_SIZE)
+        assert layout.region_named("heap").page_count == 3
+
+
+class TestKindParsing:
+    def test_parse(self):
+        assert region_kind_from_string("HEAP") is RegionKind.HEAP
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            region_kind_from_string("bogus")

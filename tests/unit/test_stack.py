@@ -1,0 +1,96 @@
+"""Unit tests for repro.memory.stack."""
+
+import pytest
+
+from repro.memory import SegmentationFault, StackManager, StackOverflowError
+
+
+@pytest.fixture
+def stack(space):
+    return StackManager(space, space.region_named("stack"))
+
+
+class TestPushPop:
+    def test_grows_downward(self, stack):
+        first = stack.push(64)
+        second = stack.push(64)
+        assert second.base < first.base
+        stack.pop()
+        stack.pop()
+
+    def test_depth_tracking(self, stack):
+        assert stack.depth == 0
+        stack.push(32)
+        stack.push(32)
+        assert stack.depth == 2
+        assert stack.max_depth == 2
+        stack.pop()
+        assert stack.depth == 1
+        assert stack.max_depth == 2
+
+    def test_pop_empty_raises(self, stack):
+        with pytest.raises(IndexError):
+            stack.pop()
+
+    def test_frame_size_aligned(self, stack):
+        frame = stack.push(10)
+        assert frame.size == 16
+
+    def test_non_positive_size_rejected(self, stack):
+        with pytest.raises(ValueError):
+            stack.push(0)
+
+    def test_overflow(self, stack):
+        region_size = stack.region.size
+        stack.push(region_size - 8)
+        with pytest.raises(StackOverflowError):
+            stack.push(64)
+
+    def test_used_bytes(self, stack):
+        assert stack.used_bytes == 0
+        stack.push(64)
+        assert stack.used_bytes == 64
+
+    def test_pop_releases_space(self, stack):
+        frame = stack.push(128)
+        stack.pop()
+        again = stack.push(128)
+        assert again.base == frame.base
+
+    def test_current_frame(self, stack):
+        assert stack.current_frame() is None
+        frame = stack.push(16)
+        assert stack.current_frame() is frame
+
+
+class TestFrameSemantics:
+    def test_zero_on_push_masks_stale_data(self, space, stack):
+        frame = stack.push(32)
+        space.write_u64(frame.slot(0), 0xDEADBEEF)
+        stack.pop()
+        fresh = stack.push(32)
+        assert space.read_u64(fresh.slot(0)) == 0  # stale value overwritten
+
+    def test_no_zeroing_when_disabled(self, space):
+        lazy = StackManager(
+            space, space.region_named("stack"), zero_on_push=False
+        )
+        frame = lazy.push(32)
+        space.write_u64(frame.slot(0), 77)
+        lazy.pop()
+        fresh = lazy.push(32)
+        assert space.read_u64(fresh.slot(0)) == 77  # stale data persists
+
+    def test_slot_bounds_fault_like_wild_pointer(self, stack):
+        frame = stack.push(32)
+        with pytest.raises(SegmentationFault):
+            frame.slot(32)
+        with pytest.raises(SegmentationFault):
+            frame.slot(-1)
+
+    def test_slot_addresses_within_frame(self, space, stack):
+        frame = stack.push(24)
+        addr = frame.slot(8)
+        assert frame.base <= addr < frame.base + frame.size
+        space.write_u32(addr, 5)
+        assert space.read_u32(addr) == 5

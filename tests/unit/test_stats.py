@@ -1,0 +1,97 @@
+"""Unit tests for repro.utils.stats."""
+
+import pytest
+
+from repro.utils.stats import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    summarize_samples,
+    wilson_interval,
+)
+
+
+class TestConfidenceInterval:
+    def test_valid(self):
+        ci = ConfidenceInterval(0.5, 0.4, 0.6, 0.9)
+        assert ci.half_width == pytest.approx(0.1)
+
+    def test_estimate_outside_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.7, 0.4, 0.6, 0.9)
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(0.5, 0.4, 0.6, 1.5)
+
+    def test_str_contains_level(self):
+        assert "90%" in str(ConfidenceInterval(0.5, 0.4, 0.6, 0.9))
+
+
+class TestWilsonInterval:
+    def test_zero_successes_lower_bound_zero(self):
+        ci = wilson_interval(0, 100)
+        assert ci.lower == 0.0
+        assert ci.upper > 0.0  # zero crashes observed != zero probability
+
+    def test_all_successes(self):
+        ci = wilson_interval(50, 50)
+        assert ci.upper == 1.0
+        assert ci.lower < 1.0
+
+    def test_contains_point_estimate(self):
+        ci = wilson_interval(7, 40)
+        assert ci.lower <= 7 / 40 <= ci.upper
+
+    def test_narrows_with_trials(self):
+        wide = wilson_interval(5, 20)
+        narrow = wilson_interval(50, 200)
+        assert narrow.half_width < wide.half_width
+
+    def test_higher_confidence_wider(self):
+        ci90 = wilson_interval(10, 50, confidence=0.90)
+        ci95 = wilson_interval(10, 50, confidence=0.95)
+        assert ci95.half_width > ci90.half_width
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            wilson_interval(0, 0)
+
+    def test_successes_out_of_range(self):
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    def test_arbitrary_confidence_level(self):
+        ci = wilson_interval(10, 100, confidence=0.80)
+        assert 0 < ci.lower < 0.1 < ci.upper < 0.25
+
+
+class TestMeanConfidenceInterval:
+    def test_single_sample_degenerate(self):
+        ci = mean_confidence_interval([3.0])
+        assert ci.lower == ci.upper == 3.0
+
+    def test_mean_within(self):
+        ci = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert ci.lower < 2.5 < ci.upper
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+
+class TestSummarizeSamples:
+    def test_basic(self):
+        summary = summarize_samples([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.stddev == pytest.approx(1.0)
+
+    def test_single(self):
+        summary = summarize_samples([5.0])
+        assert summary.stddev == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_samples([])

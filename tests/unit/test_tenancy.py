@@ -1,0 +1,129 @@
+"""Unit tests for multi-tenant reliability domains (repro.cluster.tenancy)."""
+
+import pytest
+
+from repro.cluster.tenancy import (
+    HostPlan,
+    ReliabilityDomainProvisioner,
+    Tenant,
+)
+from repro.core.design_space import HardwareTechnique, RegionPolicy
+from repro.core.taxonomy import ErrorOutcome
+from repro.core.vulnerability import VulnerabilityProfile
+
+
+def make_profile(name: str, crash_probability: float) -> VulnerabilityProfile:
+    profile = VulnerabilityProfile(app=name)
+    profile.region_sizes = {"heap": 1000}
+    cell = profile.cell("heap", "single-bit hard")
+    crashes = round(crash_probability * 200)
+    for _ in range(crashes):
+        cell.record(ErrorOutcome.CRASH, 10, 0, 10, 0.5)
+    for _ in range(200 - crashes):
+        cell.record(ErrorOutcome.MASKED_LOGIC, 100, 0, 0, None)
+    return profile
+
+
+@pytest.fixture
+def tenants():
+    return [
+        Tenant("tolerant", make_profile("tolerant", 0.001), 0.5, 0.99),
+        Tenant("strict", make_profile("strict", 0.05), 0.5, 0.9999),
+    ]
+
+
+@pytest.fixture
+def provisioner():
+    return ReliabilityDomainProvisioner(
+        candidates=(
+            RegionPolicy(technique=HardwareTechnique.NONE),
+            RegionPolicy(technique=HardwareTechnique.NONE, less_tested=True),
+            RegionPolicy(technique=HardwareTechnique.SEC_DED),
+        )
+    )
+
+
+class TestTenantValidation:
+    def test_bad_share(self):
+        with pytest.raises(ValueError):
+            Tenant("x", make_profile("x", 0.0), 0.0, 0.99)
+        with pytest.raises(ValueError):
+            Tenant("x", make_profile("x", 0.0), 1.5, 0.99)
+
+    def test_bad_target(self):
+        with pytest.raises(ValueError):
+            Tenant("x", make_profile("x", 0.0), 0.5, 1.5)
+
+
+class TestProvision:
+    def test_each_tenant_meets_own_sla(self, provisioner, tenants):
+        plan = provisioner.provision(tenants)
+        assert plan.feasible
+        assert len(plan.assignments) == 2
+
+    def test_tolerant_tenant_gets_cheaper_memory(self, provisioner, tenants):
+        plan = provisioner.provision(tenants)
+        by_name = {a.tenant.name: a for a in plan.assignments}
+        assert (
+            by_name["tolerant"].metrics.memory_cost_savings
+            >= by_name["strict"].metrics.memory_cost_savings
+        )
+
+    def test_heterogeneous_beats_uniform(self, provisioner, tenants):
+        per_tenant = provisioner.provision(tenants)
+        uniform = provisioner.provision_uniform(tenants)
+        assert per_tenant.feasible
+        assert (
+            per_tenant.memory_cost_savings
+            >= uniform.memory_cost_savings - 1e-9
+        )
+
+    def test_uniform_respects_strictest_sla(self, provisioner, tenants):
+        plan = provisioner.provision_uniform(tenants)
+        if plan.feasible:
+            for assignment in plan.assignments:
+                assert assignment.meets_sla
+
+    def test_infeasible_sla_falls_back_to_strongest(self, provisioner):
+        impossible = Tenant(
+            "impossible",
+            make_profile("impossible", 0.5),
+            0.9,
+            0.999999999,
+        )
+        plan = provisioner.provision([impossible])
+        assert len(plan.assignments) == 1
+        # Fallback is the strongest candidate; SEC-DED absorbs all
+        # single-bit errors, so the fallback actually meets the SLA here.
+        assert "SEC-DED" in plan.assignments[0].metrics.design.name
+
+    def test_error_rate_scaled_by_share(self, provisioner):
+        small = Tenant("small", make_profile("s", 0.05), 0.01, 0.999)
+        big = Tenant("big", make_profile("b", 0.05), 0.99, 0.999)
+        small_plan = provisioner.provision([small])
+        big_plan = provisioner.provision([big])
+        # The small tenant absorbs 1% of host errors: far fewer crashes
+        # for the same (unprotected) policy, i.e. higher availability at
+        # equal-or-better savings.
+        assert (
+            small_plan.assignments[0].metrics.memory_cost_savings
+            >= big_plan.assignments[0].metrics.memory_cost_savings
+        )
+
+
+class TestHostPlan:
+    def test_weighted_savings(self, tenants, provisioner):
+        plan = provisioner.provision(tenants)
+        shares = [a.tenant.memory_share for a in plan.assignments]
+        savings = [a.metrics.memory_cost_savings for a in plan.assignments]
+        expected = sum(w * s for w, s in zip(shares, savings)) / sum(shares)
+        assert plan.memory_cost_savings == pytest.approx(expected)
+
+    def test_empty_plan(self):
+        assert HostPlan().memory_cost_savings == 0.0
+        assert HostPlan().feasible
+
+    def test_describe(self, provisioner, tenants):
+        plan = provisioner.provision(tenants)
+        labels = plan.describe()
+        assert set(labels) == {"tolerant", "strict"}

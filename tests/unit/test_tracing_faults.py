@@ -1,0 +1,115 @@
+"""Unit tests for repro.memory.tracing and repro.memory.faults."""
+
+import pytest
+
+from repro.memory import AccessTrace
+from repro.memory.faults import (
+    FaultKind,
+    FaultLog,
+    HardFaultOverlay,
+    InjectedFault,
+)
+
+
+class TestHardFaultOverlay:
+    def test_stuck_at_one(self):
+        overlay = HardFaultOverlay()
+        overlay.add_stuck_bit(100, 0, 1)
+        assert overlay.apply(100, 0b0000) == 0b0001
+        assert overlay.apply(100, 0b1111) == 0b1111
+
+    def test_stuck_at_zero(self):
+        overlay = HardFaultOverlay()
+        overlay.add_stuck_bit(100, 3, 0)
+        assert overlay.apply(100, 0xFF) == 0xF7
+
+    def test_multiple_bits_same_byte(self):
+        overlay = HardFaultOverlay()
+        overlay.add_stuck_bit(5, 0, 1)
+        overlay.add_stuck_bit(5, 7, 0)
+        assert overlay.apply(5, 0b10000000) == 0b00000001
+
+    def test_other_addresses_untouched(self):
+        overlay = HardFaultOverlay()
+        overlay.add_stuck_bit(5, 0, 1)
+        assert overlay.apply(6, 0) == 0
+
+    def test_clear_and_len(self):
+        overlay = HardFaultOverlay()
+        assert not overlay
+        overlay.add_stuck_bit(1, 1, 1)
+        assert overlay and len(overlay) == 1
+        overlay.clear()
+        assert not overlay
+
+    def test_bad_bit_rejected(self):
+        with pytest.raises(ValueError):
+            HardFaultOverlay().add_stuck_bit(0, 9, 1)
+
+    def test_restuck_overrides(self):
+        overlay = HardFaultOverlay()
+        overlay.add_stuck_bit(0, 0, 1)
+        overlay.add_stuck_bit(0, 0, 0)
+        assert overlay.apply(0, 0b1) == 0b0
+
+
+class TestInjectedFault:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InjectedFault(0, 8, FaultKind.SOFT, 1, 0)
+        with pytest.raises(ValueError):
+            InjectedFault(0, 0, FaultKind.SOFT, 2, 0)
+
+    def test_fault_log(self):
+        log = FaultLog()
+        log.record(InjectedFault(0, 0, FaultKind.SOFT, 1, 0))
+        log.record(InjectedFault(1, 1, FaultKind.HARD, 0, 5))
+        assert len(log) == 2
+        assert [fault.addr for fault in log.of_kind(FaultKind.HARD)] == [1]
+        log.clear()
+        assert len(log) == 0
+
+
+class TestAccessTrace:
+    def test_attach_records_events(self, space):
+        heap = space.region_named("heap")
+        trace = AccessTrace()
+        trace.attach(space, heap.base)
+        space.write_u8(heap.base, 3)
+        space.read_u8(heap.base)
+        assert [event.kind for event in trace] == ["store", "load"]
+        assert all(event.addr == heap.base for event in trace)
+
+    def test_detach_stops_recording(self, space):
+        heap = space.region_named("heap")
+        trace = AccessTrace()
+        trace.attach(space, heap.base)
+        trace.detach_all()
+        space.write_u8(heap.base, 3)
+        assert len(trace) == 0
+
+    def test_by_address_grouping(self, space):
+        heap = space.region_named("heap")
+        trace = AccessTrace()
+        trace.attach(space, heap.base)
+        trace.attach(space, heap.base + 1)
+        space.write(heap.base, b"ab")  # touches both watched bytes
+        grouped = trace.by_address()
+        assert set(grouped) == {heap.base, heap.base + 1}
+
+    def test_events_for_filters(self, space):
+        heap = space.region_named("heap")
+        trace = AccessTrace()
+        trace.attach(space, heap.base)
+        space.write_u8(heap.base, 1)
+        assert len(trace.events_for(heap.base)) == 1
+        assert trace.events_for(heap.base + 1) == []
+
+    def test_event_times_monotonic(self, space):
+        heap = space.region_named("heap")
+        trace = AccessTrace()
+        trace.attach(space, heap.base)
+        for value in range(5):
+            space.write_u8(heap.base, value)
+        times = [event.time for event in trace]
+        assert times == sorted(times)

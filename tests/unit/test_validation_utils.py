@@ -1,0 +1,69 @@
+"""Unit tests for repro.utils.validation and paper-reference consistency."""
+
+import pytest
+
+from repro.core.paper_reference import (
+    FINDINGS,
+    TABLE1,
+    TABLE3,
+    TABLE6_DESIGNS,
+    TABLE6_PARAMETERS,
+)
+from repro.ecc import make_codec
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+)
+
+
+class TestValidationHelpers:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_fraction(self):
+        check_fraction("x", 0.0)
+        check_fraction("x", 1.0)
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.01)
+        with pytest.raises(ValueError):
+            check_fraction("x", -0.01)
+
+
+class TestPaperReferenceConsistency:
+    """The display-only paper constants must stay internally consistent
+    and consistent with the implementations they annotate."""
+
+    def test_table1_overheads_match_codecs(self):
+        for name, row in TABLE1.items():
+            codec = make_codec(name)
+            assert abs(codec.added_capacity - row["added_capacity"]) < 0.005
+
+    def test_table3_totals(self):
+        websearch = TABLE3["WebSearch"]
+        total_gb = sum(websearch.values()) / 2**30
+        assert 45 < total_gb < 47  # the paper's "46 GB" row
+
+    def test_table6_designs_have_all_columns(self):
+        for row in TABLE6_DESIGNS.values():
+            assert {"mapping", "memory_savings", "crashes_per_month",
+                    "availability", "incorrect_per_million"} <= set(row)
+
+    def test_table6_availability_consistent_with_crashes(self):
+        # availability = 1 - crashes * 10min / month, per the paper.
+        for name, row in TABLE6_DESIGNS.items():
+            crashes = row["crashes_per_month"]
+            expected = 1 - crashes * TABLE6_PARAMETERS["crash_recovery_minutes"] / 43200
+            assert abs(row["availability"] - expected) < 0.0006, name
+
+    def test_six_findings_documented(self):
+        assert len(FINDINGS) == 6
