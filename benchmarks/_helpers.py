@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 from repro.apps.graphmining import GraphMining
@@ -27,6 +28,24 @@ GRAPH_CONFIG = CampaignConfig(trials_per_cell=60, queries_per_trial=3, seed=43)
 #: resolution that rare soft-error crashes lack at simulation trial
 #: counts; see EXPERIMENTS.md for the discussion.
 ANALYSIS_ERROR_LABEL = "single-bit hard"
+
+
+def default_workers(cap: int = 4) -> int:
+    """Worker-pool size for profile (re-)measurement on this machine.
+
+    Capped because campaign profiles are cached after the first run;
+    the profiles themselves are worker-count-independent (see
+    repro.exec.parallel), so this only affects wall-clock time.
+    Override with the REPRO_BENCH_WORKERS environment variable.
+    """
+    override = os.environ.get("REPRO_BENCH_WORKERS")
+    if override:
+        return max(1, int(override))
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        cpus = os.cpu_count() or 1
+    return max(1, min(cap, cpus))
 
 
 def make_websearch() -> WebSearch:

@@ -22,6 +22,7 @@ from _helpers import (
     KVSTORE_CONFIG,
     RESULTS_DIR,
     WEBSEARCH_CONFIG,
+    default_workers,
     make_graphmining,
     make_kvstore,
     make_websearch,
@@ -41,6 +42,7 @@ def websearch_profile():
         WEBSEARCH_CONFIG,
         cache_path=CACHE_DIR / "websearch_profile.json",
         specs=FULL_SPECS,
+        workers=default_workers(),
     )
 
 
@@ -52,6 +54,7 @@ def kvstore_profile():
         KVSTORE_CONFIG,
         cache_path=CACHE_DIR / "kvstore_profile.json",
         specs=BASIC_SPECS,
+        workers=default_workers(),
     )
 
 
@@ -63,6 +66,7 @@ def graphmining_profile():
         GRAPH_CONFIG,
         cache_path=CACHE_DIR / "graphmining_profile.json",
         specs=BASIC_SPECS,
+        workers=default_workers(),
     )
 
 

@@ -13,12 +13,14 @@ Thin orchestration over the library for the common reproduction tasks:
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import sys
 from typing import List, Optional
 
 from repro.apps import GraphMining, KVStoreWorkload, WebSearch
 from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+from repro.exec import CampaignMetrics
 from repro.core.mapping import DesignEvaluator, paper_design_points
 from repro.core.optimizer import MappingOptimizer
 from repro.core.recoverability import (
@@ -28,18 +30,43 @@ from repro.core.recoverability import (
 from repro.ecc import available_techniques, make_codec
 from repro.injection import MULTI_BIT_HARD, SINGLE_BIT_HARD, SINGLE_BIT_SOFT
 
-WORKLOADS = {
-    "websearch": lambda scale: WebSearch(
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be >= 1, got {count}"
+        )
+    return count
+
+
+def _websearch_factory(scale: float):
+    return functools.partial(
+        WebSearch,
         vocabulary_size=int(600 * scale),
         doc_count=int(400 * scale),
         query_count=int(200 * scale),
-    ),
-    "memcached": lambda scale: KVStoreWorkload(
-        key_count=int(1000 * scale), op_count=int(300 * scale)
-    ),
-    "graphlab": lambda scale: GraphMining(
-        vertex_count=int(300 * scale), edges_per_vertex=8
-    ),
+    )
+
+
+def _memcached_factory(scale: float):
+    return functools.partial(
+        KVStoreWorkload, key_count=int(1000 * scale), op_count=int(300 * scale)
+    )
+
+
+def _graphlab_factory(scale: float):
+    return functools.partial(
+        GraphMining, vertex_count=int(300 * scale), edges_per_vertex=8
+    )
+
+
+#: app name -> (scale -> picklable zero-argument workload factory). The
+#: factories are ``functools.partial`` objects so ``--workers`` can ship
+#: them to spawned worker processes on any platform.
+WORKLOADS = {
+    "websearch": _websearch_factory,
+    "memcached": _memcached_factory,
+    "graphlab": _graphlab_factory,
 }
 
 SPECS = {
@@ -68,7 +95,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     characterize.add_argument("--seed", type=int, default=99)
     characterize.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the campaign (result is identical "
+        "for any worker count)",
+    )
+    characterize.add_argument(
         "--json", action="store_true", help="emit the profile as JSON"
+    )
+    characterize.add_argument(
+        "--metrics", action="store_true",
+        help="print campaign throughput (trials/sec, per-worker timing) "
+        "to stderr",
     )
 
     design = sub.add_parser(
@@ -81,6 +118,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also search for the cheapest design meeting "
                         "this availability target")
     design.add_argument("--seed", type=int, default=99)
+    design.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the characterization phase",
+    )
 
     recover = sub.add_parser(
         "recoverability", help="Table 5 recoverability analysis"
@@ -94,12 +135,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _make_workload(arguments):
-    workload = WORKLOADS[arguments.app](arguments.scale)
-    return workload
+    """Return (workload instance, picklable factory) for the chosen app."""
+    factory = WORKLOADS[arguments.app](arguments.scale)
+    return factory(), factory
 
 
 def _cmd_characterize(arguments) -> int:
-    workload = _make_workload(arguments)
+    workload, factory = _make_workload(arguments)
     campaign = CharacterizationCampaign(
         workload,
         CampaignConfig(
@@ -108,9 +150,30 @@ def _cmd_characterize(arguments) -> int:
             seed=arguments.seed,
         ),
     )
-    print(f"characterizing {workload.name}...", file=sys.stderr)
+    workers = arguments.workers
+    suffix = f" ({workers} workers)" if workers > 1 else ""
+    print(f"characterizing {workload.name}{suffix}...", file=sys.stderr)
     campaign.prepare()
-    profile = campaign.run(specs=tuple(SPECS[name] for name in arguments.errors))
+    metrics = CampaignMetrics() if arguments.metrics else None
+    profile = campaign.run(
+        specs=tuple(SPECS[name] for name in arguments.errors),
+        workers=workers,
+        workload_factory=factory,
+        progress=metrics,
+    )
+    if metrics is not None:
+        print(
+            f"{metrics.trials_done} trials in {metrics.elapsed_seconds:.1f}s "
+            f"({metrics.trials_per_second:.1f} trials/sec, "
+            f"{metrics.worker_count} workers)",
+            file=sys.stderr,
+        )
+        for pid, timing in sorted(metrics.per_worker.items()):
+            print(
+                f"  worker {pid}: {timing.shards} shards, "
+                f"{timing.trials} trials, {timing.busy_seconds:.1f}s busy",
+                file=sys.stderr,
+            )
     if arguments.json:
         print(json.dumps(profile.to_dict(), indent=2))
         return 0
@@ -125,7 +188,7 @@ def _cmd_characterize(arguments) -> int:
 
 
 def _cmd_design(arguments) -> int:
-    workload = _make_workload(arguments)
+    workload, factory = _make_workload(arguments)
     campaign = CharacterizationCampaign(
         workload,
         CampaignConfig(
@@ -136,7 +199,11 @@ def _cmd_design(arguments) -> int:
     )
     print(f"characterizing {workload.name} (hard errors)...", file=sys.stderr)
     campaign.prepare()
-    profile = campaign.run(specs=(SINGLE_BIT_HARD,))
+    profile = campaign.run(
+        specs=(SINGLE_BIT_HARD,),
+        workers=arguments.workers,
+        workload_factory=factory,
+    )
     recovery = analyze_recoverability(workload, queries=150)
     fractions = {name: entry.best_fraction for name, entry in recovery.items()}
     evaluator = DesignEvaluator(profile, error_label="single-bit hard")
@@ -167,7 +234,7 @@ def _cmd_design(arguments) -> int:
 
 
 def _cmd_recoverability(arguments) -> int:
-    workload = _make_workload(arguments)
+    workload, _factory = _make_workload(arguments)
     workload.build()
     workload.checkpoint()
     reports = analyze_recoverability(workload, queries=arguments.queries)

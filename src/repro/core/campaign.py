@@ -13,23 +13,38 @@ For every (memory region × error type) cell the campaign repeatedly:
 then classifies each trial with the Figure 1 taxonomy and aggregates the
 results into a :class:`~repro.core.vulnerability.VulnerabilityProfile`.
 
+Seeding and determinism
+-----------------------
+Every trial draws from its own ``random.Random`` stream derived (via
+:class:`~repro.utils.rng.SeedSequenceFactory`) from the campaign root
+seed and the trial's identity — application name, cell name, error
+label, and trial index. Trials are therefore mutually independent and
+order-independent, which is what lets ``run(workers=N)`` fan the grid
+out over a process pool (:mod:`repro.exec.parallel`) and still return a
+profile bit-identical to the serial run.
+
 Campaigns are deterministic given their seed; ``load_or_run_profile``
-caches profiles as JSON so the many benchmarks that share a
-characterization do not re-measure it.
+caches profiles as JSON (keyed by a config fingerprint, so stale caches
+measured under different knobs are re-measured automatically).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import random
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps.base import Workload
 from repro.apps.clients import ClientDriver
 from repro.core.taxonomy import ErrorOutcome, classify_outcome
 from repro.core.vulnerability import VulnerabilityProfile
+from repro.exec.cells import CampaignCell
+from repro.exec.progress import ProgressClock, emit_progress
 from repro.injection.injector import (
     SINGLE_BIT_HARD,
     SINGLE_BIT_SOFT,
@@ -40,6 +55,10 @@ from repro.utils.rng import SeedSequenceFactory
 
 #: Error types characterized by default (Figures 3 and 4).
 DEFAULT_SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
+
+#: Version of the profile cache format / trial seeding scheme. Bumping
+#: it invalidates every cached profile (see ``campaign_fingerprint``).
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -74,6 +93,15 @@ class TrialRecord:
     effect_delay_minutes: Optional[float]
 
 
+def _normalize_workers(workers: Optional[int]) -> int:
+    """Validate a worker count; None means serial."""
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
 @dataclass
 class CharacterizationCampaign:
     """Runs the Figure 2 loop for one workload."""
@@ -83,6 +111,7 @@ class CharacterizationCampaign:
 
     _driver: Optional[ClientDriver] = None
     _rng: Optional[random.Random] = None
+    _seed_factory: Optional[SeedSequenceFactory] = None
     trials: List[TrialRecord] = field(default_factory=list)
 
     def prepare(self) -> None:
@@ -101,21 +130,43 @@ class CharacterizationCampaign:
         self._driver = ClientDriver(
             self.workload, golden, failure_fraction=self.config.failure_fraction
         )
-        self._rng = SeedSequenceFactory(self.config.seed).stream(
-            f"campaign:{self.workload.name}"
-        )
+        self._seed_factory = SeedSequenceFactory(self.config.seed)
+        self._rng = self._seed_factory.stream(f"campaign:{self.workload.name}")
 
     # ------------------------------------------------------------------
-    def run_trial(self, region_name: str, spec: ErrorSpec) -> TrialRecord:
-        """One restart→inject→drive→classify cycle."""
-        if self._driver is None or self._rng is None:
-            raise RuntimeError("prepare() must be called before run_trial()")
+    # Trial seeding
+    # ------------------------------------------------------------------
+    def trial_rng(
+        self, cell_name: str, error_label: str, trial_index: int
+    ) -> random.Random:
+        """Independent seed stream for one trial of one cell.
+
+        The stream identity is (root seed, app, cell, error type, trial
+        index) — never execution order — which is the foundation of the
+        serial ≡ parallel determinism guarantee.
+        """
+        if self._seed_factory is None:
+            raise RuntimeError("prepare() must be called before trial_rng()")
+        label = (
+            f"trial:{self.workload.name}:{cell_name}:{error_label}:{trial_index}"
+        )
+        return self._seed_factory.stream(label)
+
+    # ------------------------------------------------------------------
+    def _execute_trial(
+        self,
+        cell_name: str,
+        spans: List[Tuple[int, int]],
+        spec: ErrorSpec,
+        rng: random.Random,
+    ) -> TrialRecord:
+        """Inject→drive→classify against pre-reset state and given spans."""
+        if self._driver is None:
+            raise RuntimeError("prepare() must be called before running trials")
         workload = self.workload
-        workload.reset()
         space = workload.space
-        region = space.region_named(region_name)
-        injector = ErrorInjector(space, self._rng)
-        record = injector.inject(spec, ranges=workload.sample_ranges(region))
+        injector = ErrorInjector(space, rng)
+        record = injector.inject(spec, ranges=spans)
         injected_at = space.time
 
         query_budget = min(self.config.queries_per_trial, workload.query_count)
@@ -141,8 +192,8 @@ class CharacterizationCampaign:
             delay_minutes = workload.time_scale.minutes(
                 max(0, min(effect_times) - injected_at)
             )
-        trial = TrialRecord(
-            region=region_name,
+        return TrialRecord(
+            region=cell_name,
             error_label=spec.label,
             anchor_addr=record.anchor_addr,
             outcome=outcome,
@@ -151,43 +202,179 @@ class CharacterizationCampaign:
             failed=report.failed,
             effect_delay_minutes=delay_minutes,
         )
+
+    def run_trial(
+        self,
+        region_name: str,
+        spec: ErrorSpec,
+        rng: Optional[random.Random] = None,
+    ) -> TrialRecord:
+        """One restart→inject→drive→classify cycle.
+
+        Without an explicit ``rng`` the campaign's legacy sequential
+        stream is used (handy for ad-hoc single trials); ``run`` passes
+        per-trial derived streams instead.
+        """
+        if self._driver is None or self._rng is None:
+            raise RuntimeError("prepare() must be called before run_trial()")
+        workload = self.workload
+        workload.reset()
+        region = workload.space.region_named(region_name)
+        trial = self._execute_trial(
+            region_name,
+            workload.sample_ranges(region),
+            spec,
+            rng if rng is not None else self._rng,
+        )
         self.trials.append(trial)
         return trial
+
+    def measure_trial(self, cell: CampaignCell, trial_index: int) -> TrialRecord:
+        """Measure one trial of one campaign cell with its derived seed.
+
+        The unit of work shared by the serial loop and pool workers:
+        region cells re-sample live spans after every reset; custom
+        cells use their fixed spans.
+        """
+        rng = self.trial_rng(cell.name, cell.spec.label, trial_index)
+        if cell.spans is None:
+            return self.run_trial(cell.name, cell.spec, rng=rng)
+        self.workload.reset()
+        return self._execute_trial(cell.name, list(cell.spans), cell.spec, rng)
+
+    def note_parallel_trials(
+        self, cells: Sequence[CampaignCell], results: Sequence
+    ) -> None:
+        """Mirror worker-side region trials into ``self.trials``.
+
+        Keeps parity with the serial path, where ``run_trial`` appends
+        every region-cell trial (custom cells never did).
+        """
+        for result in results:
+            cell = cells[result.cell_index]
+            if cell.spans is not None:
+                continue
+            self.trials.append(
+                TrialRecord(
+                    region=cell.name,
+                    error_label=cell.spec.label,
+                    anchor_addr=result.anchor_addr,
+                    outcome=ErrorOutcome(result.outcome),
+                    responded=result.responded,
+                    incorrect=result.incorrect,
+                    failed=result.failed,
+                    effect_delay_minutes=result.effect_delay_minutes,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    def _run_cells(
+        self,
+        cells: Sequence[CampaignCell],
+        budget: int,
+        region_sizes: Dict[str, int],
+        workers: int,
+        workload_factory: Optional[Callable[[], Workload]],
+        progress: Optional[Callable],
+    ) -> VulnerabilityProfile:
+        """Execute a cell grid serially or on a worker pool."""
+        if workers > 1:
+            from repro.exec.parallel import ParallelCampaignRunner
+
+            runner = ParallelCampaignRunner(
+                workers=workers,
+                workload_factory=workload_factory,
+                progress=progress,
+            )
+            return runner.run(self, cells, budget, region_sizes)
+
+        profile = VulnerabilityProfile(app=self.workload.name)
+        profile.region_sizes = dict(region_sizes)
+        clock = ProgressClock()
+        trials_total = len(cells) * budget
+        trials_done = 0
+        for cell_def in cells:
+            cell = profile.cell(cell_def.name, cell_def.spec.label)
+            cell_start = time.perf_counter()
+            for trial_index in range(budget):
+                trial = self.measure_trial(cell_def, trial_index)
+                cell.record(
+                    outcome=trial.outcome,
+                    responded=trial.responded,
+                    incorrect=trial.incorrect,
+                    failed=trial.failed,
+                    effect_delay_minutes=trial.effect_delay_minutes,
+                )
+            trials_done += budget
+            emit_progress(
+                progress,
+                clock,
+                trials_done=trials_done,
+                trials_total=trials_total,
+                worker_pid=os.getpid(),
+                shard_trials=budget,
+                shard_seconds=time.perf_counter() - cell_start,
+                cell_name=cell_def.name,
+                error_label=cell_def.spec.label,
+            )
+        return profile
 
     def run(
         self,
         regions: Optional[Sequence[str]] = None,
         specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
         trials_per_cell: Optional[int] = None,
+        workers: Optional[int] = None,
+        workload_factory: Optional[Callable[[], Workload]] = None,
+        progress: Optional[Callable] = None,
     ) -> VulnerabilityProfile:
-        """Run the full campaign and return the vulnerability profile."""
+        """Run the full campaign and return the vulnerability profile.
+
+        Args:
+            regions: Region names to characterize (default: all).
+            specs: Error types to inject.
+            trials_per_cell: Per-cell trial budget override.
+            workers: Process count for parallel execution; ``None`` or 1
+                runs serially. The returned profile is bit-identical for
+                any worker count.
+            workload_factory: Picklable zero-argument factory used to
+                rebuild the workload in spawned workers (not needed on
+                fork platforms, where workers inherit the prepared
+                campaign).
+            progress: Optional hook called with
+                :class:`~repro.exec.progress.ProgressEvent` after each
+                completed shard (e.g. a
+                :class:`~repro.exec.progress.CampaignMetrics`).
+        """
+        worker_count = _normalize_workers(workers)
         if self._driver is None:
             self.prepare()
         workload = self.workload
         if regions is None:
             regions = [region.name for region in workload.space.regions]
         budget = trials_per_cell or self.config.trials_per_cell
-        profile = VulnerabilityProfile(app=workload.name)
-        profile.region_sizes = self.live_region_sizes()
-        for region_name in regions:
-            for spec in specs:
-                cell = profile.cell(region_name, spec.label)
-                for _ in range(budget):
-                    trial = self.run_trial(region_name, spec)
-                    cell.record(
-                        outcome=trial.outcome,
-                        responded=trial.responded,
-                        incorrect=trial.incorrect,
-                        failed=trial.failed,
-                        effect_delay_minutes=trial.effect_delay_minutes,
-                    )
-        return profile
+        cells = [
+            CampaignCell(name=region_name, spec=spec)
+            for region_name in regions
+            for spec in specs
+        ]
+        return self._run_cells(
+            cells,
+            budget,
+            self.live_region_sizes(),
+            worker_count,
+            workload_factory,
+            progress,
+        )
 
     def run_custom_cells(
         self,
         cells: Dict[str, List],
         specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
         trials_per_cell: Optional[int] = None,
+        workers: Optional[int] = None,
+        workload_factory: Optional[Callable[[], Workload]] = None,
+        progress: Optional[Callable] = None,
     ) -> VulnerabilityProfile:
         """Characterize arbitrary named address-span sets.
 
@@ -196,58 +383,34 @@ class CharacterizationCampaign:
         (base, end) spans — e.g. from
         :meth:`repro.apps.websearch.WebSearch.data_structure_ranges` —
         and each gets its own profile cell, sampled and classified
-        exactly like a region.
+        exactly like a region. Accepts the same ``workers`` /
+        ``workload_factory`` / ``progress`` arguments as :meth:`run`.
         """
+        worker_count = _normalize_workers(workers)
         if self._driver is None or self._rng is None:
             self.prepare()
-        workload = self.workload
         budget = trials_per_cell or self.config.trials_per_cell
-        profile = VulnerabilityProfile(app=workload.name)
-        profile.region_sizes = {
+        region_sizes = {
             name: sum(end - base for base, end in spans)
             for name, spans in cells.items()
         }
-        query_budget = min(self.config.queries_per_trial, workload.query_count)
-        for name, spans in cells.items():
-            for spec in specs:
-                cell = profile.cell(name, spec.label)
-                for _ in range(budget):
-                    workload.reset()
-                    space = workload.space
-                    injector = ErrorInjector(space, self._rng)
-                    record = injector.inject(spec, ranges=spans)
-                    injected_at = space.time
-                    report = self._driver.run(range(query_budget))
-                    consumed = False
-                    overwritten = False
-                    for addr in set(record.addresses):
-                        reads, was_overwritten = space.fault_consumption(addr)
-                        consumed = consumed or reads > 0
-                        overwritten = overwritten or was_overwritten
-                    outcome = classify_outcome(
-                        report, consumed, overwritten, self.config.failure_fraction
-                    )
-                    effect_times = [
-                        t
-                        for t in (
-                            report.first_incorrect_time,
-                            report.first_failure_time,
-                        )
-                        if t is not None
-                    ]
-                    delay = None
-                    if effect_times:
-                        delay = workload.time_scale.minutes(
-                            max(0, min(effect_times) - injected_at)
-                        )
-                    cell.record(
-                        outcome=outcome,
-                        responded=report.responded,
-                        incorrect=report.incorrect,
-                        failed=report.failed,
-                        effect_delay_minutes=delay,
-                    )
-        return profile
+        cell_defs = [
+            CampaignCell(
+                name=name,
+                spec=spec,
+                spans=tuple((base, end) for base, end in spans),
+            )
+            for name, spans in cells.items()
+            for spec in specs
+        ]
+        return self._run_cells(
+            cell_defs,
+            budget,
+            region_sizes,
+            worker_count,
+            workload_factory,
+            progress,
+        )
 
     def live_region_sizes(self) -> Dict[str, int]:
         """Bytes of live application data per region (sampling weights)."""
@@ -258,29 +421,68 @@ class CharacterizationCampaign:
         return sizes
 
 
+def campaign_fingerprint(
+    config: CampaignConfig,
+    specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
+    regions: Optional[Sequence[str]] = None,
+) -> str:
+    """Stable digest of every knob that shapes a measured profile.
+
+    Embedded in profile caches so that a cache written under different
+    knobs (trial budget, query budget, seed, error specs, region
+    selection, or an older seeding scheme) is detected as stale and
+    re-measured instead of silently reused.
+    """
+    payload = {
+        "format": CACHE_FORMAT_VERSION,
+        "trials_per_cell": config.trials_per_cell,
+        "queries_per_trial": config.queries_per_trial,
+        "seed": config.seed,
+        "failure_fraction": config.failure_fraction,
+        "specs": [{"kind": spec.kind.value, "bits": spec.bits} for spec in specs],
+        "regions": list(regions) if regions is not None else None,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 def load_or_run_profile(
     workload_factory: Callable[[], Workload],
     config: CampaignConfig,
     cache_path: Optional[Path] = None,
     specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
     regions: Optional[Sequence[str]] = None,
+    workers: Optional[int] = None,
+    progress: Optional[Callable] = None,
 ) -> VulnerabilityProfile:
     """Return a (possibly cached) vulnerability profile.
 
-    The cache key is the caller-chosen path; stale caches are the
-    caller's concern (delete the file to re-measure). Corrupt cache
-    files are ignored and re-measured.
+    The cached JSON embeds a :func:`campaign_fingerprint`; a cache whose
+    fingerprint does not match the requested knobs — including legacy
+    caches written before fingerprinting existed — is re-measured and
+    rewritten. Corrupt cache files are likewise ignored. ``workers``
+    parallelizes the (re-)measurement without affecting the result.
     """
+    fingerprint = campaign_fingerprint(config, specs, regions)
     if cache_path is not None and cache_path.exists():
         try:
             data = json.loads(cache_path.read_text())
-            return VulnerabilityProfile.from_dict(data)
-        except (ValueError, KeyError):
+            if data.get("fingerprint") == fingerprint:
+                return VulnerabilityProfile.from_dict(data["profile"])
+        except (ValueError, KeyError, AttributeError):
             pass  # fall through to a fresh run
     campaign = CharacterizationCampaign(workload_factory(), config)
     campaign.prepare()
-    profile = campaign.run(regions=regions, specs=specs)
+    profile = campaign.run(
+        regions=regions,
+        specs=specs,
+        workers=workers,
+        workload_factory=workload_factory,
+        progress=progress,
+    )
     if cache_path is not None:
         cache_path.parent.mkdir(parents=True, exist_ok=True)
-        cache_path.write_text(json.dumps(profile.to_dict()))
+        cache_path.write_text(
+            json.dumps({"fingerprint": fingerprint, "profile": profile.to_dict()})
+        )
     return profile

@@ -1,0 +1,35 @@
+"""Campaign execution engine: sharding, worker pools, progress metrics.
+
+See :mod:`repro.exec.parallel` for the determinism guarantee that makes
+parallel characterization bit-identical to serial runs.
+"""
+
+from repro.exec.cells import CampaignCell, CellShard, plan_shards
+from repro.exec.parallel import (
+    ParallelCampaignRunner,
+    ShardResult,
+    TrialResult,
+    merge_shard_results,
+    resolve_start_method,
+    run_shard_on,
+)
+from repro.exec.progress import (
+    CampaignMetrics,
+    ProgressEvent,
+    WorkerTiming,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CellShard",
+    "plan_shards",
+    "ParallelCampaignRunner",
+    "ShardResult",
+    "TrialResult",
+    "merge_shard_results",
+    "resolve_start_method",
+    "run_shard_on",
+    "CampaignMetrics",
+    "ProgressEvent",
+    "WorkerTiming",
+]

@@ -1,0 +1,83 @@
+"""Campaign cell and shard planning for parallel execution.
+
+A characterization campaign is a grid of *cells* — (memory region ×
+error type), or (custom address-span set × error type) — each measured
+with ``trials_per_cell`` independent injection trials. Because every
+trial draws from its own derived seed stream (see
+:meth:`repro.core.campaign.CharacterizationCampaign.trial_rng`), the
+grid can be cut into arbitrary *shards* of contiguous trial ranges and
+executed in any order, on any number of workers, without changing the
+merged profile.
+
+:func:`plan_shards` performs that cut deterministically: cells are
+enumerated in campaign order (regions outer, specs inner) and each
+cell's trial range is split into chunks sized so that every worker gets
+several shards to balance load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.injection.injector import ErrorSpec
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (name × error type) cell of the campaign grid.
+
+    ``spans`` is ``None`` for region cells (fault addresses are sampled
+    from the region's live data at each trial) and an explicit tuple of
+    (base, end) spans for custom structure-granularity cells.
+    """
+
+    name: str
+    spec: ErrorSpec
+    spans: Optional[Tuple[Tuple[int, int], ...]] = None
+
+
+@dataclass(frozen=True)
+class CellShard:
+    """A contiguous trial range of one cell, the unit of worker dispatch."""
+
+    cell_index: int
+    cell: CampaignCell
+    trial_start: int
+    trial_count: int
+
+    def trial_indices(self) -> range:
+        """Global trial indices covered by this shard."""
+        return range(self.trial_start, self.trial_start + self.trial_count)
+
+
+def plan_shards(
+    cells: Sequence[CampaignCell],
+    trials_per_cell: int,
+    workers: int,
+    shards_per_worker: int = 4,
+) -> List[CellShard]:
+    """Split the campaign grid into balanced, deterministic shards.
+
+    The chunk size targets ``workers * shards_per_worker`` total shards
+    so stragglers do not serialize the pool, while never splitting below
+    one trial. Shards are returned in canonical (cell, trial range)
+    order; executing them in any order yields the same merged profile.
+    """
+    if trials_per_cell <= 0:
+        raise ValueError(f"trials_per_cell must be positive, got {trials_per_cell}")
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if not cells:
+        return []
+    total_trials = len(cells) * trials_per_cell
+    target_shards = max(1, workers * shards_per_worker)
+    chunk = max(1, -(-total_trials // target_shards))  # ceil division
+    shards: List[CellShard] = []
+    for cell_index, cell in enumerate(cells):
+        start = 0
+        while start < trials_per_cell:
+            count = min(chunk, trials_per_cell - start)
+            shards.append(CellShard(cell_index, cell, start, count))
+            start += count
+    return shards

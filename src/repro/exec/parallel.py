@@ -1,0 +1,277 @@
+"""Parallel campaign execution over a multiprocessing worker pool.
+
+The paper ran its characterization on 40+ servers for two months
+because the Figure 2 loop is embarrassingly parallel across
+(region × error type × trial) cells. This module reproduces that
+scale-out in-process: :class:`ParallelCampaignRunner` shards the
+campaign grid (:func:`repro.exec.cells.plan_shards`), executes the
+shards on a ``multiprocessing`` pool, and merges the per-trial results
+back into a :class:`~repro.core.vulnerability.VulnerabilityProfile` in
+canonical campaign order.
+
+Determinism guarantee
+---------------------
+Every trial draws from its own seed stream, derived from the campaign
+root seed and the trial's (app, cell, error type, trial index) identity
+— never from pool scheduling. Merging replays trial results in
+canonical (cell, trial index) order, so the profile returned for *any*
+worker count — including the serial path — is bit-identical:
+``profile.to_dict()`` serializes to the same JSON bytes.
+
+Worker bootstrap
+----------------
+On platforms with the ``fork`` start method (Linux), workers inherit
+the parent's fully prepared campaign — built workload, checkpoint, and
+golden responses — at zero marshalling cost. Elsewhere (``spawn``),
+each worker rebuilds the campaign from a picklable
+``workload_factory``; the build is deterministic, so the inherited and
+rebuilt campaigns measure identical trials.
+
+Failures inside a worker (a bad region name, a broken workload factory)
+propagate: the pool is torn down and the original exception is raised
+in the caller.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.taxonomy import ErrorOutcome
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.exec.cells import CampaignCell, CellShard, plan_shards
+from repro.exec.progress import ProgressClock, emit_progress
+
+#: Campaign executing shards in this worker process. Populated either by
+#: fork inheritance (the parent sets it just before creating the pool)
+#: or by :func:`_worker_initializer` under the spawn start method.
+_WORKER_CAMPAIGN = None
+
+#: Exception raised while bootstrapping this worker's campaign. Kept
+#: instead of raising from the initializer itself: a Pool initializer
+#: that raises makes the pool respawn workers forever, so the error is
+#: surfaced from the first shard task instead.
+_WORKER_BOOTSTRAP_ERROR: Optional[BaseException] = None
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Picklable result of one trial, tagged with its grid position."""
+
+    cell_index: int
+    trial_index: int
+    anchor_addr: int
+    outcome: str
+    responded: int
+    incorrect: int
+    failed: int
+    effect_delay_minutes: Optional[float]
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """All trial results of one shard plus worker timing."""
+
+    cell_index: int
+    trial_start: int
+    cell_name: str
+    error_label: str
+    results: Tuple[TrialResult, ...]
+    worker_pid: int
+    seconds: float
+
+
+def _worker_initializer(workload_factory, config) -> None:
+    """Build and prepare a fresh campaign in a spawned worker.
+
+    Never raises — see :data:`_WORKER_BOOTSTRAP_ERROR`.
+    """
+    global _WORKER_CAMPAIGN, _WORKER_BOOTSTRAP_ERROR
+    from repro.core.campaign import CharacterizationCampaign
+
+    try:
+        campaign = CharacterizationCampaign(workload_factory(), config)
+        campaign.prepare()
+    except BaseException as exc:  # surfaced by _execute_shard
+        _WORKER_BOOTSTRAP_ERROR = exc
+        _WORKER_CAMPAIGN = None
+    else:
+        _WORKER_CAMPAIGN = campaign
+
+
+def run_shard_on(campaign, shard: CellShard) -> ShardResult:
+    """Execute one shard's trials on a prepared campaign."""
+    start = time.perf_counter()
+    results = []
+    for trial_index in shard.trial_indices():
+        trial = campaign.measure_trial(shard.cell, trial_index)
+        results.append(
+            TrialResult(
+                cell_index=shard.cell_index,
+                trial_index=trial_index,
+                anchor_addr=trial.anchor_addr,
+                outcome=trial.outcome.value,
+                responded=trial.responded,
+                incorrect=trial.incorrect,
+                failed=trial.failed,
+                effect_delay_minutes=trial.effect_delay_minutes,
+            )
+        )
+    return ShardResult(
+        cell_index=shard.cell_index,
+        trial_start=shard.trial_start,
+        cell_name=shard.cell.name,
+        error_label=shard.cell.spec.label,
+        results=tuple(results),
+        worker_pid=os.getpid(),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _execute_shard(shard: CellShard) -> ShardResult:
+    """Pool task: run one shard on this worker's campaign."""
+    campaign = _WORKER_CAMPAIGN
+    if campaign is None:
+        if _WORKER_BOOTSTRAP_ERROR is not None:
+            raise _WORKER_BOOTSTRAP_ERROR
+        raise RuntimeError(
+            "worker process has no campaign: the pool was started without "
+            "fork inheritance or a workload_factory initializer"
+        )
+    return run_shard_on(campaign, shard)
+
+
+def merge_shard_results(
+    profile: VulnerabilityProfile,
+    cells: Sequence[CampaignCell],
+    shard_results: Iterable[ShardResult],
+) -> List[TrialResult]:
+    """Fold shard results into ``profile`` in canonical campaign order.
+
+    Results may arrive in any completion order; they are re-sorted by
+    (cell index, trial index) before being recorded, which makes the
+    merged profile independent of pool scheduling — the property pinned
+    by the determinism test harness.
+
+    Returns the flattened trial results in that canonical order.
+    """
+    by_cell: Dict[int, List[ShardResult]] = {}
+    for shard_result in shard_results:
+        by_cell.setdefault(shard_result.cell_index, []).append(shard_result)
+    ordered: List[TrialResult] = []
+    for cell_index, cell_def in enumerate(cells):
+        cell = profile.cell(cell_def.name, cell_def.spec.label)
+        for shard_result in sorted(
+            by_cell.get(cell_index, []), key=lambda r: r.trial_start
+        ):
+            for result in shard_result.results:
+                cell.record(
+                    outcome=ErrorOutcome(result.outcome),
+                    responded=result.responded,
+                    incorrect=result.incorrect,
+                    failed=result.failed,
+                    effect_delay_minutes=result.effect_delay_minutes,
+                )
+                ordered.append(result)
+    return ordered
+
+
+def resolve_start_method(preferred: Optional[str] = None) -> str:
+    """Pick the multiprocessing start method (fork when available)."""
+    available = multiprocessing.get_all_start_methods()
+    if preferred is not None:
+        if preferred not in available:
+            raise ValueError(
+                f"start method {preferred!r} not available (have {available})"
+            )
+        return preferred
+    return "fork" if "fork" in available else available[0]
+
+
+class ParallelCampaignRunner:
+    """Runs a campaign's cell grid on a multiprocessing worker pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        workload_factory: Optional[Callable] = None,
+        progress: Optional[Callable] = None,
+        shards_per_worker: int = 4,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.workload_factory = workload_factory
+        self.progress = progress
+        self.shards_per_worker = shards_per_worker
+        self.start_method = resolve_start_method(start_method)
+
+    def run(
+        self,
+        campaign,
+        cells: Sequence[CampaignCell],
+        trials_per_cell: int,
+        region_sizes: Dict[str, int],
+    ) -> VulnerabilityProfile:
+        """Execute the grid and return the merged profile.
+
+        ``campaign`` must already be prepared; its workload is never
+        mutated by the pool (workers operate on forked or rebuilt
+        copies), so shared workload fixtures stay pristine.
+        """
+        global _WORKER_CAMPAIGN
+        shards = plan_shards(
+            cells, trials_per_cell, self.workers, self.shards_per_worker
+        )
+        profile = VulnerabilityProfile(app=campaign.workload.name)
+        profile.region_sizes = dict(region_sizes)
+        if not shards:
+            return profile
+
+        context = multiprocessing.get_context(self.start_method)
+        if self.start_method == "fork":
+            initializer, initargs = None, ()
+            _WORKER_CAMPAIGN = campaign  # inherited by forked workers
+        else:
+            if self.workload_factory is None:
+                raise RuntimeError(
+                    f"start method {self.start_method!r} cannot inherit the "
+                    "prepared campaign; pass a picklable workload_factory"
+                )
+            initializer = _worker_initializer
+            initargs = (self.workload_factory, campaign.config)
+
+        trials_total = len(cells) * trials_per_cell
+        trials_done = 0
+        clock = ProgressClock()
+        shard_results: List[ShardResult] = []
+        pool_size = min(self.workers, len(shards))
+        try:
+            with context.Pool(
+                processes=pool_size, initializer=initializer, initargs=initargs
+            ) as pool:
+                for shard_result in pool.imap_unordered(_execute_shard, shards):
+                    shard_results.append(shard_result)
+                    trials_done += len(shard_result.results)
+                    emit_progress(
+                        self.progress,
+                        clock,
+                        trials_done=trials_done,
+                        trials_total=trials_total,
+                        worker_pid=shard_result.worker_pid,
+                        shard_trials=len(shard_result.results),
+                        shard_seconds=shard_result.seconds,
+                        cell_name=shard_result.cell_name,
+                        error_label=shard_result.error_label,
+                    )
+        finally:
+            if self.start_method == "fork":
+                _WORKER_CAMPAIGN = None
+
+        ordered = merge_shard_results(profile, cells, shard_results)
+        campaign.note_parallel_trials(cells, ordered)
+        return profile

@@ -1,5 +1,12 @@
-"""Memory access monitoring framework (paper §IV-B)."""
+"""Memory access monitoring framework (paper §IV-B).
 
+Also re-exports the campaign progress/throughput instrumentation
+(:class:`CampaignMetrics`, :class:`ProgressEvent`) so callers can watch
+characterization campaigns — serial or parallel — alongside memory
+accesses.
+"""
+
+from repro.exec.progress import CampaignMetrics, ProgressEvent, WorkerTiming
 from repro.monitoring.analysis import (
     PageWriteInterval,
     RegionSafeRatioReport,
@@ -17,4 +24,7 @@ __all__ = [
     "safe_ratio_report",
     "AccessMonitor",
     "MonitoringResult",
+    "CampaignMetrics",
+    "ProgressEvent",
+    "WorkerTiming",
 ]

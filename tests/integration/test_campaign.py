@@ -8,8 +8,11 @@ from repro.apps.websearch import WebSearch
 from repro.core.campaign import (
     CampaignConfig,
     CharacterizationCampaign,
+    campaign_fingerprint,
     load_or_run_profile,
 )
+from repro.injection.injector import ErrorSpec
+from repro.memory.faults import FaultKind
 from repro.core.taxonomy import ErrorOutcome
 from repro.core.vulnerability import VulnerabilityProfile
 from repro.injection import SINGLE_BIT_HARD, SINGLE_BIT_SOFT
@@ -127,3 +130,104 @@ class TestProfileCache:
         )
         assert isinstance(profile, VulnerabilityProfile)
         json.loads(cache.read_text())  # cache rewritten valid
+
+
+class TestCacheInvalidation:
+    """Stale caches (measured under different knobs) must re-measure."""
+
+    @staticmethod
+    def factory():
+        return WebSearch(
+            vocabulary_size=300, doc_count=200, query_count=80, heap_size=65536
+        )
+
+    BASE = CampaignConfig(trials_per_cell=2, queries_per_trial=20, seed=5)
+
+    def test_cache_embeds_matching_fingerprint(self, tmp_path):
+        cache = tmp_path / "profile.json"
+        load_or_run_profile(self.factory, self.BASE, cache_path=cache,
+                            regions=["stack"])
+        data = json.loads(cache.read_text())
+        assert data["fingerprint"] == campaign_fingerprint(
+            self.BASE, regions=["stack"]
+        )
+        assert "profile" in data
+
+    def test_matching_fingerprint_reuses_cache(self, tmp_path):
+        cache = tmp_path / "profile.json"
+        first = load_or_run_profile(
+            self.factory, self.BASE, cache_path=cache, regions=["stack"]
+        )
+        # Plant a sentinel so a re-measure (which would overwrite it)
+        # is detectable.
+        data = json.loads(cache.read_text())
+        data["profile"]["app"] = "SentinelApp"
+        cache.write_text(json.dumps(data))
+        second = load_or_run_profile(
+            self.factory, self.BASE, cache_path=cache, regions=["stack"]
+        )
+        assert second.app == "SentinelApp"
+        assert first.app != "SentinelApp"
+
+    @pytest.mark.parametrize(
+        "changed",
+        [
+            {"trials_per_cell": 3},
+            {"queries_per_trial": 25},
+            {"seed": 6},
+            {"failure_fraction": 0.4},
+        ],
+        ids=["trials", "queries", "seed", "failure-fraction"],
+    )
+    def test_config_change_invalidates_cache(self, tmp_path, changed):
+        cache = tmp_path / "profile.json"
+        load_or_run_profile(self.factory, self.BASE, cache_path=cache,
+                            regions=["stack"])
+        stale_fingerprint = json.loads(cache.read_text())["fingerprint"]
+        altered = CampaignConfig(**{
+            "trials_per_cell": self.BASE.trials_per_cell,
+            "queries_per_trial": self.BASE.queries_per_trial,
+            "seed": self.BASE.seed,
+            "failure_fraction": self.BASE.failure_fraction,
+            **changed,
+        })
+        profile = load_or_run_profile(
+            self.factory, altered, cache_path=cache, regions=["stack"]
+        )
+        fresh = json.loads(cache.read_text())
+        assert fresh["fingerprint"] != stale_fingerprint  # re-measured
+        cell = profile.cell("stack", "single-bit soft")
+        assert cell.trials == altered.trials_per_cell
+
+    def test_spec_and_region_changes_invalidate_cache(self, tmp_path):
+        cache = tmp_path / "profile.json"
+        load_or_run_profile(
+            self.factory, self.BASE, cache_path=cache, regions=["stack"],
+            specs=(ErrorSpec(FaultKind.SOFT, 1),),
+        )
+        first = json.loads(cache.read_text())["fingerprint"]
+        load_or_run_profile(
+            self.factory, self.BASE, cache_path=cache, regions=["stack"],
+            specs=(ErrorSpec(FaultKind.HARD, 1),),
+        )
+        second = json.loads(cache.read_text())["fingerprint"]
+        assert second != first
+        load_or_run_profile(
+            self.factory, self.BASE, cache_path=cache, regions=["heap"],
+            specs=(ErrorSpec(FaultKind.HARD, 1),),
+        )
+        assert json.loads(cache.read_text())["fingerprint"] != second
+
+    def test_legacy_fingerprintless_cache_remeasured(self, tmp_path):
+        cache = tmp_path / "profile.json"
+        profile = load_or_run_profile(
+            self.factory, self.BASE, cache_path=cache, regions=["stack"]
+        )
+        # Rewrite in the pre-fingerprint format: the bare profile dict.
+        cache.write_text(json.dumps(profile.to_dict()))
+        again = load_or_run_profile(
+            self.factory, self.BASE, cache_path=cache, regions=["stack"]
+        )
+        data = json.loads(cache.read_text())
+        assert "fingerprint" in data  # upgraded to the new format
+        assert again.to_dict() == profile.to_dict()

@@ -15,7 +15,7 @@ from repro.core.taxonomy import ErrorOutcome
 from repro.injection import MULTI_BIT_HARD, SINGLE_BIT_HARD, SINGLE_BIT_SOFT
 from repro.monitoring import AccessMonitor, safe_ratio_report
 
-CONFIG = CampaignConfig(trials_per_cell=20, queries_per_trial=60, seed=31)
+CONFIG = CampaignConfig(trials_per_cell=20, queries_per_trial=60, seed=43)
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,50 @@
+"""Integration: a tiny end-to-end campaign per application, in parallel.
+
+Each of the paper's three applications runs one small characterization
+through the worker-pool path. The Figure 1 taxonomy partitions every
+trial, so per-cell outcome counts must sum exactly to the trial budget;
+and the parallel result must match a serial rerun bit-for-bit.
+"""
+
+import json
+
+import pytest
+
+from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+from repro.core.taxonomy import ErrorOutcome
+from repro.injection import SINGLE_BIT_HARD, SINGLE_BIT_SOFT
+
+TRIALS_PER_CELL = 3
+CONFIG = CampaignConfig(
+    trials_per_cell=TRIALS_PER_CELL, queries_per_trial=20, seed=29
+)
+SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
+
+APP_FIXTURES = ["websearch_small", "kvstore_small", "graphmining_small"]
+
+
+@pytest.fixture(params=APP_FIXTURES)
+def app_workload(request):
+    return request.getfixturevalue(request.param)
+
+
+class TestParallelCampaignPerApp:
+    def test_taxonomy_partitions_every_trial(self, app_workload):
+        campaign = CharacterizationCampaign(app_workload, CONFIG)
+        campaign.prepare()
+        profile = campaign.run(specs=SPECS, workers=2)
+        regions = [region.name for region in app_workload.space.regions]
+        assert set(profile.regions()) == set(regions)
+        assert len(profile.cells) == len(regions) * len(SPECS)
+        valid_outcomes = {outcome.value for outcome in ErrorOutcome}
+        for (region, label), cell in profile.cells.items():
+            assert cell.trials == TRIALS_PER_CELL, (region, label)
+            assert sum(cell.outcome_counts.values()) == TRIALS_PER_CELL
+            assert set(cell.outcome_counts) <= valid_outcomes
+
+    def test_parallel_matches_serial_rerun(self, app_workload):
+        campaign = CharacterizationCampaign(app_workload, CONFIG)
+        campaign.prepare()
+        parallel = campaign.run(specs=SPECS, workers=2)
+        serial = CharacterizationCampaign(app_workload, CONFIG).run(specs=SPECS)
+        assert json.dumps(parallel.to_dict()) == json.dumps(serial.to_dict())

@@ -1,0 +1,64 @@
+"""The parallel engine's reason to exist: measured wall-clock speedup.
+
+Runs the same trial budget serially and on a 4-worker pool and requires
+the pool to be at least 2x faster. Needs real CPU parallelism, so the
+test skips on machines with fewer than 4 usable cores (the scaling
+*correctness* — bit-identical profiles at every worker count — is
+asserted unconditionally in tests/unit/test_parallel_campaign.py; a
+reporting-only sweep lives in benchmarks/bench_parallel_scaling.py).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.apps.websearch import WebSearch
+from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+CONFIG = CampaignConfig(trials_per_cell=60, queries_per_trial=100, seed=17)
+
+
+def make_workload() -> WebSearch:
+    return WebSearch(
+        vocabulary_size=400, doc_count=300, query_count=150, heap_size=65536
+    )
+
+
+def _timed_run(workers):
+    campaign = CharacterizationCampaign(make_workload(), CONFIG)
+    campaign.prepare()  # build/golden cost excluded from the timed section
+    start = time.perf_counter()
+    profile = campaign.run(
+        regions=["stack", "heap"], workers=workers,
+        workload_factory=make_workload,
+    )
+    return profile, time.perf_counter() - start
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    _usable_cpus() < 4,
+    reason=f"needs >= 4 usable CPUs for a meaningful speedup bar "
+    f"(have {_usable_cpus()})",
+)
+def test_four_workers_at_least_twice_as_fast_as_serial():
+    serial_profile, serial_seconds = _timed_run(None)
+    parallel_profile, parallel_seconds = _timed_run(4)
+    assert json.dumps(parallel_profile.to_dict()) == json.dumps(
+        serial_profile.to_dict()
+    )
+    speedup = serial_seconds / parallel_seconds
+    assert speedup >= 2.0, (
+        f"4-worker campaign only {speedup:.2f}x faster "
+        f"({serial_seconds:.1f}s serial vs {parallel_seconds:.1f}s parallel)"
+    )

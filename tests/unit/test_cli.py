@@ -28,6 +28,28 @@ class TestCharacterizeCommand:
         assert "heap" in output
         assert "single-bit soft" in output
 
+    def test_workers_flag_matches_serial_json(self, capsys):
+        base = [
+            "characterize", "--app", "memcached", "--trials", "4",
+            "--queries", "15", "--scale", "0.3", "--errors", "soft",
+            "--json",
+        ]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_metrics_accounts_every_trial(self, capsys):
+        code = main([
+            "characterize", "--app", "memcached", "--trials", "3",
+            "--queries", "15", "--scale", "0.3", "--errors", "soft",
+            "--workers", "2", "--metrics",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "trials/sec" in err
+        assert "worker" in err
+
     def test_json_output_parses(self, capsys):
         code = main([
             "characterize", "--app", "memcached", "--trials", "2",

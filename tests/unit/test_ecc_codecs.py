@@ -8,6 +8,8 @@ cost model derives from them.
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.ecc import (
     Chipkill,
@@ -285,6 +287,136 @@ class TestRaim:
         corrupted = flip(encoded, 3, 4, 72 + 3, 72 + 4)  # 2 uncorrectable stripes
         result = codec.decode(corrupted)
         assert result.status is DecodeStatus.DETECTED
+
+
+#: Advertised guarantee radii per codec (Table 1): flipping up to
+#: ``correct`` bits must decode back to the original data; flipping up
+#: to ``detect`` bits must at minimum be flagged, never silently
+#: swallowed. ``None`` (no protection) has both radii at zero.
+GUARANTEES = {
+    "Parity": {"correct": 0, "detect": 1},
+    "SEC-DED": {"correct": 1, "detect": 2},
+    "DEC-TED": {"correct": 2, "detect": 3},
+    "Chipkill": {"correct": 1, "detect": 2},  # symbol radii, not bits
+}
+
+
+def _flip_bits(codeword, bits):
+    for bit in bits:
+        codeword ^= 1 << bit
+    return codeword
+
+
+class TestRoundtripProperties:
+    """Property-based: encode -> flip k bits -> decode honors Table 1.
+
+    Hypothesis drives the data word and the flipped positions; the
+    expected decode status is looked up from the codec's advertised
+    guarantee radius rather than hand-picked per test, so every codec is
+    held to exactly what it claims — no more, no less.
+    """
+
+    @staticmethod
+    def _case(name, data, positions):
+        """Exercise one (codec, data, flip-set) case against GUARANTEES."""
+        codec = make_codec(name)
+        data %= 1 << codec.data_bits
+        bits = sorted({p % codec.code_bits for p in positions})
+        result = codec.decode(_flip_bits(codec.encode(data), bits))
+        k = len(bits)
+        guarantee = GUARANTEES[name]
+        if k == 0:
+            assert result.status is DecodeStatus.OK
+            assert result.data == data
+        elif k <= guarantee["correct"]:
+            assert result.status is DecodeStatus.CORRECTED, (name, bits)
+            assert result.data == data
+        elif k <= guarantee["detect"]:
+            assert result.status in (
+                DecodeStatus.CORRECTED,
+                DecodeStatus.DETECTED,
+            ), (name, bits)
+            if result.status is DecodeStatus.CORRECTED:
+                assert result.data == data
+
+    @given(
+        data=st.integers(min_value=0, max_value=2**64 - 1),
+        positions=st.lists(
+            st.integers(min_value=0, max_value=2**16), max_size=1, unique=True
+        ),
+    )
+    @settings(max_examples=60)
+    def test_parity_guarantees(self, data, positions):
+        self._case("Parity", data, positions)
+
+    @given(
+        data=st.integers(min_value=0, max_value=2**64 - 1),
+        positions=st.lists(
+            st.integers(min_value=0, max_value=2**16), max_size=2, unique=True
+        ),
+    )
+    @settings(max_examples=80)
+    def test_hamming_secded_guarantees(self, data, positions):
+        self._case("SEC-DED", data, positions)
+
+    @given(
+        data=st.integers(min_value=0, max_value=2**64 - 1),
+        positions=st.lists(
+            st.integers(min_value=0, max_value=2**16), max_size=3, unique=True
+        ),
+    )
+    @settings(max_examples=80)
+    def test_dected_guarantees(self, data, positions):
+        self._case("DEC-TED", data, positions)
+
+    @given(
+        data=st.integers(min_value=0, max_value=2**128 - 1),
+        symbols=st.lists(
+            st.integers(min_value=0, max_value=35), max_size=2, unique=True
+        ),
+        patterns=st.lists(
+            st.integers(min_value=1, max_value=15), min_size=2, max_size=2
+        ),
+    )
+    @settings(max_examples=80)
+    def test_chipkill_symbol_guarantees(self, data, symbols, patterns):
+        """Chipkill's radius is measured in 4-bit symbols, not bits."""
+        codec = Chipkill()
+        encoded = codec.encode(data)
+        corrupted = encoded
+        for symbol, pattern in zip(symbols, patterns):
+            corrupted ^= pattern << (symbol * codec.symbol_bits)
+        result = codec.decode(corrupted)
+        guarantee = GUARANTEES["Chipkill"]
+        k = len(symbols)
+        if k == 0:
+            assert result.status is DecodeStatus.OK
+            assert result.data == data
+        elif k <= guarantee["correct"]:
+            assert result.status is DecodeStatus.CORRECTED
+            assert result.data == data
+        else:
+            assert result.status is DecodeStatus.DETECTED
+
+    @given(
+        data=st.integers(min_value=0, max_value=2**64 - 1),
+        positions=st.lists(
+            st.integers(min_value=0, max_value=64),
+            min_size=2,
+            max_size=6,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=60)
+    def test_parity_never_miscorrects(self, data, positions):
+        """Parity may miss even-weight errors but must never 'correct'."""
+        codec = Parity()
+        result = codec.decode(_flip_bits(codec.encode(data), positions))
+        assert result.status in (DecodeStatus.OK, DecodeStatus.DETECTED)
+        expected = (
+            DecodeStatus.DETECTED if len(positions) % 2 else DecodeStatus.OK
+        )
+        assert result.status is expected
 
 
 class TestRegistry:
