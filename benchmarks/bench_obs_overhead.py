@@ -1,0 +1,74 @@
+"""Observability overhead: traced vs untraced campaign wall time.
+
+Runs the same fixed trial budget three ways — untraced (NULL_OBSERVER),
+traced into an in-memory buffer, and traced into a JSONL file with the
+full metrics registry attached — and reports the relative overhead. The
+zero-cost-when-disabled claim is enforced in
+tests/integration/test_obs_campaign.py (byte-identical profiles); this
+bench records the *cost when enabled*, which should stay in the low
+single-digit percent range for simulation-bound campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from _helpers import make_websearch
+from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+from repro.injection import SINGLE_BIT_HARD, SINGLE_BIT_SOFT
+from repro.obs import EventBuffer, JsonlSink, MetricsRegistry, Observer
+
+CONFIG = CampaignConfig(trials_per_cell=20, queries_per_trial=80, seed=41)
+SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
+
+
+def _run(observer=None):
+    kwargs = {"observer": observer} if observer is not None else {}
+    campaign = CharacterizationCampaign(make_websearch(), CONFIG, **kwargs)
+    campaign.prepare()
+    start = time.perf_counter()
+    profile = campaign.run(specs=SPECS)
+    elapsed = time.perf_counter() - start
+    return profile, elapsed
+
+
+def test_obs_overhead(report):
+    _run()  # warm-up: first run pays one-time import/build costs
+    baseline_profile, baseline_seconds = _run()
+    baseline_json = json.dumps(baseline_profile.to_dict())
+
+    buffer = EventBuffer()
+    buffered_profile, buffered_seconds = _run(Observer(sinks=[buffer]))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.jsonl"
+        observer = Observer(
+            sinks=[JsonlSink(trace_path)], metrics=MetricsRegistry()
+        )
+        full_profile, full_seconds = _run(observer)
+        observer.close()
+        trace_bytes = trace_path.stat().st_size
+
+    # Tracing must never change results, whatever it costs.
+    assert json.dumps(buffered_profile.to_dict()) == baseline_json
+    assert json.dumps(full_profile.to_dict()) == baseline_json
+
+    lines = [
+        "Observability overhead — WebSearch, "
+        f"{CONFIG.trials_per_cell} trials/cell, serial",
+        f"{'mode':<24} {'seconds':>9} {'overhead':>9}",
+    ]
+    for mode, seconds in (
+        ("untraced", baseline_seconds),
+        ("buffer sink", buffered_seconds),
+        ("jsonl + metrics", full_seconds),
+    ):
+        overhead = (seconds / baseline_seconds - 1.0) * 100.0
+        lines.append(f"{mode:<24} {seconds:>9.2f} {overhead:>8.1f}%")
+    lines.append(
+        f"trace: {len(buffer.events)} events, {trace_bytes / 1024:.1f} KiB on disk"
+    )
+    report("obs_overhead", "\n".join(lines))

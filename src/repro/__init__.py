@@ -29,6 +29,8 @@ Quickstart::
     print(profile.crash_probability_per_error("single-bit soft"))
 """
 
+import logging as _logging
+
 from repro.apps import (
     ClientDriver,
     ClientReport,
@@ -63,8 +65,19 @@ from repro.injection import (
     ErrorSpec,
 )
 from repro.memory import AddressSpace, RegionKind
+from repro.obs import (
+    CampaignMetrics,
+    JsonlSink,
+    MetricsRegistry,
+    Observer,
+)
 
-__version__ = "1.0.0"
+# Library logging policy: the package-level "repro" logger stays silent
+# unless the application configures handlers (python -m repro wires it
+# to --log-level); see the stdlib logging HOWTO for the convention.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+__version__ = "1.1.0"
 
 __all__ = [
     "ClientDriver",
@@ -96,5 +109,9 @@ __all__ = [
     "ErrorSpec",
     "AddressSpace",
     "RegionKind",
+    "CampaignMetrics",
+    "JsonlSink",
+    "MetricsRegistry",
+    "Observer",
     "__version__",
 ]

@@ -3,24 +3,33 @@
 Thin orchestration over the library for the common reproduction tasks:
 
 * ``characterize`` — run an injection campaign on one of the built-in
-  workloads and print its vulnerability profile;
+  workloads and print its vulnerability profile (optionally streaming a
+  structured JSONL trace via ``--trace-out`` and metric dumps via
+  ``--metrics-out`` / ``--prom-out``);
 * ``design`` — evaluate the paper's five Table 6 design points (and
   optionally run the optimizer) against a fresh characterization;
 * ``recoverability`` — print the Table 5 analysis for a workload;
-* ``ecc`` — regenerate Table 1 from the codec implementations.
+* ``ecc`` — regenerate Table 1 from the codec implementations;
+* ``report`` — render a saved ``--trace-out`` JSONL trace.
+
+Global ``--log-level`` (before the subcommand) configures the
+package-level ``repro`` logger; the library itself only installs a
+``NullHandler``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import functools
 import json
+import logging
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.apps import GraphMining, KVStoreWorkload, WebSearch
 from repro.core.campaign import CampaignConfig, CharacterizationCampaign
-from repro.exec import CampaignMetrics
 from repro.core.mapping import DesignEvaluator, paper_design_points
 from repro.core.optimizer import MappingOptimizer
 from repro.core.recoverability import (
@@ -29,6 +38,19 @@ from repro.core.recoverability import (
 )
 from repro.ecc import available_techniques, make_codec
 from repro.injection import MULTI_BIT_HARD, SINGLE_BIT_HARD, SINGLE_BIT_SOFT
+from repro.obs import (
+    CampaignMetrics,
+    JsonlSink,
+    MetricsRegistry,
+    Observer,
+    load_events,
+    render_run_summary,
+    render_trace_report,
+    summarize_trace,
+)
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
 
 def _worker_count(value: str) -> int:
     count = int(value)
@@ -37,6 +59,26 @@ def _worker_count(value: str) -> int:
             f"worker count must be >= 1, got {count}"
         )
     return count
+
+
+def _out_path(value: str) -> Path:
+    """Validate an output file path eagerly (fail fast, not after a run)."""
+    path = Path(value)
+    if path.is_dir():
+        raise argparse.ArgumentTypeError(f"{value!r} is a directory")
+    if not path.parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"output directory {str(path.parent)!r} does not exist"
+        )
+    return path
+
+
+def _in_path(value: str) -> Path:
+    """Validate an input file path."""
+    path = Path(value)
+    if not path.is_file():
+        raise argparse.ArgumentTypeError(f"no such file: {value!r}")
+    return path
 
 
 def _websearch_factory(scale: float):
@@ -81,6 +123,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Heterogeneous-Reliability Memory reproduction toolkit",
     )
+    parser.add_argument(
+        "--log-level", choices=LOG_LEVELS, default=None,
+        help="configure the package-level 'repro' logger (stderr)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     characterize = sub.add_parser(
@@ -107,6 +153,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print campaign throughput (trials/sec, per-worker timing) "
         "to stderr",
     )
+    characterize.add_argument(
+        "--trace-out", type=_out_path, default=None, metavar="PATH",
+        help="write a structured JSONL event trace (spans: campaign/cell/"
+        "trial/injection/consume/verify; render with 'repro report')",
+    )
+    characterize.add_argument(
+        "--metrics-out", type=_out_path, default=None, metavar="PATH",
+        help="write campaign metrics (throughput, per-worker timing, "
+        "instrument registry) as JSON",
+    )
+    characterize.add_argument(
+        "--prom-out", type=_out_path, default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus text exposition",
+    )
 
     design = sub.add_parser(
         "design", help="evaluate Table 6 design points (and optimize)"
@@ -131,6 +191,15 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--scale", type=float, default=1.0)
 
     sub.add_parser("ecc", help="regenerate Table 1 from the codecs")
+
+    report = sub.add_parser(
+        "report", help="render a saved --trace-out JSONL trace"
+    )
+    report.add_argument("trace", type=_in_path, help="path to a JSONL trace")
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the trace summary as JSON instead of a table",
+    )
     return parser
 
 
@@ -140,8 +209,20 @@ def _make_workload(arguments):
     return factory(), factory
 
 
+def _build_observer(arguments) -> Observer:
+    """Assemble sinks + metrics registry from the characterize flags."""
+    sinks = []
+    if arguments.trace_out is not None:
+        sinks.append(JsonlSink(arguments.trace_out))
+    registry = None
+    if arguments.metrics_out is not None or arguments.prom_out is not None:
+        registry = MetricsRegistry()
+    return Observer(sinks=sinks, metrics=registry)
+
+
 def _cmd_characterize(arguments) -> int:
     workload, factory = _make_workload(arguments)
+    observer = _build_observer(arguments)
     campaign = CharacterizationCampaign(
         workload,
         CampaignConfig(
@@ -149,31 +230,34 @@ def _cmd_characterize(arguments) -> int:
             queries_per_trial=arguments.queries,
             seed=arguments.seed,
         ),
+        observer=observer,
     )
     workers = arguments.workers
     suffix = f" ({workers} workers)" if workers > 1 else ""
     print(f"characterizing {workload.name}{suffix}...", file=sys.stderr)
     campaign.prepare()
-    metrics = CampaignMetrics() if arguments.metrics else None
-    profile = campaign.run(
-        specs=tuple(SPECS[name] for name in arguments.errors),
-        workers=workers,
-        workload_factory=factory,
-        progress=metrics,
-    )
-    if metrics is not None:
-        print(
-            f"{metrics.trials_done} trials in {metrics.elapsed_seconds:.1f}s "
-            f"({metrics.trials_per_second:.1f} trials/sec, "
-            f"{metrics.worker_count} workers)",
-            file=sys.stderr,
+    want_metrics = arguments.metrics or arguments.metrics_out is not None
+    metrics = CampaignMetrics() if want_metrics else None
+    try:
+        profile = campaign.run(
+            specs=tuple(SPECS[name] for name in arguments.errors),
+            workers=workers,
+            workload_factory=factory,
+            progress=metrics,
         )
-        for pid, timing in sorted(metrics.per_worker.items()):
-            print(
-                f"  worker {pid}: {timing.shards} shards, "
-                f"{timing.trials} trials, {timing.busy_seconds:.1f}s busy",
-                file=sys.stderr,
-            )
+    finally:
+        observer.close()
+    if arguments.metrics:
+        print(render_run_summary(metrics), file=sys.stderr)
+    if arguments.metrics_out is not None:
+        payload = {"campaign": metrics.to_dict()}
+        if observer.metrics is not None:
+            payload["instruments"] = observer.metrics.to_dict()
+        arguments.metrics_out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    if arguments.prom_out is not None:
+        arguments.prom_out.write_text(observer.metrics.render_prometheus())
     if arguments.json:
         print(json.dumps(profile.to_dict(), indent=2))
         return 0
@@ -252,6 +336,16 @@ def _cmd_recoverability(arguments) -> int:
     return 0
 
 
+def _cmd_report(arguments) -> int:
+    events = load_events(arguments.trace)
+    summary = summarize_trace(events)
+    if arguments.json:
+        print(json.dumps(dataclasses.asdict(summary), indent=2, sort_keys=True))
+        return 0
+    print(render_trace_report(summary))
+    return 0
+
+
 def _cmd_ecc(_arguments) -> int:
     print(f"{'technique':<11} {'capability':<28} {'+capacity':>10} {'logic':>6}")
     for name in available_techniques():
@@ -263,14 +357,28 @@ def _cmd_ecc(_arguments) -> int:
     return 0
 
 
+def _configure_logging(level_name: Optional[str]) -> None:
+    """Wire the package-level ``repro`` logger to stderr (CLI only)."""
+    if level_name is None:
+        return
+    level = getattr(logging, level_name.upper())
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    package_logger = logging.getLogger("repro")
+    package_logger.addHandler(handler)
+    package_logger.setLevel(level)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     arguments = _build_parser().parse_args(argv)
+    _configure_logging(arguments.log_level)
     handlers = {
         "characterize": _cmd_characterize,
         "design": _cmd_design,
         "recoverability": _cmd_recoverability,
         "ecc": _cmd_ecc,
+        "report": _cmd_report,
     }
     return handlers[arguments.command](arguments)
 

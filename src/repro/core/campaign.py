@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import random
 import time
@@ -44,14 +45,24 @@ from repro.apps.clients import ClientDriver
 from repro.core.taxonomy import ErrorOutcome, classify_outcome
 from repro.core.vulnerability import VulnerabilityProfile
 from repro.exec.cells import CampaignCell
-from repro.exec.progress import ProgressClock, emit_progress
 from repro.injection.injector import (
     SINGLE_BIT_HARD,
     SINGLE_BIT_SOFT,
     ErrorInjector,
     ErrorSpec,
 )
+from repro.obs.events import (
+    SPAN_CAMPAIGN,
+    SPAN_CELL,
+    SPAN_CONSUME,
+    SPAN_TRIAL,
+    SPAN_VERIFY,
+)
+from repro.obs.progress import ProgressClock, emit_progress
+from repro.obs.trace import NULL_OBSERVER, Observer
 from repro.utils.rng import SeedSequenceFactory
+
+logger = logging.getLogger("repro.campaign")
 
 #: Error types characterized by default (Figures 3 and 4).
 DEFAULT_SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
@@ -108,6 +119,9 @@ class CharacterizationCampaign:
 
     workload: Workload
     config: CampaignConfig = field(default_factory=CampaignConfig)
+    #: Telemetry hub (tracing spans + metrics). The default disabled
+    #: observer makes instrumentation free; see :mod:`repro.obs`.
+    observer: Observer = field(default=NULL_OBSERVER)
 
     _driver: Optional[ClientDriver] = None
     _rng: Optional[random.Random] = None
@@ -165,22 +179,33 @@ class CharacterizationCampaign:
             raise RuntimeError("prepare() must be called before running trials")
         workload = self.workload
         space = workload.space
-        injector = ErrorInjector(space, rng)
+        injector = ErrorInjector(space, rng, observer=self.observer)
         record = injector.inject(spec, ranges=spans)
         injected_at = space.time
 
         query_budget = min(self.config.queries_per_trial, workload.query_count)
-        report = self._driver.run(range(query_budget))
+        with self.observer.span(SPAN_CONSUME) as consume_span:
+            report = self._driver.run(range(query_budget))
+            consume_span.set(
+                queries=query_budget,
+                responded=report.responded,
+                incorrect=report.incorrect,
+                failed=report.failed,
+            )
 
-        consumed = False
-        overwritten = False
-        for addr in set(record.addresses):
-            reads, was_overwritten = space.fault_consumption(addr)
-            consumed = consumed or reads > 0
-            overwritten = overwritten or was_overwritten
-        outcome = classify_outcome(
-            report, consumed, overwritten, self.config.failure_fraction
-        )
+        with self.observer.span(SPAN_VERIFY) as verify_span:
+            consumed = False
+            overwritten = False
+            for addr in set(record.addresses):
+                reads, was_overwritten = space.fault_consumption(addr)
+                consumed = consumed or reads > 0
+                overwritten = overwritten or was_overwritten
+            outcome = classify_outcome(
+                report, consumed, overwritten, self.config.failure_fraction
+            )
+            verify_span.set(
+                consumed=consumed, overwritten=overwritten, outcome=outcome.value
+            )
 
         effect_times = [
             t
@@ -234,13 +259,34 @@ class CharacterizationCampaign:
 
         The unit of work shared by the serial loop and pool workers:
         region cells re-sample live spans after every reset; custom
-        cells use their fixed spans.
+        cells use their fixed spans. The whole restart→inject→drive→
+        classify cycle is wrapped in a ``trial`` tracing span whose path
+        is derived from the grid identity, never execution order.
         """
         rng = self.trial_rng(cell.name, cell.spec.label, trial_index)
-        if cell.spans is None:
-            return self.run_trial(cell.name, cell.spec, rng=rng)
-        self.workload.reset()
-        return self._execute_trial(cell.name, list(cell.spans), cell.spec, rng)
+        cell_key = f"{cell.name}|{cell.spec.label}"
+        with self.observer.span(
+            SPAN_TRIAL,
+            key=str(trial_index),
+            attrs={"cell": cell_key, "trial_index": trial_index},
+        ) as span:
+            if cell.spans is None:
+                trial = self.run_trial(cell.name, cell.spec, rng=rng)
+            else:
+                self.workload.reset()
+                trial = self._execute_trial(
+                    cell.name, list(cell.spans), cell.spec, rng
+                )
+            span.set(
+                outcome=trial.outcome.value,
+                masked=trial.outcome.is_masked,
+                anchor_addr=trial.anchor_addr,
+                responded=trial.responded,
+                incorrect=trial.incorrect,
+                failed=trial.failed,
+                effect_delay_minutes=trial.effect_delay_minutes,
+            )
+        return trial
 
     def note_parallel_trials(
         self, cells: Sequence[CampaignCell], results: Sequence
@@ -277,46 +323,89 @@ class CharacterizationCampaign:
         workload_factory: Optional[Callable[[], Workload]],
         progress: Optional[Callable],
     ) -> VulnerabilityProfile:
-        """Execute a cell grid serially or on a worker pool."""
-        if workers > 1:
-            from repro.exec.parallel import ParallelCampaignRunner
+        """Execute a cell grid serially or on a worker pool.
 
-            runner = ParallelCampaignRunner(
-                workers=workers,
-                workload_factory=workload_factory,
-                progress=progress,
-            )
-            return runner.run(self, cells, budget, region_sizes)
-
-        profile = VulnerabilityProfile(app=self.workload.name)
-        profile.region_sizes = dict(region_sizes)
-        clock = ProgressClock()
+        Both paths run inside one ``campaign`` tracing span; the serial
+        loop additionally opens a ``cell`` span per grid cell (the
+        parallel runner opens its cell spans at merge time so relayed
+        worker events land in canonical order).
+        """
+        observer = self.observer
         trials_total = len(cells) * budget
-        trials_done = 0
-        for cell_def in cells:
-            cell = profile.cell(cell_def.name, cell_def.spec.label)
-            cell_start = time.perf_counter()
-            for trial_index in range(budget):
-                trial = self.measure_trial(cell_def, trial_index)
-                cell.record(
-                    outcome=trial.outcome,
-                    responded=trial.responded,
-                    incorrect=trial.incorrect,
-                    failed=trial.failed,
-                    effect_delay_minutes=trial.effect_delay_minutes,
+        logger.info(
+            "campaign %s: %d cells x %d trials on %d worker(s)",
+            self.workload.name, len(cells), budget, workers,
+        )
+        with observer.span(
+            SPAN_CAMPAIGN,
+            attrs={
+                "app": self.workload.name,
+                "cells": len(cells),
+                "trials_per_cell": budget,
+                "workers": workers,
+            },
+        ) as campaign_span:
+            if workers > 1:
+                from repro.exec.parallel import ParallelCampaignRunner
+
+                runner = ParallelCampaignRunner(
+                    workers=workers,
+                    workload_factory=workload_factory,
+                    progress=progress,
                 )
-            trials_done += budget
-            emit_progress(
-                progress,
-                clock,
-                trials_done=trials_done,
-                trials_total=trials_total,
-                worker_pid=os.getpid(),
-                shard_trials=budget,
-                shard_seconds=time.perf_counter() - cell_start,
-                cell_name=cell_def.name,
-                error_label=cell_def.spec.label,
-            )
+                profile = runner.run(self, cells, budget, region_sizes)
+                campaign_span.set(trials=trials_total)
+                logger.info(
+                    "campaign %s: %d trials complete",
+                    self.workload.name, trials_total,
+                )
+                return profile
+
+            profile = VulnerabilityProfile(app=self.workload.name)
+            profile.region_sizes = dict(region_sizes)
+            clock = ProgressClock()
+            trials_done = 0
+            for cell_def in cells:
+                cell = profile.cell(cell_def.name, cell_def.spec.label)
+                cell_key = f"{cell_def.name}|{cell_def.spec.label}"
+                cell_start = time.perf_counter()
+                with observer.span(
+                    SPAN_CELL,
+                    key=cell_key,
+                    attrs={
+                        "region": cell_def.name,
+                        "error_label": cell_def.spec.label,
+                        "trials": budget,
+                    },
+                ):
+                    for trial_index in range(budget):
+                        trial = self.measure_trial(cell_def, trial_index)
+                        cell.record(
+                            outcome=trial.outcome,
+                            responded=trial.responded,
+                            incorrect=trial.incorrect,
+                            failed=trial.failed,
+                            effect_delay_minutes=trial.effect_delay_minutes,
+                        )
+                trials_done += budget
+                logger.debug(
+                    "cell %s done (%d/%d trials)",
+                    cell_key, trials_done, trials_total,
+                )
+                emit_progress(
+                    progress,
+                    clock,
+                    trials_done=trials_done,
+                    trials_total=trials_total,
+                    worker_pid=os.getpid(),
+                    shard_trials=budget,
+                    shard_seconds=time.perf_counter() - cell_start,
+                    cell_name=cell_def.name,
+                    error_label=cell_def.spec.label,
+                    observer=observer,
+                )
+            campaign_span.set(trials=trials_total)
+        logger.info("campaign %s: %d trials complete", self.workload.name, trials_total)
         return profile
 
     def run(

@@ -34,16 +34,22 @@ in the caller.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.taxonomy import ErrorOutcome
 from repro.core.vulnerability import VulnerabilityProfile
 from repro.exec.cells import CampaignCell, CellShard, plan_shards
-from repro.exec.progress import ProgressClock, emit_progress
+from repro.obs.events import SPAN_CELL, TraceEvent
+from repro.obs.progress import ProgressClock, emit_progress
+from repro.obs.sinks import EventBuffer
+from repro.obs.trace import NULL_OBSERVER, Observer
+
+logger = logging.getLogger("repro.parallel")
 
 #: Campaign executing shards in this worker process. Populated either by
 #: fork inheritance (the parent sets it just before creating the pool)
@@ -55,6 +61,11 @@ _WORKER_CAMPAIGN = None
 #: that raises makes the pool respawn workers forever, so the error is
 #: surfaced from the first shard task instead.
 _WORKER_BOOTSTRAP_ERROR: Optional[BaseException] = None
+
+#: Whether workers should capture trace events for relay to the parent.
+#: Set by fork inheritance (the parent assigns it just before creating
+#: the pool) or by :func:`_worker_initializer` under spawn.
+_WORKER_TRACE = False
 
 
 @dataclass(frozen=True)
@@ -73,7 +84,11 @@ class TrialResult:
 
 @dataclass(frozen=True)
 class ShardResult:
-    """All trial results of one shard plus worker timing."""
+    """All trial results of one shard plus worker timing and telemetry.
+
+    ``events`` carries the worker's captured trace events back to the
+    parent through the result pipe (empty when tracing is disabled).
+    """
 
     cell_index: int
     trial_start: int
@@ -82,16 +97,18 @@ class ShardResult:
     results: Tuple[TrialResult, ...]
     worker_pid: int
     seconds: float
+    events: Tuple[TraceEvent, ...] = field(default=())
 
 
-def _worker_initializer(workload_factory, config) -> None:
+def _worker_initializer(workload_factory, config, trace_enabled=False) -> None:
     """Build and prepare a fresh campaign in a spawned worker.
 
     Never raises — see :data:`_WORKER_BOOTSTRAP_ERROR`.
     """
-    global _WORKER_CAMPAIGN, _WORKER_BOOTSTRAP_ERROR
+    global _WORKER_CAMPAIGN, _WORKER_BOOTSTRAP_ERROR, _WORKER_TRACE
     from repro.core.campaign import CharacterizationCampaign
 
+    _WORKER_TRACE = trace_enabled
     try:
         campaign = CharacterizationCampaign(workload_factory(), config)
         campaign.prepare()
@@ -102,24 +119,45 @@ def _worker_initializer(workload_factory, config) -> None:
         _WORKER_CAMPAIGN = campaign
 
 
-def run_shard_on(campaign, shard: CellShard) -> ShardResult:
-    """Execute one shard's trials on a prepared campaign."""
+def run_shard_on(
+    campaign, shard: CellShard, capture_events: bool = False
+) -> ShardResult:
+    """Execute one shard's trials on a prepared campaign.
+
+    With ``capture_events`` the campaign's observer is swapped for a
+    buffering one rooted at the shard's cell path, so trial spans are
+    captured in memory (never written to the parent's sinks from a
+    worker process) and returned inside the :class:`ShardResult` for
+    canonical-order replay by the parent.
+    """
+    buffer: Optional[EventBuffer] = None
+    original_observer = campaign.observer
+    if capture_events:
+        buffer = EventBuffer()
+        cell_key = f"{shard.cell.name}|{shard.cell.spec.label}"
+        campaign.observer = Observer(
+            sinks=[buffer], root_path=f"campaign/cell:{cell_key}"
+        )
     start = time.perf_counter()
     results = []
-    for trial_index in shard.trial_indices():
-        trial = campaign.measure_trial(shard.cell, trial_index)
-        results.append(
-            TrialResult(
-                cell_index=shard.cell_index,
-                trial_index=trial_index,
-                anchor_addr=trial.anchor_addr,
-                outcome=trial.outcome.value,
-                responded=trial.responded,
-                incorrect=trial.incorrect,
-                failed=trial.failed,
-                effect_delay_minutes=trial.effect_delay_minutes,
+    try:
+        for trial_index in shard.trial_indices():
+            trial = campaign.measure_trial(shard.cell, trial_index)
+            results.append(
+                TrialResult(
+                    cell_index=shard.cell_index,
+                    trial_index=trial_index,
+                    anchor_addr=trial.anchor_addr,
+                    outcome=trial.outcome.value,
+                    responded=trial.responded,
+                    incorrect=trial.incorrect,
+                    failed=trial.failed,
+                    effect_delay_minutes=trial.effect_delay_minutes,
+                )
             )
-        )
+    finally:
+        if capture_events:
+            campaign.observer = original_observer
     return ShardResult(
         cell_index=shard.cell_index,
         trial_start=shard.trial_start,
@@ -128,6 +166,7 @@ def run_shard_on(campaign, shard: CellShard) -> ShardResult:
         results=tuple(results),
         worker_pid=os.getpid(),
         seconds=time.perf_counter() - start,
+        events=tuple(buffer.events) if buffer is not None else (),
     )
 
 
@@ -141,13 +180,14 @@ def _execute_shard(shard: CellShard) -> ShardResult:
             "worker process has no campaign: the pool was started without "
             "fork inheritance or a workload_factory initializer"
         )
-    return run_shard_on(campaign, shard)
+    return run_shard_on(campaign, shard, capture_events=_WORKER_TRACE)
 
 
 def merge_shard_results(
     profile: VulnerabilityProfile,
     cells: Sequence[CampaignCell],
     shard_results: Iterable[ShardResult],
+    observer: Optional[Observer] = None,
 ) -> List[TrialResult]:
     """Fold shard results into ``profile`` in canonical campaign order.
 
@@ -156,26 +196,39 @@ def merge_shard_results(
     merged profile independent of pool scheduling — the property pinned
     by the determinism test harness.
 
+    With an ``observer``, each cell's merge is wrapped in a ``cell``
+    tracing span and the worker-captured events are replayed into the
+    parent's sinks in the same canonical order, so a parallel run's
+    trace has the same span paths as a serial run's.
+
     Returns the flattened trial results in that canonical order.
     """
+    obs = observer if observer is not None else NULL_OBSERVER
     by_cell: Dict[int, List[ShardResult]] = {}
     for shard_result in shard_results:
         by_cell.setdefault(shard_result.cell_index, []).append(shard_result)
     ordered: List[TrialResult] = []
     for cell_index, cell_def in enumerate(cells):
         cell = profile.cell(cell_def.name, cell_def.spec.label)
-        for shard_result in sorted(
-            by_cell.get(cell_index, []), key=lambda r: r.trial_start
+        cell_key = f"{cell_def.name}|{cell_def.spec.label}"
+        with obs.span(
+            SPAN_CELL,
+            key=cell_key,
+            attrs={"region": cell_def.name, "error_label": cell_def.spec.label},
         ):
-            for result in shard_result.results:
-                cell.record(
-                    outcome=ErrorOutcome(result.outcome),
-                    responded=result.responded,
-                    incorrect=result.incorrect,
-                    failed=result.failed,
-                    effect_delay_minutes=result.effect_delay_minutes,
-                )
-                ordered.append(result)
+            for shard_result in sorted(
+                by_cell.get(cell_index, []), key=lambda r: r.trial_start
+            ):
+                obs.replay(shard_result.events)
+                for result in shard_result.results:
+                    cell.record(
+                        outcome=ErrorOutcome(result.outcome),
+                        responded=result.responded,
+                        incorrect=result.incorrect,
+                        failed=result.failed,
+                        effect_delay_minutes=result.effect_delay_minutes,
+                    )
+                    ordered.append(result)
     return ordered
 
 
@@ -223,7 +276,8 @@ class ParallelCampaignRunner:
         mutated by the pool (workers operate on forked or rebuilt
         copies), so shared workload fixtures stay pristine.
         """
-        global _WORKER_CAMPAIGN
+        global _WORKER_CAMPAIGN, _WORKER_TRACE
+        observer = campaign.observer
         shards = plan_shards(
             cells, trials_per_cell, self.workers, self.shards_per_worker
         )
@@ -236,6 +290,7 @@ class ParallelCampaignRunner:
         if self.start_method == "fork":
             initializer, initargs = None, ()
             _WORKER_CAMPAIGN = campaign  # inherited by forked workers
+            _WORKER_TRACE = observer.enabled
         else:
             if self.workload_factory is None:
                 raise RuntimeError(
@@ -243,13 +298,17 @@ class ParallelCampaignRunner:
                     "prepared campaign; pass a picklable workload_factory"
                 )
             initializer = _worker_initializer
-            initargs = (self.workload_factory, campaign.config)
+            initargs = (self.workload_factory, campaign.config, observer.enabled)
 
         trials_total = len(cells) * trials_per_cell
         trials_done = 0
         clock = ProgressClock()
         shard_results: List[ShardResult] = []
         pool_size = min(self.workers, len(shards))
+        logger.info(
+            "pool: %d workers (%s), %d shards, %d trials",
+            pool_size, self.start_method, len(shards), trials_total,
+        )
         try:
             with context.Pool(
                 processes=pool_size, initializer=initializer, initargs=initargs
@@ -267,11 +326,13 @@ class ParallelCampaignRunner:
                         shard_seconds=shard_result.seconds,
                         cell_name=shard_result.cell_name,
                         error_label=shard_result.error_label,
+                        observer=observer,
                     )
         finally:
             if self.start_method == "fork":
                 _WORKER_CAMPAIGN = None
+                _WORKER_TRACE = False
 
-        ordered = merge_shard_results(profile, cells, shard_results)
+        ordered = merge_shard_results(profile, cells, shard_results, observer)
         campaign.note_parallel_trials(cells, ordered)
         return profile

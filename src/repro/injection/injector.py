@@ -24,6 +24,8 @@ from repro.injection.sampler import AddressSampler
 from repro.memory.address_space import AddressSpace
 from repro.memory.faults import FaultKind, InjectedFault
 from repro.memory.regions import Region
+from repro.obs.events import SPAN_INJECTION
+from repro.obs.trace import NULL_OBSERVER, Observer
 
 
 @dataclass(frozen=True)
@@ -82,9 +84,15 @@ class InjectionRecord:
 class ErrorInjector:
     """Injects error specs into an address space at sampled addresses."""
 
-    def __init__(self, space: AddressSpace, rng: random.Random) -> None:
+    def __init__(
+        self,
+        space: AddressSpace,
+        rng: random.Random,
+        observer: Observer = NULL_OBSERVER,
+    ) -> None:
         self._space = space
         self._rng = rng
+        self._observer = observer
         self.sampler = AddressSampler(space, rng)
 
     def inject(
@@ -95,6 +103,11 @@ class ErrorInjector:
         ranges: Optional[List] = None,
     ) -> InjectionRecord:
         """Inject one error of type ``spec``.
+
+        Each injection is wrapped in an ``injection`` tracing span whose
+        duration is the injection latency and whose attributes record
+        the spec and landed faults (no-op without a configured
+        observer).
 
         Args:
             spec: Error kind and multiplicity.
@@ -107,6 +120,23 @@ class ErrorInjector:
         Returns:
             The injection record with all installed faults.
         """
+        with self._observer.span(
+            SPAN_INJECTION,
+            attrs={"kind": spec.kind.value, "bits": spec.bits},
+        ) as span:
+            record = self._inject(spec, addr, region, ranges)
+            span.set(
+                anchor_addr=record.anchor_addr, faults=len(record.faults)
+            )
+        return record
+
+    def _inject(
+        self,
+        spec: ErrorSpec,
+        addr: Optional[int],
+        region: Optional[Region],
+        ranges: Optional[List],
+    ) -> InjectionRecord:
         if addr is None:
             if ranges is not None:
                 addr = self.sampler.sample_from_ranges(ranges)

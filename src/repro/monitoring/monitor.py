@@ -17,6 +17,8 @@ from repro.injection.sampler import AddressSampler
 from repro.memory.address_space import AddressSpace
 from repro.memory.regions import Region
 from repro.memory.tracing import AccessEvent, AccessTrace
+from repro.obs.events import SPAN_MONITOR
+from repro.obs.trace import NULL_OBSERVER, Observer
 
 
 @dataclass
@@ -52,9 +54,15 @@ class MonitoringResult:
 class AccessMonitor:
     """Samples addresses, watches them, and records their access events."""
 
-    def __init__(self, space: AddressSpace, rng: random.Random) -> None:
+    def __init__(
+        self,
+        space: AddressSpace,
+        rng: random.Random,
+        observer: Observer = NULL_OBSERVER,
+    ) -> None:
         self._space = space
         self._rng = rng
+        self._observer = observer
         self._sampler = AddressSampler(space, rng)
 
     def monitor(
@@ -87,24 +95,34 @@ class AccessMonitor:
                     addresses.extend(self._sampler.sample_many(share, region))
             else:
                 addresses = self._sampler.sample_many(sample_count)
-        trace = AccessTrace()
-        watched: List[int] = []
-        for addr in addresses:
-            if addr not in watched:
-                trace.attach(self._space, addr)
-                watched.append(addr)
-        start_time = self._space.time
-        try:
-            driver()
-        finally:
-            trace.detach_all()
-        end_time = self._space.time
-        result = MonitoringResult(start_time=start_time, end_time=end_time)
-        grouped = trace.by_address()
-        for addr in watched:
-            result.traces[addr] = grouped.get(addr, [])
-            region = self._space.region_at(addr)
-            result.region_of_addr[addr] = region.name if region else "?"
+        with self._observer.span(
+            SPAN_MONITOR, attrs={"mode": "watchpoints"}
+        ) as span:
+            trace = AccessTrace()
+            watched: List[int] = []
+            for addr in addresses:
+                if addr not in watched:
+                    trace.attach(self._space, addr)
+                    watched.append(addr)
+            start_time = self._space.time
+            try:
+                driver()
+            finally:
+                trace.detach_all()
+            end_time = self._space.time
+            result = MonitoringResult(start_time=start_time, end_time=end_time)
+            grouped = trace.by_address()
+            events = 0
+            for addr in watched:
+                result.traces[addr] = grouped.get(addr, [])
+                events += len(result.traces[addr])
+                region = self._space.region_at(addr)
+                result.region_of_addr[addr] = region.name if region else "?"
+            span.set(
+                watched=len(watched),
+                events=events,
+                duration_units=result.duration,
+            )
         return result
 
     def monitor_page_writes(self, driver: Callable[[], None]) -> Dict[int, Dict[str, int]]:
@@ -113,9 +131,14 @@ class AccessMonitor:
         Returns the per-page write statistics used by the explicit-
         recoverability analysis (write interval >= 5 minutes on average).
         """
-        self._space.enable_page_write_tracking()
-        try:
-            driver()
-        finally:
-            self._space.disable_page_write_tracking()
-        return self._space.page_write_stats()
+        with self._observer.span(
+            SPAN_MONITOR, attrs={"mode": "page_writes"}
+        ) as span:
+            self._space.enable_page_write_tracking()
+            try:
+                driver()
+            finally:
+                self._space.disable_page_write_tracking()
+            stats = self._space.page_write_stats()
+            span.set(pages=len(stats))
+        return stats

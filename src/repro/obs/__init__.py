@@ -1,0 +1,97 @@
+"""Campaign observability: tracing spans, metrics, and structured logs.
+
+The paper's methodology is as much about *watching* the injection
+schedule as running it: every trial outcome must be attributable to a
+region, error type, and time. This package provides that layer for the
+reproduction:
+
+* hierarchical **tracing spans** (``campaign → cell → trial →
+  injection/consume/verify``) via :class:`Observer`'s context-manager
+  API (:mod:`repro.obs.trace`), relayed from parallel workers through
+  the existing result pipe;
+* a **metrics registry** of counters/gauges/fixed-bucket histograms
+  (:mod:`repro.obs.metrics`) pre-wired with campaign instruments
+  (:mod:`repro.obs.instruments`);
+* **sinks/exporters**: a JSONL structured event log, a
+  Prometheus-style text exposition, and human-readable summaries
+  (:mod:`repro.obs.sinks`, :mod:`repro.obs.report`);
+* the **progress hook** layer (:mod:`repro.obs.progress`), still
+  re-exported from :mod:`repro.exec` for backward compatibility.
+
+Instrumentation is zero-cost when disabled (the default
+:data:`NULL_OBSERVER` allocates nothing on the hot path) and never
+perturbs determinism: a traced campaign's profile is byte-identical to
+an untraced one.
+"""
+
+from repro.obs.events import (
+    KIND_POINT,
+    KIND_SPAN,
+    POINT_PROGRESS,
+    SPAN_CAMPAIGN,
+    SPAN_CELL,
+    SPAN_CONSUME,
+    SPAN_INJECTION,
+    SPAN_MONITOR,
+    SPAN_TRIAL,
+    SPAN_VERIFY,
+    TraceEvent,
+)
+from repro.obs.instruments import CampaignInstruments
+from repro.obs.metrics import (
+    INJECTION_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.progress import (
+    CampaignMetrics,
+    ProgressClock,
+    ProgressEvent,
+    WorkerTiming,
+    emit_progress,
+)
+from repro.obs.report import (
+    TraceSummary,
+    render_run_summary,
+    render_trace_report,
+    summarize_trace,
+)
+from repro.obs.sinks import EventBuffer, JsonlSink, load_events
+from repro.obs.trace import NULL_OBSERVER, Observer, Span
+
+__all__ = [
+    "KIND_POINT",
+    "KIND_SPAN",
+    "POINT_PROGRESS",
+    "SPAN_CAMPAIGN",
+    "SPAN_CELL",
+    "SPAN_CONSUME",
+    "SPAN_INJECTION",
+    "SPAN_MONITOR",
+    "SPAN_TRIAL",
+    "SPAN_VERIFY",
+    "TraceEvent",
+    "CampaignInstruments",
+    "INJECTION_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "CampaignMetrics",
+    "ProgressClock",
+    "ProgressEvent",
+    "WorkerTiming",
+    "emit_progress",
+    "TraceSummary",
+    "render_run_summary",
+    "render_trace_report",
+    "summarize_trace",
+    "EventBuffer",
+    "JsonlSink",
+    "load_events",
+    "NULL_OBSERVER",
+    "Observer",
+    "Span",
+]

@@ -1,0 +1,135 @@
+"""Pre-wired campaign-level instruments over the metrics registry.
+
+:class:`CampaignInstruments` is the bridge from the event stream to the
+registry: an :class:`~repro.obs.trace.Observer` with a metrics registry
+attached routes every emitted event through :meth:`update`, which keeps
+the paper-relevant aggregates current:
+
+* ``campaign_trials_total{outcome}`` — the Figure 1 outcome taxonomy;
+* ``campaign_responses_total{disposition}`` — responded / incorrect /
+  failed client requests observed while errors were resident;
+* ``injection_latency_seconds`` — fixed-bucket injection-latency
+  histogram;
+* ``cell_safe_ratio{cell}`` — running masked-fraction estimate per
+  campaign cell (the live counterpart of Figure 5b);
+* ``worker_busy_seconds_total{pid}`` / ``worker_idle_seconds{pid}`` /
+  ``worker_trials_total{pid}`` — pool utilization;
+* ``campaign_trials_done`` / ``campaign_trials_budget`` /
+  ``campaign_elapsed_seconds`` — overall progress gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.obs.events import (
+    KIND_POINT,
+    KIND_SPAN,
+    POINT_PROGRESS,
+    SPAN_INJECTION,
+    SPAN_TRIAL,
+    TraceEvent,
+)
+from repro.obs.metrics import (
+    INJECTION_LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.utils.stats import safe_div
+
+__all__ = ["CampaignInstruments"]
+
+
+class CampaignInstruments:
+    """Keeps campaign-level instruments updated from the event stream."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.trials = registry.counter(
+            "campaign_trials_total",
+            "Completed injection trials by outcome taxonomy",
+            labels=("outcome",),
+        )
+        self.responses = registry.counter(
+            "campaign_responses_total",
+            "Client requests observed during trials by disposition",
+            labels=("disposition",),
+        )
+        self.injection_latency = registry.histogram(
+            "injection_latency_seconds",
+            "Wall-clock latency of one error-injection event",
+            buckets=INJECTION_LATENCY_BUCKETS,
+        )
+        self.cell_safe_ratio = registry.gauge(
+            "cell_safe_ratio",
+            "Running masked fraction per campaign cell",
+            labels=("cell",),
+        )
+        self.worker_busy = registry.counter(
+            "worker_busy_seconds_total",
+            "Cumulative shard-execution time per worker",
+            labels=("pid",),
+        )
+        self.worker_idle = registry.gauge(
+            "worker_idle_seconds",
+            "Campaign elapsed time minus busy time per worker",
+            labels=("pid",),
+        )
+        self.worker_trials = registry.counter(
+            "worker_trials_total",
+            "Trials completed per worker",
+            labels=("pid",),
+        )
+        self.trials_done = registry.gauge(
+            "campaign_trials_done", "Trials completed so far"
+        )
+        self.trials_budget = registry.gauge(
+            "campaign_trials_budget", "Total trial budget of the campaign"
+        )
+        self.elapsed = registry.gauge(
+            "campaign_elapsed_seconds", "Campaign wall-clock time so far"
+        )
+        # cell key -> (trials, masked) backing the running safe ratio.
+        self._cell_counts: Dict[str, Tuple[int, int]] = {}
+
+    def update(self, event: TraceEvent) -> None:
+        """Fold one telemetry event into the registry."""
+        if event.kind == KIND_SPAN:
+            if event.name == SPAN_TRIAL:
+                self._update_trial(event)
+            elif event.name == SPAN_INJECTION:
+                if event.duration_seconds is not None:
+                    self.injection_latency.labels().observe(
+                        event.duration_seconds
+                    )
+        elif event.kind == KIND_POINT and event.name == POINT_PROGRESS:
+            self._update_progress(event)
+
+    def _update_trial(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        outcome = str(attrs.get("outcome", "unknown"))
+        self.trials.labels(outcome=outcome).inc()
+        for disposition in ("responded", "incorrect", "failed"):
+            count = attrs.get(disposition)
+            if count:
+                self.responses.labels(disposition=disposition).inc(float(count))
+        cell = str(attrs.get("cell", "?"))
+        trials, masked = self._cell_counts.get(cell, (0, 0))
+        trials += 1
+        if attrs.get("masked"):
+            masked += 1
+        self._cell_counts[cell] = (trials, masked)
+        self.cell_safe_ratio.labels(cell=cell).set(safe_div(masked, trials))
+
+    def _update_progress(self, event: TraceEvent) -> None:
+        attrs = event.attrs
+        pid = str(attrs.get("worker_pid", event.pid))
+        busy = self.worker_busy.labels(pid=pid)
+        busy.inc(float(attrs.get("shard_seconds", 0.0)))
+        self.worker_trials.labels(pid=pid).inc(
+            float(attrs.get("shard_trials", 0))
+        )
+        elapsed = float(attrs.get("elapsed_seconds", 0.0))
+        self.worker_idle.labels(pid=pid).set(max(0.0, elapsed - busy.value))
+        self.trials_done.labels().set(float(attrs.get("trials_done", 0)))
+        self.trials_budget.labels().set(float(attrs.get("trials_total", 0)))
+        self.elapsed.labels().set(elapsed)

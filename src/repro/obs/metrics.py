@@ -1,0 +1,274 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+A deliberately small, dependency-free subset of the Prometheus data
+model. Instruments are created through a :class:`MetricsRegistry` and
+addressed by name plus an ordered label set::
+
+    registry = MetricsRegistry()
+    trials = registry.counter(
+        "campaign_trials_total", "Completed trials", labels=("outcome",))
+    trials.labels(outcome="crash").inc()
+
+Determinism: histogram bucket boundaries are fixed at instrument
+creation (never adapted to the data), and every serialization —
+:meth:`MetricsRegistry.to_dict` and
+:meth:`MetricsRegistry.render_prometheus` — emits instruments and label
+children in sorted order, so two runs that observe the same values
+produce byte-identical dumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.stats import safe_div
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentFamily",
+    "MetricsRegistry",
+    "INJECTION_LATENCY_BUCKETS",
+]
+
+#: Fixed bucket upper bounds (seconds) for injection-latency histograms.
+#: Powers of ten from 1 µs to 10 s: wide enough for a simulated
+#: injection (µs) and a debugger-driven hardware one (ms-s).
+INJECTION_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """Value that can go up and down (a running estimate)."""
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary cumulative histogram (Prometheus semantics).
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``; an
+    implicit ``+Inf`` bucket equals ``count``.
+    """
+
+    def __init__(self, buckets: Sequence[float]) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket boundary")
+        ordered = tuple(buckets)
+        if list(ordered) != sorted(ordered):
+            raise ValueError(f"bucket boundaries must be sorted, got {ordered}")
+        self.buckets: Tuple[float, ...] = ordered
+        self.bucket_counts: List[int] = [0] * len(ordered)
+        self.count: int = 0
+        self.sum: float = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.sum += value
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0 when empty)."""
+        return safe_div(self.sum, self.count)
+
+
+@dataclass
+class InstrumentFamily:
+    """All children of one named instrument, keyed by label values."""
+
+    name: str
+    help: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    label_names: Tuple[str, ...]
+    buckets: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **label_values: str):
+        """Get (or create) the child instrument for one label combination."""
+        if set(label_values) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        key = tuple(str(label_values[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self):
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets or INJECTION_LATENCY_BUCKETS)
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """(label values, instrument) pairs in sorted label order."""
+        return sorted(self._children.items())
+
+
+class MetricsRegistry:
+    """Named instrument families with deterministic serialization."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._families: Dict[str, InstrumentFamily] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument creation (idempotent per name)
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> InstrumentFamily:
+        """Register (or fetch) a counter family."""
+        return self._register(name, help, "counter", labels, None)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> InstrumentFamily:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, help, "gauge", labels, None)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = INJECTION_LATENCY_BUCKETS,
+    ) -> InstrumentFamily:
+        """Register (or fetch) a fixed-bucket histogram family."""
+        return self._register(name, help, "histogram", labels, tuple(buckets))
+
+    def _register(
+        self,
+        name: str,
+        help: str,
+        kind: str,
+        labels: Sequence[str],
+        buckets: Optional[Tuple[float, ...]],
+    ) -> InstrumentFamily:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"instrument {name!r} already registered as {family.kind}"
+                )
+            return family
+        family = InstrumentFamily(
+            name=name,
+            help=help,
+            kind=kind,
+            label_names=tuple(labels),
+            buckets=buckets,
+        )
+        self._families[name] = family
+        return family
+
+    def families(self) -> List[InstrumentFamily]:
+        """Registered families in name order."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict dump (the ``--metrics-out`` JSON payload)."""
+        out: Dict[str, dict] = {}
+        for family in self.families():
+            children = {}
+            for key, child in family.children():
+                label_key = ",".join(
+                    f"{name}={value}"
+                    for name, value in zip(family.label_names, key)
+                )
+                if isinstance(child, Histogram):
+                    children[label_key] = {
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": {
+                            repr(bound): count
+                            for bound, count in zip(
+                                child.buckets, child.bucket_counts
+                            )
+                        },
+                    }
+                else:
+                    children[label_key] = child.value  # type: ignore[union-attr]
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "values": children,
+            }
+        return out
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition dump of every instrument."""
+        lines: List[str] = []
+        for family in self.families():
+            full = f"{self.namespace}_{family.name}"
+            if family.help:
+                lines.append(f"# HELP {full} {family.help}")
+            lines.append(f"# TYPE {full} {family.kind}")
+            for key, child in family.children():
+                labels = _format_labels(family.label_names, key)
+                if isinstance(child, Histogram):
+                    for bound, count in zip(child.buckets, child.bucket_counts):
+                        bucket_labels = _format_labels(
+                            family.label_names + ("le",), key + (_fmt(bound),)
+                        )
+                        lines.append(f"{full}_bucket{bucket_labels} {count}")
+                    inf_labels = _format_labels(
+                        family.label_names + ("le",), key + ("+Inf",)
+                    )
+                    lines.append(f"{full}_bucket{inf_labels} {child.count}")
+                    lines.append(f"{full}_sum{labels} {_fmt(child.sum)}")
+                    lines.append(f"{full}_count{labels} {child.count}")
+                else:
+                    value = child.value  # type: ignore[union-attr]
+                    lines.append(f"{full}{labels} {_fmt(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(value: float) -> str:
+    """Render a float the way Prometheus expects (ints without .0)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
+    if not names:
+        return ""
+    body = ",".join(
+        f'{name}="{value}"' for name, value in zip(names, values)
+    )
+    return "{" + body + "}"

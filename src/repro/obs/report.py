@@ -1,0 +1,184 @@
+"""Render saved traces and end-of-run summaries for humans.
+
+Two consumers:
+
+* ``repro report trace.jsonl`` — loads a JSONL trace written via
+  ``--trace-out`` and renders the campaign: per-cell outcome table,
+  totals, worker utilization, and injection-latency summary.
+* The ``characterize --metrics`` end-of-run summary table, built from a
+  :class:`~repro.obs.progress.CampaignMetrics` aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.events import (
+    KIND_SPAN,
+    POINT_PROGRESS,
+    SPAN_CAMPAIGN,
+    SPAN_INJECTION,
+    SPAN_TRIAL,
+    TraceEvent,
+)
+from repro.obs.progress import CampaignMetrics
+from repro.utils.stats import safe_div
+
+__all__ = [
+    "CellSummary",
+    "TraceSummary",
+    "summarize_trace",
+    "render_trace_report",
+    "render_run_summary",
+]
+
+#: Outcome values counted as masked (mirrors ErrorOutcome.is_masked;
+#: kept as strings because traces are read back without the enum).
+_MASKED_OUTCOMES = frozenset(
+    {"masked_overwrite", "masked_never_accessed", "masked_logic"}
+)
+
+
+@dataclass
+class CellSummary:
+    """Per-(cell × error type) outcome tally recovered from a trace."""
+
+    cell: str
+    trials: int = 0
+    outcome_counts: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, outcome: str) -> None:
+        """Tally one trial outcome."""
+        self.trials += 1
+        self.outcome_counts[outcome] = self.outcome_counts.get(outcome, 0) + 1
+
+    @property
+    def crash_fraction(self) -> float:
+        """Fraction of trials ending in a crash."""
+        return safe_div(self.outcome_counts.get("crash", 0), self.trials)
+
+    @property
+    def incorrect_fraction(self) -> float:
+        """Fraction of trials with incorrect (non-crash) behaviour."""
+        return safe_div(self.outcome_counts.get("incorrect", 0), self.trials)
+
+    @property
+    def masked_fraction(self) -> float:
+        """Fraction of trials in which the error was tolerated."""
+        masked = sum(
+            count
+            for outcome, count in self.outcome_counts.items()
+            if outcome in _MASKED_OUTCOMES
+        )
+        return safe_div(masked, self.trials)
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``repro report`` prints, recovered from raw events."""
+
+    app: str = "?"
+    events: int = 0
+    trials: int = 0
+    cells: Dict[str, CellSummary] = field(default_factory=dict)
+    outcome_totals: Dict[str, int] = field(default_factory=dict)
+    worker_pids: List[int] = field(default_factory=list)
+    campaign_seconds: Optional[float] = None
+    injection_count: int = 0
+    injection_seconds_total: float = 0.0
+    worker_busy_seconds: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def mean_injection_seconds(self) -> float:
+        """Average injection latency across the trace."""
+        return safe_div(self.injection_seconds_total, self.injection_count)
+
+
+def summarize_trace(events: List[TraceEvent]) -> TraceSummary:
+    """Aggregate a flat event list into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    pids = set()
+    for event in events:
+        summary.events += 1
+        if event.kind == KIND_SPAN and event.name == SPAN_TRIAL:
+            summary.trials += 1
+            pids.add(event.pid)
+            cell_key = str(event.attrs.get("cell", "?"))
+            cell = summary.cells.get(cell_key)
+            if cell is None:
+                cell = summary.cells[cell_key] = CellSummary(cell=cell_key)
+            outcome = str(event.attrs.get("outcome", "unknown"))
+            cell.count(outcome)
+            summary.outcome_totals[outcome] = (
+                summary.outcome_totals.get(outcome, 0) + 1
+            )
+        elif event.kind == KIND_SPAN and event.name == SPAN_INJECTION:
+            summary.injection_count += 1
+            summary.injection_seconds_total += event.duration_seconds or 0.0
+        elif event.kind == KIND_SPAN and event.name == SPAN_CAMPAIGN:
+            summary.app = str(event.attrs.get("app", summary.app))
+            summary.campaign_seconds = event.duration_seconds
+        elif event.name == POINT_PROGRESS:
+            pid = int(event.attrs.get("worker_pid", event.pid))
+            summary.worker_busy_seconds[pid] = summary.worker_busy_seconds.get(
+                pid, 0.0
+            ) + float(event.attrs.get("shard_seconds", 0.0))
+    summary.worker_pids = sorted(pids)
+    return summary
+
+
+def render_trace_report(summary: TraceSummary) -> str:
+    """Human-readable report of one saved trace."""
+    lines = [
+        f"campaign: {summary.app}",
+        f"events: {summary.events}  trial spans: {summary.trials}  "
+        f"workers: {len(summary.worker_pids) or 1}",
+    ]
+    if summary.campaign_seconds is not None:
+        lines.append(f"campaign wall time: {summary.campaign_seconds:.2f}s")
+    if summary.injection_count:
+        lines.append(
+            f"injections: {summary.injection_count} "
+            f"(mean latency {summary.mean_injection_seconds * 1e6:.1f}us)"
+        )
+    lines.append("")
+    lines.append(
+        f"{'cell':<32} {'trials':>6} {'crash':>7} {'incorrect':>10} {'masked':>8}"
+    )
+    for key in sorted(summary.cells):
+        cell = summary.cells[key]
+        lines.append(
+            f"{key:<32} {cell.trials:>6} {cell.crash_fraction:>6.1%} "
+            f"{cell.incorrect_fraction:>9.1%} {cell.masked_fraction:>7.1%}"
+        )
+    if summary.outcome_totals:
+        lines.append("")
+        lines.append("outcome taxonomy totals:")
+        for outcome in sorted(summary.outcome_totals):
+            lines.append(f"  {outcome:<24} {summary.outcome_totals[outcome]}")
+    if summary.worker_busy_seconds:
+        lines.append("")
+        lines.append("worker busy time:")
+        for pid in sorted(summary.worker_busy_seconds):
+            lines.append(
+                f"  worker {pid}: {summary.worker_busy_seconds[pid]:.2f}s"
+            )
+    return "\n".join(lines)
+
+
+def render_run_summary(metrics: CampaignMetrics) -> str:
+    """End-of-run summary table for a live campaign's metrics hook."""
+    lines = [
+        f"{metrics.trials_done}/{metrics.trials_total} trials in "
+        f"{metrics.elapsed_seconds:.1f}s "
+        f"({metrics.trials_per_second:.1f} trials/sec, "
+        f"{metrics.worker_count} workers)"
+    ]
+    for pid, timing in sorted(metrics.per_worker.items()):
+        idle = max(0.0, metrics.elapsed_seconds - timing.busy_seconds)
+        lines.append(
+            f"  worker {pid}: {timing.shards} shards, {timing.trials} trials, "
+            f"{timing.busy_seconds:.1f}s busy, {idle:.1f}s idle"
+        )
+    return "\n".join(lines)

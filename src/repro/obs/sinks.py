@@ -1,0 +1,85 @@
+"""Event sinks: where :class:`~repro.obs.events.TraceEvent`\\ s go.
+
+Sinks are deliberately tiny — anything with a ``write(event)`` method
+qualifies — so tests can use :class:`EventBuffer`, the CLI a
+:class:`JsonlSink`, and parallel workers a buffer whose contents are
+shipped back through the result pipe.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, List, Optional, Union
+
+from repro.obs.events import TraceEvent
+
+__all__ = ["EventBuffer", "JsonlSink", "load_events"]
+
+
+class EventBuffer:
+    """In-memory sink; also the worker-side relay buffer."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        """Append one event."""
+        self.events.append(event)
+
+    def close(self) -> None:  # symmetry with JsonlSink
+        """No-op (buffers hold their events)."""
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink:
+    """Append-only structured event log: one JSON object per line.
+
+    The file is opened eagerly so an unwritable path fails at
+    construction (fail fast) rather than at the end of a long campaign.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._file: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+
+    def write(self, event: TraceEvent) -> None:
+        """Serialize one event as a JSONL line."""
+        if self._file is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        self._file.write(json.dumps(event.to_dict(), sort_keys=True))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        """Flush and close the log file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_events(path: Union[str, Path]) -> List[TraceEvent]:
+    """Read a JSONL trace back into events (inverse of :class:`JsonlSink`).
+
+    Raises ``ValueError`` on malformed lines, naming the line number.
+    """
+    events: List[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed trace event: {exc}"
+                ) from exc
+    return events

@@ -13,6 +13,18 @@ from typing import Sequence
 
 # Two-sided z value for a 90 % confidence level (the paper's choice).
 Z_90 = 1.6448536269514722
+
+
+def safe_div(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator``, or ``default`` when it is undefined.
+
+    The single division guard shared by every rate/ratio property in the
+    telemetry layer (trials/sec, fraction done, per-query rates), so the
+    "empty denominator" policy lives in exactly one place.
+    """
+    if denominator <= 0.0:
+        return default
+    return numerator / denominator
 # Two-sided z value for a 95 % confidence level.
 Z_95 = 1.959963984540054
 

@@ -62,6 +62,100 @@ class TestCharacterizeCommand:
         assert any("single-bit hard" in key for key in data["cells"])
 
 
+class TestObservabilityFlags:
+    BASE = [
+        "characterize", "--app", "memcached", "--trials", "2",
+        "--queries", "15", "--scale", "0.3", "--errors", "soft",
+    ]
+
+    def test_trace_out_writes_parseable_jsonl(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.BASE + ["--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert events
+        names = {event["name"] for event in events}
+        assert {"campaign", "cell", "trial", "injection"} <= names
+        trials = [e for e in events if e["name"] == "trial"]
+        assert all("outcome" in e["attrs"] for e in trials)
+
+    def test_metrics_out_writes_campaign_and_instruments(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(self.BASE + ["--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        assert set(payload) == {"campaign", "instruments"}
+        assert "campaign_trials_total" in payload["instruments"]
+        totals = payload["instruments"]["campaign_trials_total"]["values"]
+        assert sum(totals.values()) == payload["campaign"]["trials_done"]
+
+    def test_prom_out_renders_exposition_format(self, capsys, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        assert main(self.BASE + ["--prom-out", str(prom)]) == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert "# TYPE repro_campaign_trials_total counter" in text
+        assert "repro_injection_latency_seconds_bucket" in text
+
+    def test_tracing_does_not_change_json_profile(self, capsys, tmp_path):
+        base = self.BASE + ["--json"]
+        assert main(base) == 0
+        untraced = capsys.readouterr().out
+        trace = tmp_path / "trace.jsonl"
+        assert main(base + ["--trace-out", str(trace)]) == 0
+        assert capsys.readouterr().out == untraced
+
+    def test_invalid_trace_out_path_fails_fast(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--trace-out", str(tmp_path / "no-dir" / "t.jsonl")])
+
+    def test_directory_as_metrics_out_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--metrics-out", str(tmp_path)])
+
+    def test_log_level_emits_campaign_logs(self, capsys, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.INFO, logger="repro"):
+            assert main(["--log-level", "info"] + self.BASE) == 0
+        assert any("campaign" in record.name for record in caplog.records)
+
+    def test_invalid_log_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--log-level", "loud"] + self.BASE)
+
+
+class TestReportCommand:
+    def _make_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "characterize", "--app", "memcached", "--trials", "2",
+            "--queries", "15", "--scale", "0.3", "--errors", "soft",
+            "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        return trace
+
+    def test_report_renders_summary(self, capsys, tmp_path):
+        trace = self._make_trace(tmp_path, capsys)
+        assert main(["report", str(trace)]) == 0
+        output = capsys.readouterr().out
+        assert "campaign: Memcached" in output
+        assert "trial spans:" in output
+        assert "outcome taxonomy totals:" in output
+
+    def test_report_json(self, capsys, tmp_path):
+        trace = self._make_trace(tmp_path, capsys)
+        assert main(["report", str(trace), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["app"] == "Memcached"
+        assert data["trials"] > 0
+
+    def test_report_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "missing.jsonl")])
+
+
 class TestRecoverabilityCommand:
     def test_websearch_rows(self, capsys):
         code = main([

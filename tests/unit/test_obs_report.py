@@ -1,0 +1,116 @@
+"""Unit tests for trace summarization and rendering (repro.obs.report)."""
+
+import pytest
+
+from repro.obs import (
+    CampaignMetrics,
+    ProgressEvent,
+    render_run_summary,
+    render_trace_report,
+    summarize_trace,
+)
+from repro.obs.events import (
+    KIND_POINT,
+    KIND_SPAN,
+    POINT_PROGRESS,
+    SPAN_CAMPAIGN,
+    SPAN_INJECTION,
+    SPAN_TRIAL,
+    TraceEvent,
+)
+
+
+def _event(kind, name, attrs=None, duration=0.01, pid=100):
+    return TraceEvent(
+        kind=kind, name=name, path=f"campaign/{name}", parent="campaign",
+        ts=0.0, duration_seconds=duration, pid=pid, attrs=attrs or {},
+    )
+
+
+def _trial(outcome, cell="heap|single-bit soft", pid=100):
+    return _event(
+        KIND_SPAN, SPAN_TRIAL, attrs={"cell": cell, "outcome": outcome}, pid=pid
+    )
+
+
+def _small_trace():
+    return [
+        _event(KIND_SPAN, SPAN_INJECTION, duration=2e-5),
+        _trial("crash", pid=101),
+        _event(KIND_SPAN, SPAN_INJECTION, duration=4e-5),
+        _trial("masked_overwrite", pid=102),
+        _trial("incorrect", cell="stack|single-bit soft", pid=101),
+        _event(
+            KIND_POINT, POINT_PROGRESS, duration=None,
+            attrs={"worker_pid": 101, "shard_seconds": 1.25},
+        ),
+        _event(KIND_SPAN, SPAN_CAMPAIGN, attrs={"app": "websearch"}, duration=3.5),
+    ]
+
+
+class TestSummarizeTrace:
+    def test_empty_trace(self):
+        summary = summarize_trace([])
+        assert summary.events == 0
+        assert summary.trials == 0
+        assert summary.cells == {}
+        assert summary.mean_injection_seconds == 0.0
+
+    def test_counts_and_taxonomy(self):
+        summary = summarize_trace(_small_trace())
+        assert summary.app == "websearch"
+        assert summary.events == 7
+        assert summary.trials == 3
+        assert summary.campaign_seconds == 3.5
+        assert summary.outcome_totals == {
+            "crash": 1,
+            "masked_overwrite": 1,
+            "incorrect": 1,
+        }
+        assert summary.worker_pids == [101, 102]
+        assert summary.injection_count == 2
+        assert summary.mean_injection_seconds == pytest.approx(3e-5)
+        assert summary.worker_busy_seconds == {101: 1.25}
+
+    def test_cell_fractions(self):
+        summary = summarize_trace(_small_trace())
+        heap = summary.cells["heap|single-bit soft"]
+        assert heap.trials == 2
+        assert heap.crash_fraction == 0.5
+        assert heap.masked_fraction == 0.5
+        assert heap.incorrect_fraction == 0.0
+        stack = summary.cells["stack|single-bit soft"]
+        assert stack.incorrect_fraction == 1.0
+
+
+class TestRenderTraceReport:
+    def test_report_contains_table_and_totals(self):
+        text = render_trace_report(summarize_trace(_small_trace()))
+        assert "campaign: websearch" in text
+        assert "trial spans: 3" in text
+        assert "workers: 2" in text
+        assert "heap|single-bit soft" in text
+        assert "outcome taxonomy totals:" in text
+        assert "masked_overwrite" in text
+        assert "worker 101: 1.25s" in text
+
+    def test_empty_trace_renders(self):
+        text = render_trace_report(summarize_trace([]))
+        assert "trial spans: 0" in text
+
+
+class TestRenderRunSummary:
+    def test_summary_lists_workers_with_idle(self):
+        metrics = CampaignMetrics()
+        metrics(
+            ProgressEvent(
+                trials_done=8, trials_total=8, elapsed_seconds=4.0,
+                worker_pid=7, shard_trials=8, shard_seconds=3.0,
+                cell_name="heap", error_label="single-bit soft",
+            )
+        )
+        text = render_run_summary(metrics)
+        assert "8/8 trials" in text
+        assert "trials/sec" in text
+        assert "worker 7:" in text
+        assert "1.0s idle" in text

@@ -1,0 +1,135 @@
+"""Unit tests for the tracing span layer (repro.obs.trace / sinks)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_OBSERVER,
+    EventBuffer,
+    JsonlSink,
+    Observer,
+    TraceEvent,
+    load_events,
+)
+from repro.obs.trace import _NOOP_SPAN
+
+
+class TestDisabledObserver:
+    def test_null_observer_is_disabled(self):
+        assert not NULL_OBSERVER.enabled
+
+    def test_span_returns_shared_noop(self):
+        observer = Observer()
+        first = observer.span("trial", key="1", attrs={"a": 1})
+        second = observer.span("cell")
+        assert first is _NOOP_SPAN
+        assert second is _NOOP_SPAN  # no per-call allocation when disabled
+
+    def test_noop_span_accepts_set(self):
+        with Observer().span("trial") as span:
+            span.set(outcome="crash")  # silently ignored
+
+    def test_point_is_noop(self):
+        Observer().point("progress", attrs={"x": 1})  # must not raise
+
+    def test_disabled_observer_keeps_stack_empty(self):
+        observer = Observer()
+        with observer.span("campaign"):
+            assert observer.current_path() == ""
+
+
+class TestSpans:
+    def test_nested_paths_and_parents(self):
+        buffer = EventBuffer()
+        observer = Observer(sinks=[buffer])
+        with observer.span("campaign", attrs={"app": "x"}):
+            with observer.span("cell", key="heap|soft"):
+                with observer.span("trial", key="3") as trial:
+                    trial.set(outcome="crash")
+        paths = [e.path for e in buffer.events]
+        # Innermost spans close (and emit) first.
+        assert paths == [
+            "campaign/cell:heap|soft/trial:3",
+            "campaign/cell:heap|soft",
+            "campaign",
+        ]
+        trial_event = buffer.events[0]
+        assert trial_event.parent == "campaign/cell:heap|soft"
+        assert trial_event.attrs["outcome"] == "crash"
+        assert trial_event.duration_seconds >= 0.0
+        assert buffer.events[2].parent == ""
+
+    def test_root_path_prefixes_worker_spans(self):
+        buffer = EventBuffer()
+        observer = Observer(sinks=[buffer], root_path="campaign/cell:k")
+        with observer.span("trial", key="0"):
+            pass
+        assert buffer.events[0].path == "campaign/cell:k/trial:0"
+        assert buffer.events[0].parent == "campaign/cell:k"
+
+    def test_exception_recorded_and_propagated(self):
+        buffer = EventBuffer()
+        observer = Observer(sinks=[buffer])
+        with pytest.raises(RuntimeError):
+            with observer.span("trial"):
+                raise RuntimeError("boom")
+        assert buffer.events[0].attrs["error"] == "RuntimeError"
+        assert observer.current_path() == ""  # stack unwound
+
+    def test_point_event_under_current_span(self):
+        buffer = EventBuffer()
+        observer = Observer(sinks=[buffer])
+        with observer.span("campaign"):
+            observer.point("progress", attrs={"trials_done": 5})
+        point = buffer.events[0]
+        assert point.kind == "point"
+        assert point.path == "campaign/progress"
+        assert point.duration_seconds is None
+        assert point.attrs["trials_done"] == 5
+
+    def test_replay_re_emits(self):
+        source, target = EventBuffer(), EventBuffer()
+        observer = Observer(sinks=[source])
+        with observer.span("trial", key="0"):
+            pass
+        Observer(sinks=[target]).replay(source.events)
+        assert target.events == source.events
+
+
+class TestJsonlSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        observer = Observer(sinks=[JsonlSink(path)])
+        with observer.span("campaign", attrs={"app": "ws"}):
+            with observer.span("trial", key="0") as span:
+                span.set(outcome="masked_logic")
+        observer.close()
+        events = load_events(path)
+        assert [e.name for e in events] == ["trial", "campaign"]
+        assert events[0].attrs["outcome"] == "masked_logic"
+        # Every line is standalone JSON.
+        lines = path.read_text().strip().splitlines()
+        assert all(json.loads(line)["event"] == "span" for line in lines)
+
+    def test_close_is_idempotent_and_write_after_close_fails(self, tmp_path):
+        sink = JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+        with pytest.raises(ValueError):
+            sink.write(
+                TraceEvent(
+                    kind="span", name="x", path="x", parent="",
+                    ts=0.0, duration_seconds=0.0, pid=1,
+                )
+            )
+
+    def test_unwritable_path_fails_fast(self, tmp_path):
+        with pytest.raises(OSError):
+            JsonlSink(tmp_path / "missing-dir" / "t.jsonl")
+
+    def test_malformed_line_names_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "span"}\nnot json\n')
+        with pytest.raises(ValueError, match="malformed"):
+            load_events(path)
