@@ -25,7 +25,7 @@ def _measure():
         workload = make_websearch()
         campaign = CharacterizationCampaign(
             workload,
-            CampaignConfig(
+            config=CampaignConfig(
                 trials_per_cell=TRIALS, queries_per_trial=queries, seed=700
             ),
         )

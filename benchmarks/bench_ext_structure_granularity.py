@@ -42,7 +42,7 @@ def _load_or_measure():
     workload = make_websearch()
     campaign = CharacterizationCampaign(
         workload,
-        CampaignConfig(trials_per_cell=80, queries_per_trial=120, seed=505),
+        config=CampaignConfig(trials_per_cell=80, queries_per_trial=120, seed=505),
     )
     campaign.prepare()
     profile = campaign.run_custom_cells(

@@ -51,6 +51,6 @@ def test_fig3_reproduction(benchmark, all_profiles, report):
 
 def test_fig3_trial_cost(benchmark):
     """Benchmark one restart→inject→drive→classify cycle (WebSearch)."""
-    campaign = CharacterizationCampaign(make_websearch(), WEBSEARCH_CONFIG)
+    campaign = CharacterizationCampaign(make_websearch(), config=WEBSEARCH_CONFIG)
     campaign.prepare()
     benchmark(lambda: campaign.run_trial("private", SINGLE_BIT_SOFT))

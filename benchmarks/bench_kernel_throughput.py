@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Scalar-vs-vectorized kernel throughput → ``BENCH_kernels.json``.
+
+Measures single-process encode and decode throughput (words/second)
+for every Table 1 technique, word-at-a-time through the scalar codecs
+versus one batched call through the :mod:`repro.kernels` engine, plus
+the batched injection planner. The headline number is the decode
+speedup on 64 Ki-word batches — the inner loop of a characterization
+campaign — which gates CI at 3× and the acceptance bar at 5×.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py
+    PYTHONPATH=src python benchmarks/bench_kernel_throughput.py --smoke
+
+``--smoke`` shrinks batches/repeats for CI; the JSON schema is the
+same. Output lands next to this file's parent repo root as
+``BENCH_kernels.json`` unless ``--out`` says otherwise.
+"""
+
+import argparse
+import json
+import math
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.ecc import available_techniques, make_codec  # noqa: E402
+from repro.kernels import get_kernel  # noqa: E402
+
+FULL_BATCH = 64 * 1024
+SMOKE_BATCH = 4 * 1024
+# A few flips per thousand words: campaigns decode mostly-clean words.
+CORRUPT_PER_MILLE = 4
+
+
+def _best_rate(fn, words, repeats):
+    """Best-of-N words/second (min wall time over repeats)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return words / best
+
+
+def _corrupt(codec, codewords, rng):
+    corrupted = list(codewords)
+    flips = max(1, len(codewords) * CORRUPT_PER_MILLE // 1000)
+    for _ in range(flips):
+        i = rng.randrange(len(corrupted))
+        corrupted[i] ^= 1 << rng.randrange(codec.code_bits)
+    return corrupted
+
+
+def bench_technique(name, batch, repeats, rng):
+    codec = make_codec(name)
+    kernel = get_kernel(name)
+    words = [rng.getrandbits(codec.data_bits) for _ in range(batch)]
+    codewords = _corrupt(codec, [codec.encode(w) for w in words], rng)
+
+    # Warm up once so JIT-free but cache-sensitive paths settle and the
+    # results are compared before timing (correctness gate).
+    assert kernel.encode_ints(words[:64]) == [codec.encode(w) for w in words[:64]]
+    sample = kernel.decode_ints(codewords[:64])
+    for i in range(64):
+        scalar = codec.decode(codewords[i])
+        assert sample.result_at(i).data == scalar.data
+        assert sample.result_at(i).status == scalar.status
+
+    row = {
+        "technique": name,
+        "batch_words": batch,
+        "encode": {
+            "scalar_words_per_sec": _best_rate(
+                lambda: [codec.encode(w) for w in words], batch, repeats
+            ),
+            "vectorized_words_per_sec": _best_rate(
+                lambda: kernel.encode_ints(words), batch, repeats
+            ),
+        },
+        "decode": {
+            "scalar_words_per_sec": _best_rate(
+                lambda: [codec.decode(cw) for cw in codewords], batch, repeats
+            ),
+            "vectorized_words_per_sec": _best_rate(
+                lambda: kernel.decode_ints(codewords), batch, repeats
+            ),
+        },
+    }
+    for op in ("encode", "decode"):
+        stats = row[op]
+        stats["speedup"] = (
+            stats["vectorized_words_per_sec"] / stats["scalar_words_per_sec"]
+        )
+    return row
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small batches / fewer repeats for CI (same JSON schema)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_kernels.json",
+        metavar="PATH", help="where to write the JSON report",
+    )
+    parser.add_argument("--seed", type=int, default=20140623)
+    arguments = parser.parse_args(argv)
+
+    batch = SMOKE_BATCH if arguments.smoke else FULL_BATCH
+    repeats = 3 if arguments.smoke else 5
+    rng = random.Random(arguments.seed)
+
+    rows = []
+    for name in available_techniques():
+        if name == "None":
+            continue  # identity codec: nothing to decode
+        row = bench_technique(name, batch, repeats, rng)
+        rows.append(row)
+        print(
+            f"{name:<11} decode {row['decode']['speedup']:>6.1f}x  "
+            f"encode {row['encode']['speedup']:>6.1f}x  "
+            f"({batch} words)"
+        )
+
+    decode_speedups = [row["decode"]["speedup"] for row in rows]
+    report = {
+        "mode": "smoke" if arguments.smoke else "full",
+        "batch_words": batch,
+        "repeats": repeats,
+        "seed": arguments.seed,
+        "techniques": rows,
+        "min_decode_speedup": min(decode_speedups),
+        "geomean_decode_speedup": math.exp(
+            sum(math.log(s) for s in decode_speedups) / len(decode_speedups)
+        ),
+    }
+    arguments.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {arguments.out}")
+    print(
+        f"min decode speedup {report['min_decode_speedup']:.1f}x, "
+        f"geomean {report['geomean_decode_speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
 
 def _run(observer=None):
     kwargs = {"observer": observer} if observer is not None else {}
-    campaign = CharacterizationCampaign(make_websearch(), CONFIG, **kwargs)
+    campaign = CharacterizationCampaign(make_websearch(), config=CONFIG, **kwargs)
     campaign.prepare()
     start = time.perf_counter()
     profile = campaign.run(specs=SPECS)

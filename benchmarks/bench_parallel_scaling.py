@@ -24,7 +24,7 @@ WORKER_COUNTS = (1, 2, 4)
 
 
 def _run(workers: int):
-    campaign = CharacterizationCampaign(make_websearch(), CONFIG)
+    campaign = CharacterizationCampaign(make_websearch(), config=CONFIG)
     campaign.prepare()
     metrics = CampaignMetrics()
     start = time.perf_counter()

@@ -76,8 +76,7 @@ def main() -> None:
     # 4. Structure-granularity characterization.
     print("\n== per-data-structure vulnerability (hard errors, 15 trials) ==")
     campaign = CharacterizationCampaign(
-        workload, CampaignConfig(trials_per_cell=15, queries_per_trial=80)
-    )
+        workload, config=CampaignConfig(trials_per_cell=15, queries_per_trial=80))
     campaign.prepare()
     structures = workload.data_structure_ranges()
     profile = campaign.run_custom_cells(structures, specs=(SINGLE_BIT_HARD,))

@@ -38,7 +38,7 @@ def main() -> None:
     workload = APPS[arguments.app]()
     campaign = CharacterizationCampaign(
         workload,
-        CampaignConfig(trials_per_cell=arguments.trials, queries_per_trial=100),
+        config=CampaignConfig(trials_per_cell=arguments.trials, queries_per_trial=100),
     )
     print(f"characterizing {arguments.app} ({arguments.trials} trials/cell)...")
     campaign.prepare()

@@ -108,7 +108,7 @@ class BankLedger(Workload):
 def main() -> None:
     campaign = CharacterizationCampaign(
         BankLedger(),
-        CampaignConfig(trials_per_cell=40, queries_per_trial=150),
+        config=CampaignConfig(trials_per_cell=40, queries_per_trial=150),
     )
     print("characterizing the custom BankLedger workload...")
     campaign.prepare()

@@ -31,8 +31,7 @@ def main() -> None:
     print("measuring WebSearch vulnerability (scaled-down campaign)...")
     workload = WebSearch(vocabulary_size=800, doc_count=600, query_count=300)
     campaign = CharacterizationCampaign(
-        workload, CampaignConfig(trials_per_cell=40, queries_per_trial=120)
-    )
+        workload, config=CampaignConfig(trials_per_cell=40, queries_per_trial=120))
     campaign.prepare()
     profile = campaign.run(specs=(SINGLE_BIT_HARD,))
 

@@ -35,7 +35,7 @@ def main() -> None:
     workload = WebSearch(vocabulary_size=800, doc_count=600, query_count=300)
     campaign = CharacterizationCampaign(
         workload,
-        CampaignConfig(trials_per_cell=arguments.trials, queries_per_trial=120),
+        config=CampaignConfig(trials_per_cell=arguments.trials, queries_per_trial=120),
     )
     print("measuring WebSearch vulnerability...")
     campaign.prepare()

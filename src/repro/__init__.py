@@ -22,7 +22,7 @@ Quickstart::
 
     from repro import WebSearch, CharacterizationCampaign, CampaignConfig
 
-    campaign = CharacterizationCampaign(WebSearch(), CampaignConfig(
+    campaign = CharacterizationCampaign(WebSearch(), config=CampaignConfig(
         trials_per_cell=30, queries_per_trial=100))
     campaign.prepare()
     profile = campaign.run()
@@ -72,14 +72,20 @@ from repro.obs import (
     Observer,
 )
 
+# The stable one-import facade (kept last: it re-exports from the
+# subpackages imported above). ``from repro import api`` is the
+# recommended entry point for applications; see README's Public API.
+from repro import api
+
 # Library logging policy: the package-level "repro" logger stays silent
 # unless the application configures handlers (python -m repro wires it
 # to --log-level); see the stdlib logging HOWTO for the convention.
 _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "api",
     "ClientDriver",
     "ClientReport",
     "GraphMining",

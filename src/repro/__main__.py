@@ -29,14 +29,14 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.apps import GraphMining, KVStoreWorkload, WebSearch
-from repro.core.campaign import CampaignConfig, CharacterizationCampaign
+from repro.core.campaign import BACKENDS, CampaignConfig, CharacterizationCampaign
 from repro.core.mapping import DesignEvaluator, paper_design_points
 from repro.core.optimizer import MappingOptimizer
 from repro.core.recoverability import (
     analyze_recoverability,
     overall_recoverability,
 )
-from repro.ecc import available_techniques, make_codec
+from repro.ecc import UnknownTechniqueError, available_techniques, make_codec
 from repro.injection import MULTI_BIT_HARD, SINGLE_BIT_HARD, SINGLE_BIT_SOFT
 from repro.obs import (
     CampaignMetrics,
@@ -146,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "for any worker count)",
     )
     characterize.add_argument(
+        "--backend", choices=BACKENDS, default="scalar",
+        help="trial execution engine; 'vectorized' batches injection "
+        "planning through the NumPy kernels (bit-identical profile)",
+    )
+    characterize.add_argument(
         "--json", action="store_true", help="emit the profile as JSON"
     )
     characterize.add_argument(
@@ -190,7 +195,12 @@ def _build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--queries", type=int, default=200)
     recover.add_argument("--scale", type=float, default=1.0)
 
-    sub.add_parser("ecc", help="regenerate Table 1 from the codecs")
+    ecc = sub.add_parser("ecc", help="regenerate Table 1 from the codecs")
+    ecc.add_argument(
+        "--ecc", metavar="NAME", default=None,
+        help="show only this technique's Table 1 row "
+        "(exact name, e.g. 'SEC-DED')",
+    )
 
     report = sub.add_parser(
         "report", help="render a saved --trace-out JSONL trace"
@@ -225,12 +235,13 @@ def _cmd_characterize(arguments) -> int:
     observer = _build_observer(arguments)
     campaign = CharacterizationCampaign(
         workload,
-        CampaignConfig(
+        config=CampaignConfig(
             trials_per_cell=arguments.trials,
             queries_per_trial=arguments.queries,
             seed=arguments.seed,
         ),
         observer=observer,
+        backend=arguments.backend,
     )
     workers = arguments.workers
     suffix = f" ({workers} workers)" if workers > 1 else ""
@@ -275,7 +286,7 @@ def _cmd_design(arguments) -> int:
     workload, factory = _make_workload(arguments)
     campaign = CharacterizationCampaign(
         workload,
-        CampaignConfig(
+        config=CampaignConfig(
             trials_per_cell=arguments.trials,
             queries_per_trial=120,
             seed=arguments.seed,
@@ -346,9 +357,17 @@ def _cmd_report(arguments) -> int:
     return 0
 
 
-def _cmd_ecc(_arguments) -> int:
+def _cmd_ecc(arguments) -> int:
+    names = available_techniques()
+    if arguments.ecc is not None:
+        try:
+            make_codec(arguments.ecc)
+        except UnknownTechniqueError as exc:
+            print(f"repro ecc: {exc}", file=sys.stderr)
+            return 2
+        names = [arguments.ecc]
     print(f"{'technique':<11} {'capability':<28} {'+capacity':>10} {'logic':>6}")
-    for name in available_techniques():
+    for name in names:
         codec = make_codec(name)
         print(
             f"{name:<11} {codec.capability:<28} "

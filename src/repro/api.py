@@ -1,0 +1,198 @@
+"""repro.api — the stable, one-import public surface of the framework.
+
+Everything an application needs to characterize a workload, explore the
+HRM design space, and look up codecs/kernels lives here::
+
+    from repro import api
+
+    profile = api.run_campaign(api.WebSearch(), config=api.CampaignConfig(
+        trials_per_cell=30), backend="vectorized", workers=4)
+    result = api.explore_design_space(profile, availability_target=0.999)
+    codec = api.make_codec("Chipkill")
+
+Compatibility policy: names exported from this module are the stable
+API — they keep working across internal refactors (module moves, kernel
+rewrites, cache-format bumps). Deeper imports (``repro.core.campaign``
+etc.) continue to work but may shift between releases; see the
+migration table in README.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.apps.base import Workload
+from repro.apps.graphmining import GraphMining
+from repro.apps.kvstore import KVStoreWorkload
+from repro.apps.websearch import WebSearch
+from repro.core.availability import AvailabilityParams, ErrorRateModel
+from repro.core.campaign import (
+    BACKENDS,
+    DEFAULT_SPECS,
+    CampaignConfig,
+    CharacterizationCampaign,
+    TrialRecord,
+    campaign_fingerprint,
+    load_or_run_profile,
+)
+from repro.core.cost_model import CostModel
+from repro.core.mapping import DesignEvaluator, DesignMetrics, HRMDesign
+from repro.core.optimizer import (
+    DEFAULT_CANDIDATES,
+    MappingOptimizer,
+    OptimizationResult,
+)
+from repro.core.taxonomy import ErrorOutcome
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+from repro.ecc.registry import (
+    UnknownTechniqueError,
+    available_techniques,
+    make_codec,
+    register_codec,
+)
+from repro.injection.injector import (
+    MULTI_BIT_HARD,
+    MULTI_BIT_SOFT,
+    SINGLE_BIT_HARD,
+    SINGLE_BIT_SOFT,
+    ErrorSpec,
+)
+from repro.kernels.registry import available_kernels, get_kernel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_OBSERVER, Observer
+
+__all__ = [
+    # one-call entry points
+    "run_campaign",
+    "load_or_run_profile",
+    "explore_design_space",
+    # campaign machinery
+    "BACKENDS",
+    "DEFAULT_SPECS",
+    "CampaignConfig",
+    "CharacterizationCampaign",
+    "TrialRecord",
+    "campaign_fingerprint",
+    "VulnerabilityProfile",
+    "ErrorOutcome",
+    # error specs
+    "ErrorSpec",
+    "SINGLE_BIT_SOFT",
+    "SINGLE_BIT_HARD",
+    "MULTI_BIT_SOFT",
+    "MULTI_BIT_HARD",
+    # codec + kernel registries
+    "Codec",
+    "DecodeResult",
+    "DecodeStatus",
+    "UnknownTechniqueError",
+    "available_techniques",
+    "make_codec",
+    "register_codec",
+    "available_kernels",
+    "get_kernel",
+    # design space
+    "DEFAULT_CANDIDATES",
+    "AvailabilityParams",
+    "CostModel",
+    "DesignEvaluator",
+    "DesignMetrics",
+    "ErrorRateModel",
+    "HRMDesign",
+    "MappingOptimizer",
+    "OptimizationResult",
+    # workloads + telemetry
+    "Workload",
+    "WebSearch",
+    "KVStoreWorkload",
+    "GraphMining",
+    "Observer",
+    "NULL_OBSERVER",
+    "MetricsRegistry",
+]
+
+
+def run_campaign(
+    workload: Workload,
+    *,
+    config: Optional[CampaignConfig] = None,
+    observer: Observer = NULL_OBSERVER,
+    backend: str = "scalar",
+    regions: Optional[Sequence[str]] = None,
+    specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
+    trials_per_cell: Optional[int] = None,
+    workers: Optional[int] = None,
+    workload_factory: Optional[Callable[[], Workload]] = None,
+    progress: Optional[Callable] = None,
+) -> VulnerabilityProfile:
+    """Characterize ``workload`` in one call and return its profile.
+
+    Wraps construct → :meth:`~CharacterizationCampaign.prepare` →
+    :meth:`~CharacterizationCampaign.run`. The profile is bit-identical
+    for any ``workers`` count and either ``backend``; use
+    ``backend="vectorized"`` (batched injection planning, batched
+    instrument updates) for large trial budgets.
+    """
+    campaign = CharacterizationCampaign(
+        workload, config=config, observer=observer, backend=backend
+    )
+    campaign.prepare()
+    return campaign.run(
+        regions=regions,
+        specs=specs,
+        trials_per_cell=trials_per_cell,
+        workers=workers,
+        workload_factory=workload_factory,
+        progress=progress,
+    )
+
+
+def explore_design_space(
+    profile: VulnerabilityProfile,
+    *,
+    availability_target: float,
+    error_label: str = "single-bit soft",
+    recoverable_fractions: Optional[Dict[str, float]] = None,
+    candidates: Sequence = DEFAULT_CANDIDATES,
+    max_incorrect_per_million: Optional[float] = None,
+    regions: Optional[Sequence[str]] = None,
+    cost_model: Optional[CostModel] = None,
+    error_model: Optional[ErrorRateModel] = None,
+    availability_params: Optional[AvailabilityParams] = None,
+) -> OptimizationResult:
+    """Search HRM designs against a measured profile (paper §VI-B).
+
+    Wraps :class:`DesignEvaluator` + :class:`MappingOptimizer` into one
+    call: evaluate every per-region policy assignment from
+    ``candidates`` and return the cheapest design meeting the
+    availability target (and incorrectness budget, when given).
+
+    Args:
+        profile: Measured vulnerability profile to evaluate against.
+        availability_target: Minimum single-server availability.
+        error_label: Which characterized error type drives the rates.
+        recoverable_fractions: Per-region recoverable data fraction
+            (bounds what Detect&Recover policies can absorb).
+        candidates: Region policies to enumerate.
+        max_incorrect_per_million: Optional incorrectness budget.
+        regions: Regions to assign policies to (default: all profiled).
+        cost_model / error_model / availability_params: Model overrides.
+    """
+    evaluator = DesignEvaluator(
+        profile,
+        cost_model=cost_model,
+        error_model=error_model,
+        availability_params=availability_params,
+        error_label=error_label,
+    )
+    optimizer = MappingOptimizer(
+        evaluator,
+        candidates=candidates,
+        recoverable_fractions=recoverable_fractions,
+    )
+    return optimizer.search(
+        availability_target,
+        max_incorrect_per_million=max_incorrect_per_million,
+        regions=regions,
+    )

@@ -36,7 +36,7 @@ import logging
 import os
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -69,7 +69,17 @@ DEFAULT_SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
 
 #: Version of the profile cache format / trial seeding scheme. Bumping
 #: it invalidates every cached profile (see ``campaign_fingerprint``).
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
+
+#: Fingerprint schema version: bumped whenever the *shape* of the
+#: fingerprint payload changes (new fields, renamed keys), so caches
+#: written before a redesign can never alias caches written after it.
+FINGERPRINT_SCHEMA_VERSION = 2
+
+#: Trial-execution backends accepted by the campaign: the scalar
+#: reference loop, and the vectorized path that pre-plans whole trial
+#: shards through :mod:`repro.kernels` (bit-identical profiles).
+BACKENDS = ("scalar", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -113,20 +123,45 @@ def _normalize_workers(workers: Optional[int]) -> int:
     return workers
 
 
-@dataclass
 class CharacterizationCampaign:
-    """Runs the Figure 2 loop for one workload."""
+    """Runs the Figure 2 loop for one workload.
 
-    workload: Workload
-    config: CampaignConfig = field(default_factory=CampaignConfig)
-    #: Telemetry hub (tracing spans + metrics). The default disabled
-    #: observer makes instrumentation free; see :mod:`repro.obs`.
-    observer: Observer = field(default=NULL_OBSERVER)
+    All knobs are keyword-only (part of the stable :mod:`repro.api`
+    surface): only the workload is positional.
 
-    _driver: Optional[ClientDriver] = None
-    _rng: Optional[random.Random] = None
-    _seed_factory: Optional[SeedSequenceFactory] = None
-    trials: List[TrialRecord] = field(default_factory=list)
+    Args:
+        workload: The application under characterization.
+        config: Campaign knobs (defaults to :class:`CampaignConfig`).
+        observer: Telemetry hub (tracing spans + metrics). The default
+            disabled observer makes instrumentation free; see
+            :mod:`repro.obs`.
+        backend: ``"scalar"`` runs the reference trial-by-trial loop;
+            ``"vectorized"`` pre-plans whole trial shards through
+            :class:`~repro.kernels.planner.BatchInjectionPlanner` and
+            batches instrument updates, returning a bit-identical
+            profile faster.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        config: Optional[CampaignConfig] = None,
+        observer: Observer = NULL_OBSERVER,
+        backend: str = "scalar",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.workload = workload
+        self.config = config if config is not None else CampaignConfig()
+        self.observer = observer
+        self.backend = backend
+        self._driver: Optional[ClientDriver] = None
+        self._rng: Optional[random.Random] = None
+        self._seed_factory: Optional[SeedSequenceFactory] = None
+        self.trials: List[TrialRecord] = []
 
     def prepare(self) -> None:
         """Build the workload, checkpoint it, and record golden outputs.
@@ -170,17 +205,28 @@ class CharacterizationCampaign:
     def _execute_trial(
         self,
         cell_name: str,
-        spans: List[Tuple[int, int]],
+        spans: Optional[List[Tuple[int, int]]],
         spec: ErrorSpec,
-        rng: random.Random,
+        rng: Optional[random.Random],
+        positions: Optional[List[Tuple[int, int]]] = None,
     ) -> TrialRecord:
-        """Inject→drive→classify against pre-reset state and given spans."""
+        """Inject→drive→classify against pre-reset state.
+
+        With ``positions`` (the vectorized backend) the pre-planned
+        flips are installed without consuming any RNG; otherwise the
+        anchor is sampled from ``spans`` and flips drawn from ``rng``,
+        the scalar reference sequence.
+        """
         if self._driver is None:
             raise RuntimeError("prepare() must be called before running trials")
         workload = self.workload
         space = workload.space
-        injector = ErrorInjector(space, rng, observer=self.observer)
-        record = injector.inject(spec, ranges=spans)
+        if positions is not None:
+            injector = ErrorInjector(space, random.Random(0), observer=self.observer)
+            record = injector.inject_planned(spec, positions)
+        else:
+            injector = ErrorInjector(space, rng, observer=self.observer)
+            record = injector.inject(spec, ranges=spans)
         injected_at = space.time
 
         query_budget = min(self.config.queries_per_trial, workload.query_count)
@@ -288,6 +334,70 @@ class CharacterizationCampaign:
             )
         return trial
 
+    def plan_cell_trials(self, cell: CampaignCell, trial_indices: Sequence[int]):
+        """Pre-draw a whole shard's injections (vectorized backend).
+
+        Replays each trial's derived seed stream through the scalar draw
+        sequence ahead of execution, so the returned
+        :class:`~repro.kernels.planner.InjectionPlan` holds exactly the
+        anchors and flips the scalar loop would have drawn trial by
+        trial. Region cells sample their live spans once from the
+        pristine checkpoint — valid for every trial because each trial
+        resets to that same checkpoint.
+        """
+        from repro.kernels.planner import BatchInjectionPlanner
+
+        workload = self.workload
+        if cell.spans is None:
+            workload.reset()
+            region = workload.space.region_named(cell.name)
+            spans = workload.sample_ranges(region)
+        else:
+            spans = list(cell.spans)
+        planner = BatchInjectionPlanner(workload.space)
+        return planner.plan(
+            cell.spec,
+            spans,
+            lambda index: self.trial_rng(cell.name, cell.spec.label, index),
+            trial_indices,
+        )
+
+    def measure_planned_trial(
+        self,
+        cell: CampaignCell,
+        trial_index: int,
+        positions: List[Tuple[int, int]],
+    ) -> TrialRecord:
+        """Measure one pre-planned trial (vectorized unit of work).
+
+        The planned counterpart of :meth:`measure_trial`: the injection
+        positions come from an :class:`InjectionPlan` instead of being
+        drawn inside the trial, but the span shape, profile
+        contribution, and ``self.trials`` bookkeeping are identical.
+        """
+        cell_key = f"{cell.name}|{cell.spec.label}"
+        with self.observer.span(
+            SPAN_TRIAL,
+            key=str(trial_index),
+            attrs={"cell": cell_key, "trial_index": trial_index},
+        ) as span:
+            self.workload.reset()
+            trial = self._execute_trial(
+                cell.name, None, cell.spec, None, positions=positions
+            )
+            span.set(
+                outcome=trial.outcome.value,
+                masked=trial.outcome.is_masked,
+                anchor_addr=trial.anchor_addr,
+                responded=trial.responded,
+                incorrect=trial.incorrect,
+                failed=trial.failed,
+                effect_delay_minutes=trial.effect_delay_minutes,
+            )
+        if cell.spans is None:
+            self.trials.append(trial)
+        return trial
+
     def note_parallel_trials(
         self, cells: Sequence[CampaignCell], results: Sequence
     ) -> None:
@@ -312,6 +422,37 @@ class CharacterizationCampaign:
                     effect_delay_minutes=result.effect_delay_minutes,
                 )
             )
+
+    def _run_planned_cell(self, cell_def: CampaignCell, plan) -> List[TrialRecord]:
+        """Execute one cell's pre-planned trials with batched telemetry.
+
+        When tracing is enabled the trials emit into an in-memory buffer
+        rooted at the open cell span's path, and the buffer is replayed
+        into the real observer in one call — sinks see identical events
+        while the metrics instruments take one batched update per cell
+        instead of one per trial.
+        """
+        observer = self.observer
+        buffer = None
+        if observer.enabled:
+            from repro.obs.sinks import EventBuffer
+
+            buffer = EventBuffer()
+            self.observer = Observer(
+                sinks=[buffer], root_path=observer.current_path()
+            )
+        try:
+            trials = [
+                self.measure_planned_trial(
+                    cell_def, int(trial_index), plan.flips_for(local)
+                )
+                for local, trial_index in enumerate(plan.trial_indices)
+            ]
+        finally:
+            self.observer = observer
+        if buffer is not None:
+            observer.replay(buffer.events)
+        return trials
 
     # ------------------------------------------------------------------
     def _run_cells(
@@ -365,10 +506,16 @@ class CharacterizationCampaign:
             profile.region_sizes = dict(region_sizes)
             clock = ProgressClock()
             trials_done = 0
+            vectorized = self.backend == "vectorized"
             for cell_def in cells:
                 cell = profile.cell(cell_def.name, cell_def.spec.label)
                 cell_key = f"{cell_def.name}|{cell_def.spec.label}"
                 cell_start = time.perf_counter()
+                plan = (
+                    self.plan_cell_trials(cell_def, range(budget))
+                    if vectorized
+                    else None
+                )
                 with observer.span(
                     SPAN_CELL,
                     key=cell_key,
@@ -378,8 +525,14 @@ class CharacterizationCampaign:
                         "trials": budget,
                     },
                 ):
-                    for trial_index in range(budget):
-                        trial = self.measure_trial(cell_def, trial_index)
+                    if plan is not None:
+                        cell_trials = self._run_planned_cell(cell_def, plan)
+                    else:
+                        cell_trials = [
+                            self.measure_trial(cell_def, trial_index)
+                            for trial_index in range(budget)
+                        ]
+                    for trial in cell_trials:
                         cell.record(
                             outcome=trial.outcome,
                             responded=trial.responded,
@@ -431,9 +584,9 @@ class CharacterizationCampaign:
                 fork platforms, where workers inherit the prepared
                 campaign).
             progress: Optional hook called with
-                :class:`~repro.exec.progress.ProgressEvent` after each
+                :class:`~repro.obs.progress.ProgressEvent` after each
                 completed shard (e.g. a
-                :class:`~repro.exec.progress.CampaignMetrics`).
+                :class:`~repro.obs.progress.CampaignMetrics`).
         """
         worker_count = _normalize_workers(workers)
         if self._driver is None:
@@ -514,6 +667,7 @@ def campaign_fingerprint(
     config: CampaignConfig,
     specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
     regions: Optional[Sequence[str]] = None,
+    backend: str = "scalar",
 ) -> str:
     """Stable digest of every knob that shapes a measured profile.
 
@@ -521,9 +675,22 @@ def campaign_fingerprint(
     knobs (trial budget, query budget, seed, error specs, region
     selection, or an older seeding scheme) is detected as stale and
     re-measured instead of silently reused.
+
+    The payload carries two versioning fields: ``format`` (the cache /
+    seeding scheme version) and ``schema`` (the fingerprint payload
+    shape itself), plus the trial-execution ``backend`` — so caches
+    written by scalar and vectorized runs, or by releases before and
+    after a payload redesign, can never collide even though the profile
+    bytes are expected to match.
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     payload = {
         "format": CACHE_FORMAT_VERSION,
+        "schema": FINGERPRINT_SCHEMA_VERSION,
+        "backend": backend,
         "trials_per_cell": config.trials_per_cell,
         "queries_per_trial": config.queries_per_trial,
         "seed": config.seed,
@@ -543,6 +710,7 @@ def load_or_run_profile(
     regions: Optional[Sequence[str]] = None,
     workers: Optional[int] = None,
     progress: Optional[Callable] = None,
+    backend: str = "scalar",
 ) -> VulnerabilityProfile:
     """Return a (possibly cached) vulnerability profile.
 
@@ -550,9 +718,10 @@ def load_or_run_profile(
     fingerprint does not match the requested knobs — including legacy
     caches written before fingerprinting existed — is re-measured and
     rewritten. Corrupt cache files are likewise ignored. ``workers``
-    parallelizes the (re-)measurement without affecting the result.
+    parallelizes and ``backend="vectorized"`` accelerates the
+    (re-)measurement without affecting the result.
     """
-    fingerprint = campaign_fingerprint(config, specs, regions)
+    fingerprint = campaign_fingerprint(config, specs, regions, backend=backend)
     if cache_path is not None and cache_path.exists():
         try:
             data = json.loads(cache_path.read_text())
@@ -560,7 +729,9 @@ def load_or_run_profile(
                 return VulnerabilityProfile.from_dict(data["profile"])
         except (ValueError, KeyError, AttributeError):
             pass  # fall through to a fresh run
-    campaign = CharacterizationCampaign(workload_factory(), config)
+    campaign = CharacterizationCampaign(
+        workload_factory(), config=config, backend=backend
+    )
     campaign.prepare()
     profile = campaign.run(
         regions=regions,

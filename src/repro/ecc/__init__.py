@@ -15,7 +15,12 @@ from repro.ecc.mirroring import Mirroring
 from repro.ecc.none import NoProtection
 from repro.ecc.parity import Parity
 from repro.ecc.raim import Raim
-from repro.ecc.registry import available_techniques, make_codec, register_codec
+from repro.ecc.registry import (
+    UnknownTechniqueError,
+    available_techniques,
+    make_codec,
+    register_codec,
+)
 
 __all__ = [
     "Codec",
@@ -32,6 +37,7 @@ __all__ = [
     "NoProtection",
     "Parity",
     "Raim",
+    "UnknownTechniqueError",
     "available_techniques",
     "make_codec",
     "register_codec",

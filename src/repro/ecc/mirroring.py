@@ -10,6 +10,8 @@ raw), i.e. 2 × 72 bits stored per 64 data bits.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.ecc.base import Codec, DecodeResult, DecodeStatus
 from repro.ecc.hamming import SecDed
 
@@ -23,8 +25,8 @@ class Mirroring(Codec):
     added_logic = "low"
     capability = "2/8 chips (1/2 modules)"
 
-    def __init__(self) -> None:
-        self._inner = SecDed()
+    def __init__(self, *, inner: Optional[SecDed] = None) -> None:
+        self._inner = inner if inner is not None else SecDed()
 
     def encode(self, data: int) -> int:
         """Store the same SEC-DED codeword twice."""

@@ -13,7 +13,7 @@ stripe, each stored as a (72,64) SEC-DED codeword → 360 stored bits per
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.ecc.base import Codec, DecodeResult, DecodeStatus
 from repro.ecc.hamming import SecDed
@@ -32,8 +32,8 @@ class Raim(Codec):
     added_logic = "high"
     capability = "1/5 modules (1/5 modules)"
 
-    def __init__(self) -> None:
-        self._inner = SecDed()
+    def __init__(self, *, inner: Optional[SecDed] = None) -> None:
+        self._inner = inner if inner is not None else SecDed()
 
     def encode(self, data: int) -> int:
         """Split into 4 stripes, add XOR parity stripe, SEC-DED each."""

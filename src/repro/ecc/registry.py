@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import difflib
+from typing import Callable, Dict, Iterable, List
 
 from repro.ecc.base import Codec
 from repro.ecc.chipkill import Chipkill
@@ -12,6 +13,34 @@ from repro.ecc.mirroring import Mirroring
 from repro.ecc.none import NoProtection
 from repro.ecc.parity import Parity
 from repro.ecc.raim import Raim
+
+
+class UnknownTechniqueError(KeyError):
+    """An ECC technique name that no codec is registered under.
+
+    Subclasses :class:`KeyError` for backward compatibility but renders
+    a readable message (plain ``KeyError`` stringifies to the repr of
+    its argument) listing every valid name and, when the bad name looks
+    like a typo, the closest match — so ``--ecc SECDED`` on the CLI
+    says "did you mean 'SEC-DED'?" instead of dumping a traceback.
+    """
+
+    def __init__(self, name: str, known: Iterable[str]) -> None:
+        self.name = name
+        self.valid = tuple(known)
+        message = (
+            f"unknown ECC technique {name!r}; valid techniques: "
+            + ", ".join(self.valid)
+        )
+        close = difflib.get_close_matches(str(name), self.valid, n=1, cutoff=0.5)
+        if close:
+            message += f" (did you mean {close[0]!r}?)"
+        self.message = message
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        return self.message
+
 
 _FACTORIES: Dict[str, Callable[[], Codec]] = {
     "None": NoProtection,
@@ -33,13 +62,13 @@ def make_codec(name: str) -> Codec:
     """Instantiate the codec for technique ``name``.
 
     Raises:
-        KeyError: for an unknown technique name.
+        UnknownTechniqueError: for an unknown technique name (a
+            :class:`KeyError` subclass listing the valid names).
     """
     try:
         factory = _FACTORIES[name]
     except KeyError:
-        valid = ", ".join(_FACTORIES)
-        raise KeyError(f"unknown ECC technique '{name}' (expected one of {valid})")
+        raise UnknownTechniqueError(name, _FACTORIES) from None
     return factory()
 
 

@@ -13,7 +13,7 @@ from repro.exec.parallel import (
     resolve_start_method,
     run_shard_on,
 )
-from repro.exec.progress import (
+from repro.obs.progress import (
     CampaignMetrics,
     ProgressEvent,
     WorkerTiming,

@@ -100,7 +100,9 @@ class ShardResult:
     events: Tuple[TraceEvent, ...] = field(default=())
 
 
-def _worker_initializer(workload_factory, config, trace_enabled=False) -> None:
+def _worker_initializer(
+    workload_factory, config, trace_enabled=False, backend="scalar"
+) -> None:
     """Build and prepare a fresh campaign in a spawned worker.
 
     Never raises — see :data:`_WORKER_BOOTSTRAP_ERROR`.
@@ -110,7 +112,9 @@ def _worker_initializer(workload_factory, config, trace_enabled=False) -> None:
 
     _WORKER_TRACE = trace_enabled
     try:
-        campaign = CharacterizationCampaign(workload_factory(), config)
+        campaign = CharacterizationCampaign(
+            workload_factory(), config=config, backend=backend
+        )
         campaign.prepare()
     except BaseException as exc:  # surfaced by _execute_shard
         _WORKER_BOOTSTRAP_ERROR = exc
@@ -130,6 +134,11 @@ def run_shard_on(
     worker process) and returned inside the :class:`ShardResult` for
     canonical-order replay by the parent.
     """
+    plan = None
+    if getattr(campaign, "backend", "scalar") == "vectorized":
+        # Pre-draw the whole shard's injections before the trial loop
+        # (positions identical to what the scalar loop would draw).
+        plan = campaign.plan_cell_trials(shard.cell, list(shard.trial_indices()))
     buffer: Optional[EventBuffer] = None
     original_observer = campaign.observer
     if capture_events:
@@ -141,8 +150,13 @@ def run_shard_on(
     start = time.perf_counter()
     results = []
     try:
-        for trial_index in shard.trial_indices():
-            trial = campaign.measure_trial(shard.cell, trial_index)
+        for local, trial_index in enumerate(shard.trial_indices()):
+            if plan is not None:
+                trial = campaign.measure_planned_trial(
+                    shard.cell, trial_index, plan.flips_for(local)
+                )
+            else:
+                trial = campaign.measure_trial(shard.cell, trial_index)
             results.append(
                 TrialResult(
                     cell_index=shard.cell_index,
@@ -298,7 +312,12 @@ class ParallelCampaignRunner:
                     "prepared campaign; pass a picklable workload_factory"
                 )
             initializer = _worker_initializer
-            initargs = (self.workload_factory, campaign.config, observer.enabled)
+            initargs = (
+                self.workload_factory,
+                campaign.config,
+                observer.enabled,
+                getattr(campaign, "backend", "scalar"),
+            )
 
         trials_total = len(cells) * trials_per_cell
         trials_done = 0

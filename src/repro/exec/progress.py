@@ -1,12 +1,14 @@
-"""Backward-compatible re-exports of the campaign progress layer.
+"""Deprecated alias of :mod:`repro.obs.progress` (moved in PR 2).
 
 The progress hook machinery moved to :mod:`repro.obs.progress` when the
-observability layer landed (PR 2); ``ProgressEvent`` and
-``CampaignMetrics`` are now thin consumers of the same shard-completion
-signal that feeds the structured event stream. Import from
-:mod:`repro.obs` in new code; this module keeps the PR 1 import paths
-working.
+observability layer landed; ``ProgressEvent`` and ``CampaignMetrics``
+are now thin consumers of the same shard-completion signal that feeds
+the structured event stream. This shim keeps the PR 1 import paths
+working but warns: import from :mod:`repro.obs.progress` (or the
+:mod:`repro.obs` package) instead. It will be removed in 2.0.
 """
+
+import warnings
 
 from repro.obs.progress import (
     CampaignMetrics,
@@ -23,3 +25,10 @@ __all__ = [
     "WorkerTiming",
     "emit_progress",
 ]
+
+warnings.warn(
+    "repro.exec.progress is deprecated and will be removed in 2.0; "
+    "import from repro.obs.progress instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

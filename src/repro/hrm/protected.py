@@ -17,7 +17,7 @@ that pipeline over the simulated memory substrate:
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.ecc.base import Codec, DecodeStatus
 from repro.memory.address_space import AddressSpace
@@ -47,6 +47,7 @@ class ProtectedArray:
         base_addr: int,
         word_count: int,
         codec: Codec,
+        *,
         recovery: Optional[RecoveryFn] = None,
         scrub_on_read: bool = True,
     ) -> None:
@@ -134,8 +135,78 @@ class ProtectedArray:
         self.recovered_words += 1
         return clean
 
-    def scrub(self) -> dict:
+    def read_batch(self, indices: Optional[Sequence[int]] = None) -> List[int]:
+        """Read many words through one vectorized kernel decode.
+
+        Semantically identical to calling :meth:`read` per index —
+        repair counters, demand scrubs, recovery invocations, and the
+        index at which :class:`UncorrectableMemoryError` fires all
+        match — but all decodes happen in a single
+        :class:`~repro.kernels.base.BatchCodecKernel` pass. Codecs
+        registered only with the scalar registry fall back to the
+        per-word loop. The one observable difference: every slot's raw
+        load is issued before any repair, so access counters for slots
+        past a raised error still tick.
+
+        Args:
+            indices: Word indices to read (default: the whole array).
+        """
+        from repro.kernels.base import (
+            STATUS_CORRECTED as _STATUS_CORRECTED,
+            STATUS_OK as _STATUS_OK,
+        )
+        from repro.kernels.registry import get_kernel
+
+        if indices is None:
+            indices = range(self.word_count)
+        index_list = list(indices)
+        try:
+            kernel = get_kernel(self._codec.name)
+        except KeyError:
+            return [self.read(index) for index in index_list]
+        raws = [
+            int.from_bytes(
+                self._space.read(self.slot_addr(index), self._slot_bytes),
+                "little",
+            )
+            & self._code_mask
+            for index in index_list
+        ]
+        batch = kernel.decode_ints(raws)
+        data_values = batch.data_ints()
+        values: List[int] = []
+        for position, index in enumerate(index_list):
+            status = int(batch.status[position])
+            if status == _STATUS_OK:
+                values.append(data_values[position])
+                continue
+            if status == _STATUS_CORRECTED:
+                self.corrected_words += 1
+                if self._scrub_on_read:
+                    self._space.write(
+                        self.slot_addr(index),
+                        self._codec.encode(data_values[position]).to_bytes(
+                            self._slot_bytes, "little"
+                        ),
+                    )
+                values.append(data_values[position])
+                continue
+            self.detected_words += 1
+            if self._recovery is None:
+                raise UncorrectableMemoryError(self.slot_addr(index), index)
+            clean = self._recovery(index)
+            self.write(index, clean)
+            self.recovered_words += 1
+            values.append(clean)
+        return values
+
+    def scrub(self, *, batch: bool = False) -> dict:
         """Patrol pass over every word; returns repair counts.
+
+        Args:
+            batch: Decode the whole array in one vectorized kernel pass
+                (:meth:`read_batch`) instead of word by word; repair
+                counts are identical.
 
         Raises:
             UncorrectableMemoryError: via :meth:`read` when an
@@ -144,8 +215,11 @@ class ProtectedArray:
         """
         corrected_before = self.corrected_words
         recovered_before = self.recovered_words
-        for index in range(self.word_count):
-            self.read(index)
+        if batch:
+            self.read_batch()
+        else:
+            for index in range(self.word_count):
+                self.read(index)
         return {
             "corrected": self.corrected_words - corrected_before,
             "recovered": self.recovered_words - recovered_before,

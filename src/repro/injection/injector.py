@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.dram.fault_models import DramFaultModel
 from repro.injection.sampler import AddressSampler
@@ -81,6 +81,45 @@ class InjectionRecord:
         return self.faults[0].addr
 
 
+def plan_flip_positions(
+    space: AddressSpace,
+    rng: random.Random,
+    spec: ErrorSpec,
+    addr: int,
+) -> List[Tuple[int, int]]:
+    """Choose the (byte address, bit) flips for one injection.
+
+    The single source of truth for the flip-position draw sequence,
+    shared by the scalar :class:`ErrorInjector` and the batched
+    :class:`~repro.kernels.planner.BatchInjectionPlanner` — both consume
+    exactly ``randrange(8)`` followed by one ``sample`` call from
+    ``rng``, which is what keeps vectorized profiles bit-identical to
+    scalar ones.
+
+    Flips land within the 64-bit word containing the anchor byte,
+    clamped to the anchor's region so they never escape into guards; the
+    first flip always lands in the anchor byte itself so per-address
+    statistics stay meaningful.
+    """
+    word_base = addr - (addr % 8)
+    region_of_addr = space.region_at(addr)
+    if region_of_addr is None:
+        raise ValueError(f"anchor address 0x{addr:x} is unmapped")
+    word_limit = min(word_base + 8, region_of_addr.end)
+    word_base = max(word_base, region_of_addr.base)
+    anchor_bit = rng.randrange(8)
+    positions = [(addr, anchor_bit)]
+    available = [
+        (byte_addr, bit)
+        for byte_addr in range(word_base, word_limit)
+        for bit in range(8)
+        if (byte_addr, bit) != (addr, anchor_bit)
+    ]
+    extra = rng.sample(available, min(spec.bits - 1, len(available)))
+    positions.extend(extra)
+    return positions
+
+
 class ErrorInjector:
     """Injects error specs into an address space at sampled addresses."""
 
@@ -142,33 +181,44 @@ class ErrorInjector:
                 addr = self.sampler.sample_from_ranges(ranges)
             else:
                 addr = self.sampler.sample(region)
+        positions = plan_flip_positions(self._space, self._rng, spec, addr)
+        return self.apply_positions(spec, positions)
+
+    def apply_positions(
+        self, spec: ErrorSpec, positions: List[Tuple[int, int]]
+    ) -> InjectionRecord:
+        """Install pre-planned flips as faults (no RNG consumption).
+
+        The apply half of the plan/apply split: positions come either
+        from this injector's own sampling (:meth:`inject`) or from a
+        :class:`~repro.kernels.planner.InjectionPlan` computed ahead of
+        the whole trial shard.
+        """
         record = InjectionRecord(spec=spec)
-        # Choose distinct bit positions within the 64-bit word containing
-        # the anchor byte; the first flip always lands in the anchor byte
-        # itself so per-address statistics stay meaningful.
-        word_base = addr - (addr % 8)
-        region_of_addr = self._space.region_at(addr)
-        if region_of_addr is None:
-            raise ValueError(f"anchor address 0x{addr:x} is unmapped")
-        # Clamp the word to the region so flips never escape into guards.
-        word_limit = min(word_base + 8, region_of_addr.end)
-        word_base = max(word_base, region_of_addr.base)
-        anchor_bit = self._rng.randrange(8)
-        positions = [(addr, anchor_bit)]
-        available = [
-            (byte_addr, bit)
-            for byte_addr in range(word_base, word_limit)
-            for bit in range(8)
-            if (byte_addr, bit) != (addr, anchor_bit)
-        ]
-        extra = self._rng.sample(available, min(spec.bits - 1, len(available)))
-        positions.extend(extra)
         for byte_addr, bit in positions:
             if spec.kind is FaultKind.SOFT:
                 fault = self._space.inject_soft_flip(byte_addr, bit)
             else:
                 fault = self._space.inject_hard_fault(byte_addr, bit)
             record.faults.append(fault)
+        return record
+
+    def inject_planned(
+        self, spec: ErrorSpec, positions: List[Tuple[int, int]]
+    ) -> InjectionRecord:
+        """Inject pre-planned flips, wrapped in the same tracing span.
+
+        Emits a span identical in shape to :meth:`inject` so vectorized
+        campaigns trace exactly like scalar ones.
+        """
+        with self._observer.span(
+            SPAN_INJECTION,
+            attrs={"kind": spec.kind.value, "bits": spec.bits},
+        ) as span:
+            record = self.apply_positions(spec, positions)
+            span.set(
+                anchor_addr=record.anchor_addr, faults=len(record.faults)
+            )
         return record
 
     def inject_footprint(self, model: DramFaultModel, scale_to_space: bool = True) -> InjectionRecord:

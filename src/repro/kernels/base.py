@@ -1,0 +1,134 @@
+"""Batch codec kernel interface and result container.
+
+A :class:`BatchCodecKernel` is the vectorized counterpart of a scalar
+:class:`repro.ecc.base.Codec`: it encodes and decodes whole batches of
+words as NumPy bit matrices, with identical semantics — the scalar
+codec remains the reference oracle, and the property suite asserts
+per-word equality of data, status, and repaired-bit sets for every
+kernel (see ``tests/property/test_prop_kernels.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.ecc.base import Codec, DecodeResult, DecodeStatus
+from repro.kernels.gf2 import bits_to_ints, generator_matrix, gf2_matmul, ints_to_bits
+
+__all__ = [
+    "STATUS_OK",
+    "STATUS_CORRECTED",
+    "STATUS_DETECTED",
+    "STATUS_VALUES",
+    "BatchDecodeResult",
+    "BatchCodecKernel",
+]
+
+#: Integer status codes used inside batch results (array-friendly).
+STATUS_OK = 0
+STATUS_CORRECTED = 1
+STATUS_DETECTED = 2
+
+#: Code -> :class:`DecodeStatus` (index = status code).
+STATUS_VALUES = (DecodeStatus.OK, DecodeStatus.CORRECTED, DecodeStatus.DETECTED)
+
+
+@dataclass
+class BatchDecodeResult:
+    """Decoded batch: per-word data bits, status codes, and repair masks.
+
+    Attributes:
+        data: ``(n, data_bits)`` uint8 decoded data-bit matrix.
+        status: ``(n,)`` uint8 array of ``STATUS_*`` codes.
+        corrected: ``(n, code_bits)`` uint8 mask of repaired codeword
+            positions — the batch form of ``DecodeResult.corrected_bits``
+            (RAIM keeps the scalar convention of marking the whole
+            erased stripe, not just the bits that differed).
+    """
+
+    data: np.ndarray
+    status: np.ndarray
+    corrected: np.ndarray
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def data_ints(self) -> List[int]:
+        """Decoded data words as Python integers."""
+        return bits_to_ints(self.data)
+
+    def statuses(self) -> List[DecodeStatus]:
+        """Per-word decode statuses."""
+        return [STATUS_VALUES[code] for code in self.status]
+
+    def result_at(self, index: int) -> DecodeResult:
+        """Materialize one word's scalar-equivalent :class:`DecodeResult`.
+
+        ``corrected_bits`` comes back in ascending position order; the
+        scalar decoders emit discovery order, so equivalence checks
+        compare the *sets*.
+        """
+        data = int.from_bytes(
+            np.packbits(self.data[index], bitorder="little").tobytes(), "little"
+        )
+        return DecodeResult(
+            data=data,
+            status=STATUS_VALUES[int(self.status[index])],
+            corrected_bits=[int(p) for p in np.flatnonzero(self.corrected[index])],
+        )
+
+
+class BatchCodecKernel(abc.ABC):
+    """Vectorized encode/syndrome/correct engine for one codec.
+
+    Construction derives the generator matrix (and any decoder lookup
+    tables) from the scalar codec once; instances are memoized per
+    technique by :func:`repro.kernels.registry.get_kernel`.
+    """
+
+    def __init__(self, codec: Codec) -> None:
+        self.codec = codec
+        self.data_bits = codec.data_bits
+        self.code_bits = codec.code_bits
+        #: ``(data_bits, code_bits)`` generator matrix probed from the codec.
+        self.generator = generator_matrix(codec)
+
+    @property
+    def name(self) -> str:
+        """Technique name (matches the scalar codec and Table 1)."""
+        return self.codec.name
+
+    # ------------------------------------------------------------------
+    def encode_bits(self, data: np.ndarray) -> np.ndarray:
+        """Encode a ``(n, data_bits)`` batch into ``(n, code_bits)``."""
+        if data.ndim != 2 or data.shape[1] != self.data_bits:
+            raise ValueError(
+                f"expected (n, {self.data_bits}) data bits, got {data.shape}"
+            )
+        return gf2_matmul(data, self.generator)
+
+    def encode_ints(self, values: Sequence[int]) -> List[int]:
+        """Encode a sequence of data words (integer convenience form)."""
+        return bits_to_ints(self.encode_bits(ints_to_bits(values, self.data_bits)))
+
+    @abc.abstractmethod
+    def decode_bits(self, codewords: np.ndarray) -> BatchDecodeResult:
+        """Decode a ``(n, code_bits)`` batch of possibly corrupt words."""
+
+    def decode_ints(self, values: Sequence[int]) -> BatchDecodeResult:
+        """Decode a sequence of codewords (integer convenience form)."""
+        return self.decode_bits(ints_to_bits(values, self.code_bits))
+
+    def _check_codewords(self, codewords: np.ndarray) -> None:
+        if codewords.ndim != 2 or codewords.shape[1] != self.code_bits:
+            raise ValueError(
+                f"expected (n, {self.code_bits}) codeword bits, got "
+                f"{codewords.shape}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"{type(self).__name__}({self.name})"

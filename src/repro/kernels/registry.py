@@ -1,0 +1,61 @@
+"""Kernel registry: batch kernels keyed by Table 1 technique names.
+
+Kernels are memoized per process — H-matrix derivation and decoder
+lookup tables are built once per technique, then shared by every
+campaign, benchmark, and :class:`~repro.hrm.protected.ProtectedArray`
+in the process.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ecc.registry import UnknownTechniqueError
+from repro.kernels.base import BatchCodecKernel
+from repro.kernels.chipkill import ChipkillKernel
+from repro.kernels.composite import MirroringKernel, RaimKernel
+from repro.kernels.dected import DecTedKernel
+from repro.kernels.secded import SecDedKernel
+from repro.kernels.simple import NoProtectionKernel, ParityKernel
+
+__all__ = ["available_kernels", "get_kernel", "clear_kernel_cache"]
+
+_KERNEL_FACTORIES: Dict[str, Callable[[], BatchCodecKernel]] = {
+    "None": NoProtectionKernel,
+    "Parity": ParityKernel,
+    "SEC-DED": SecDedKernel,
+    "DEC-TED": DecTedKernel,
+    "Chipkill": ChipkillKernel,
+    "RAIM": RaimKernel,
+    "Mirroring": MirroringKernel,
+}
+
+_CACHE: Dict[str, BatchCodecKernel] = {}
+
+
+def available_kernels() -> List[str]:
+    """Technique names with a vectorized kernel, Table 1 order."""
+    return list(_KERNEL_FACTORIES)
+
+
+def get_kernel(name: str) -> BatchCodecKernel:
+    """Return the (memoized) batch kernel for technique ``name``.
+
+    Raises:
+        UnknownTechniqueError: for a name without a vectorized kernel
+            (including user codecs registered only with the scalar
+            registry).
+    """
+    kernel = _CACHE.get(name)
+    if kernel is None:
+        try:
+            factory = _KERNEL_FACTORIES[name]
+        except KeyError:
+            raise UnknownTechniqueError(name, _KERNEL_FACTORIES) from None
+        kernel = _CACHE[name] = factory()
+    return kernel
+
+
+def clear_kernel_cache() -> None:
+    """Drop memoized kernels (test isolation helper)."""
+    _CACHE.clear()

@@ -1,0 +1,58 @@
+"""Batch kernels for the trivial codecs: no protection and parity.
+
+These exist less for speed (their scalar forms are already cheap) than
+for uniformity: every Table 1 technique decodes through the same
+:class:`~repro.kernels.base.BatchCodecKernel` interface, so campaign
+and benchmark code never special-cases a scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ecc.none import NoProtection
+from repro.ecc.parity import Parity
+from repro.kernels.base import (
+    STATUS_DETECTED,
+    STATUS_OK,
+    BatchCodecKernel,
+    BatchDecodeResult,
+)
+
+__all__ = ["NoProtectionKernel", "ParityKernel"]
+
+
+class NoProtectionKernel(BatchCodecKernel):
+    """Identity decode: every word is trusted as-is."""
+
+    def __init__(self, codec: NoProtection = None) -> None:
+        super().__init__(codec if codec is not None else NoProtection())
+
+    def decode_bits(self, codewords: np.ndarray) -> BatchDecodeResult:
+        """Pass the batch through unchanged (corruption is invisible)."""
+        self._check_codewords(codewords)
+        n = codewords.shape[0]
+        return BatchDecodeResult(
+            data=codewords.astype(np.uint8, copy=True),
+            status=np.full(n, STATUS_OK, dtype=np.uint8),
+            corrected=np.zeros((n, self.code_bits), dtype=np.uint8),
+        )
+
+
+class ParityKernel(BatchCodecKernel):
+    """Even-parity check over the whole 65-bit codeword."""
+
+    def __init__(self, codec: Parity = None) -> None:
+        super().__init__(codec if codec is not None else Parity())
+
+    def decode_bits(self, codewords: np.ndarray) -> BatchDecodeResult:
+        """Odd-weight batches are DETECTED, never repaired."""
+        self._check_codewords(codewords)
+        n = codewords.shape[0]
+        odd = (codewords.sum(axis=1) & 1).astype(bool)
+        status = np.where(odd, STATUS_DETECTED, STATUS_OK).astype(np.uint8)
+        return BatchDecodeResult(
+            data=codewords[:, : self.data_bits].astype(np.uint8, copy=True),
+            status=status,
+            corrected=np.zeros((n, self.code_bits), dtype=np.uint8),
+        )

@@ -6,7 +6,7 @@ characterization campaigns — serial or parallel — alongside memory
 accesses.
 """
 
-from repro.exec.progress import CampaignMetrics, ProgressEvent, WorkerTiming
+from repro.obs.progress import CampaignMetrics, ProgressEvent, WorkerTiming
 from repro.monitoring.analysis import (
     PageWriteInterval,
     RegionSafeRatioReport,

@@ -20,7 +20,7 @@ the paper-relevant aggregates current:
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.obs.events import (
     KIND_POINT,
@@ -119,6 +119,64 @@ class CampaignInstruments:
             masked += 1
         self._cell_counts[cell] = (trials, masked)
         self.cell_safe_ratio.labels(cell=cell).set(safe_div(masked, trials))
+
+    def update_batch(self, events: Iterable[TraceEvent]) -> None:
+        """Fold many events with one registry touch per aggregate.
+
+        The batch counterpart of :meth:`update`, used when whole trial
+        shards land at once (vectorized campaigns, parallel merges):
+        trial outcomes and response dispositions are pre-summed in plain
+        dicts so each counter label is incremented once per batch, and
+        each cell's safe-ratio gauge is set once with its final value.
+        Counter sums commute and gauges take the last write, so the
+        registry end-state is identical to folding the events one by
+        one; progress points are replayed in order because the idle
+        gauge reads the busy counter as it goes.
+        """
+        outcome_counts: Dict[str, int] = {}
+        disposition_totals: Dict[str, float] = {}
+        durations: List[float] = []
+        progress_events: List[TraceEvent] = []
+        touched_cells: List[str] = []
+        for event in events:
+            if event.kind == KIND_SPAN:
+                if event.name == SPAN_TRIAL:
+                    attrs = event.attrs
+                    outcome = str(attrs.get("outcome", "unknown"))
+                    outcome_counts[outcome] = outcome_counts.get(outcome, 0) + 1
+                    for disposition in ("responded", "incorrect", "failed"):
+                        count = attrs.get(disposition)
+                        if count:
+                            disposition_totals[disposition] = (
+                                disposition_totals.get(disposition, 0.0)
+                                + float(count)
+                            )
+                    cell = str(attrs.get("cell", "?"))
+                    trials, masked = self._cell_counts.get(cell, (0, 0))
+                    trials += 1
+                    if attrs.get("masked"):
+                        masked += 1
+                    self._cell_counts[cell] = (trials, masked)
+                    if cell not in touched_cells:
+                        touched_cells.append(cell)
+                elif event.name == SPAN_INJECTION:
+                    if event.duration_seconds is not None:
+                        durations.append(event.duration_seconds)
+            elif event.kind == KIND_POINT and event.name == POINT_PROGRESS:
+                progress_events.append(event)
+        for outcome, count in outcome_counts.items():
+            self.trials.labels(outcome=outcome).inc(count)
+        for disposition, total in disposition_totals.items():
+            self.responses.labels(disposition=disposition).inc(total)
+        for cell in touched_cells:
+            trials, masked = self._cell_counts[cell]
+            self.cell_safe_ratio.labels(cell=cell).set(safe_div(masked, trials))
+        if durations:
+            histogram = self.injection_latency.labels()
+            for duration in durations:
+                histogram.observe(duration)
+        for event in progress_events:
+            self._update_progress(event)
 
     def _update_progress(self, event: TraceEvent) -> None:
         attrs = event.attrs

@@ -183,9 +183,21 @@ class Observer:
             self._instruments.update(event)
 
     def replay(self, events: Iterable[TraceEvent]) -> None:
-        """Re-emit relayed worker events (the parallel merge path)."""
+        """Re-emit buffered events (parallel merge / vectorized batches).
+
+        Sinks receive the events one by one in order, but the metrics
+        instruments are updated once for the whole batch
+        (:meth:`CampaignInstruments.update_batch`) — one registry touch
+        per aggregate instead of per trial, which is what keeps
+        instrument overhead off the vectorized hot path. The registry
+        end-state is identical to per-event emission.
+        """
+        events = list(events)
         for event in events:
-            self.emit(event)
+            for sink in self.sinks:
+                sink.write(event)
+        if self._instruments is not None:
+            self._instruments.update_batch(events)
 
     def close(self) -> None:
         """Close every sink that supports it."""

@@ -22,7 +22,7 @@ CONFIG = CampaignConfig(trials_per_cell=6, queries_per_trial=40, seed=7)
 
 @pytest.fixture(scope="module")
 def campaign(websearch_small_module):
-    runner = CharacterizationCampaign(websearch_small_module, CONFIG)
+    runner = CharacterizationCampaign(websearch_small_module, config=CONFIG)
     runner.prepare()
     return runner
 
@@ -63,7 +63,7 @@ class TestCampaign:
             workload = WebSearch(
                 vocabulary_size=300, doc_count=200, query_count=80, heap_size=65536
             )
-            runner = CharacterizationCampaign(workload, CONFIG)
+            runner = CharacterizationCampaign(workload, config=CONFIG)
             runner.prepare()
             profile = runner.run(regions=["stack"], specs=(SINGLE_BIT_SOFT,),
                                  trials_per_cell=5)

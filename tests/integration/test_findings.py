@@ -23,7 +23,7 @@ def websearch_profile():
     campaign = CharacterizationCampaign(
         WebSearch(vocabulary_size=400, doc_count=300, query_count=150,
                   heap_size=65536),
-        CONFIG,
+        config=CONFIG,
     )
     campaign.prepare()
     profile = campaign.run(
@@ -121,7 +121,7 @@ class TestFinding1InterApp:
             GraphMining(vertex_count=120, edges_per_vertex=5, iterations=3,
                         jobs=2),
         ):
-            campaign = CharacterizationCampaign(workload, config)
+            campaign = CharacterizationCampaign(workload, config=config)
             campaign.prepare()
             profiles[workload.name] = campaign.run(specs=(SINGLE_BIT_HARD,))
         visible = {

@@ -44,7 +44,7 @@ def _profile_bytes(profile):
 
 def _run(workload, observer=None, workers=None):
     kwargs = {"observer": observer} if observer is not None else {}
-    campaign = CharacterizationCampaign(workload, CONFIG, **kwargs)
+    campaign = CharacterizationCampaign(workload, config=CONFIG, **kwargs)
     campaign.prepare()
     return campaign.run(specs=SPECS, workers=workers)
 

@@ -30,7 +30,7 @@ def app_workload(request):
 
 class TestParallelCampaignPerApp:
     def test_taxonomy_partitions_every_trial(self, app_workload):
-        campaign = CharacterizationCampaign(app_workload, CONFIG)
+        campaign = CharacterizationCampaign(app_workload, config=CONFIG)
         campaign.prepare()
         profile = campaign.run(specs=SPECS, workers=2)
         regions = [region.name for region in app_workload.space.regions]
@@ -43,8 +43,8 @@ class TestParallelCampaignPerApp:
             assert set(cell.outcome_counts) <= valid_outcomes
 
     def test_parallel_matches_serial_rerun(self, app_workload):
-        campaign = CharacterizationCampaign(app_workload, CONFIG)
+        campaign = CharacterizationCampaign(app_workload, config=CONFIG)
         campaign.prepare()
         parallel = campaign.run(specs=SPECS, workers=2)
-        serial = CharacterizationCampaign(app_workload, CONFIG).run(specs=SPECS)
+        serial = CharacterizationCampaign(app_workload, config=CONFIG).run(specs=SPECS)
         assert json.dumps(parallel.to_dict()) == json.dumps(serial.to_dict())

@@ -35,7 +35,7 @@ def make_workload() -> WebSearch:
 
 
 def _timed_run(workers):
-    campaign = CharacterizationCampaign(make_workload(), CONFIG)
+    campaign = CharacterizationCampaign(make_workload(), config=CONFIG)
     campaign.prepare()  # build/golden cost excluded from the timed section
     start = time.perf_counter()
     profile = campaign.run(

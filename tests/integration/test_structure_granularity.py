@@ -11,7 +11,7 @@ from repro.injection import SINGLE_BIT_HARD
 def structure_profile(websearch_small):
     campaign = CharacterizationCampaign(
         websearch_small,
-        CampaignConfig(trials_per_cell=25, queries_per_trial=60, seed=88),
+        config=CampaignConfig(trials_per_cell=25, queries_per_trial=60, seed=88),
     )
     campaign.prepare()
     structures = websearch_small.data_structure_ranges()

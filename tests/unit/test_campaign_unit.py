@@ -27,20 +27,20 @@ class TestCampaignConfig:
 
 class TestCampaignLifecycle:
     def test_run_trial_requires_prepare(self, websearch_small):
-        campaign = CharacterizationCampaign(websearch_small, CampaignConfig())
+        campaign = CharacterizationCampaign(websearch_small, config=CampaignConfig())
         with pytest.raises(RuntimeError):
             campaign.run_trial("private", SINGLE_BIT_SOFT)
 
     def test_prepare_reuses_built_workload(self, websearch_small):
         space_before = websearch_small.space
-        campaign = CharacterizationCampaign(websearch_small, CampaignConfig())
+        campaign = CharacterizationCampaign(websearch_small, config=CampaignConfig())
         campaign.prepare()
         assert websearch_small.space is space_before  # not rebuilt
 
     def test_trials_recorded_on_campaign(self, websearch_small):
         campaign = CharacterizationCampaign(
             websearch_small,
-            CampaignConfig(trials_per_cell=2, queries_per_trial=20, seed=3),
+            config=CampaignConfig(trials_per_cell=2, queries_per_trial=20, seed=3),
         )
         campaign.prepare()
         trial = campaign.run_trial("stack", SINGLE_BIT_HARD)
@@ -50,7 +50,7 @@ class TestCampaignLifecycle:
         assert isinstance(trial.outcome, ErrorOutcome)
 
     def test_unknown_region_rejected(self, websearch_small):
-        campaign = CharacterizationCampaign(websearch_small, CampaignConfig())
+        campaign = CharacterizationCampaign(websearch_small, config=CampaignConfig())
         campaign.prepare()
         with pytest.raises(KeyError):
             campaign.run_trial("nope", SINGLE_BIT_SOFT)
@@ -60,7 +60,7 @@ class TestCustomCells:
     def test_custom_cells_profile_shape(self, websearch_small):
         campaign = CharacterizationCampaign(
             websearch_small,
-            CampaignConfig(trials_per_cell=3, queries_per_trial=20, seed=6),
+            config=CampaignConfig(trials_per_cell=3, queries_per_trial=20, seed=6),
         )
         campaign.prepare()
         heap = websearch_small.space.region_named("heap")
@@ -73,7 +73,7 @@ class TestCustomCells:
     def test_custom_cells_sampling_confined(self, websearch_small):
         campaign = CharacterizationCampaign(
             websearch_small,
-            CampaignConfig(trials_per_cell=5, queries_per_trial=10, seed=7),
+            config=CampaignConfig(trials_per_cell=5, queries_per_trial=10, seed=7),
         )
         campaign.prepare()
         heap = websearch_small.space.region_named("heap")
@@ -101,7 +101,7 @@ class TestCustomCells:
         )
         campaign = CharacterizationCampaign(
             workload,
-            CampaignConfig(trials_per_cell=2, queries_per_trial=10, seed=8),
+            config=CampaignConfig(trials_per_cell=2, queries_per_trial=10, seed=8),
         )
         campaign.prepare()
         stack = workload.space.region_named("stack")

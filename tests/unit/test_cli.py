@@ -16,6 +16,18 @@ class TestEccCommand:
             assert technique in output
         assert "12.5%" in output
 
+    def test_filter_single_technique(self, capsys):
+        assert main(["ecc", "--ecc", "SEC-DED"]) == 0
+        output = capsys.readouterr().out
+        assert "SEC-DED" in output
+        assert "Chipkill" not in output
+
+    def test_unknown_technique_suggests_and_exits_2(self, capsys):
+        assert main(["ecc", "--ecc", "SECDED"]) == 2
+        err = capsys.readouterr().err
+        assert "valid techniques" in err
+        assert "did you mean 'SEC-DED'?" in err
+
 
 class TestCharacterizeCommand:
     def test_small_campaign_table(self, capsys):
@@ -38,6 +50,18 @@ class TestCharacterizeCommand:
         serial = capsys.readouterr().out
         assert main(base + ["--workers", "2"]) == 0
         assert capsys.readouterr().out == serial
+
+    def test_vectorized_backend_matches_scalar_json(self, capsys):
+        pytest.importorskip("numpy")
+        base = [
+            "characterize", "--app", "memcached", "--trials", "4",
+            "--queries", "15", "--scale", "0.3", "--errors", "soft",
+            "--json",
+        ]
+        assert main(base) == 0
+        scalar = capsys.readouterr().out
+        assert main(base + ["--backend", "vectorized"]) == 0
+        assert capsys.readouterr().out == scalar
 
     def test_metrics_accounts_every_trial(self, capsys):
         code = main([

@@ -124,7 +124,7 @@ class TestEndToEndAgreement:
 
         campaign = CharacterizationCampaign(
             websearch_small,
-            CampaignConfig(trials_per_cell=40, queries_per_trial=60, seed=77),
+            config=CampaignConfig(trials_per_cell=40, queries_per_trial=60, seed=77),
         )
         campaign.prepare()  # reuses the already-built fixture
         profile = campaign.run(

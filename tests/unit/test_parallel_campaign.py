@@ -53,7 +53,7 @@ def broken_factory() -> WebSearch:
 
 
 def _fresh_campaign() -> CharacterizationCampaign:
-    return CharacterizationCampaign(make_tiny_websearch(), CONFIG)
+    return CharacterizationCampaign(make_tiny_websearch(), config=CONFIG)
 
 
 def _profile_bytes(profile: VulnerabilityProfile) -> str:
@@ -327,7 +327,7 @@ class TestSeedStability:
         )
         campaign = CharacterizationCampaign(
             workload,
-            CampaignConfig(trials_per_cell=3, queries_per_trial=12, seed=1234),
+            config=CampaignConfig(trials_per_cell=3, queries_per_trial=12, seed=1234),
         )
         return campaign.run(
             regions=["stack", "heap"],
