@@ -8,6 +8,10 @@ Thin orchestration over the library for the common reproduction tasks:
   ``--metrics-out`` / ``--prom-out``);
 * ``design`` — evaluate the paper's five Table 6 design points (and
   optionally run the optimizer) against a fresh characterization;
+* ``explore`` — batch design-space exploration: rank the top-k designs
+  meeting an availability target (``--backend`` picks the scalar
+  reference, the vectorized batch engine, or exact branch-and-bound)
+  and optionally Monte Carlo-validate the winner;
 * ``recoverability`` — print the Table 5 analysis for a workload;
 * ``ecc`` — regenerate Table 1 from the codec implementations;
 * ``report`` — render a saved ``--trace-out`` JSONL trace.
@@ -37,6 +41,7 @@ from repro.core.recoverability import (
     overall_recoverability,
 )
 from repro.ecc import UnknownTechniqueError, available_techniques, make_codec
+from repro.explore import EXPLORE_BACKENDS, explore
 from repro.injection import MULTI_BIT_HARD, SINGLE_BIT_HARD, SINGLE_BIT_SOFT
 from repro.obs import (
     CampaignMetrics,
@@ -57,6 +62,22 @@ def _worker_count(value: str) -> int:
     if count < 1:
         raise argparse.ArgumentTypeError(
             f"worker count must be >= 1, got {count}"
+        )
+    return count
+
+
+def _top_k(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"--top-k must be >= 1, got {count}")
+    return count
+
+
+def _month_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"--simulate-months must be >= 0, got {count}"
         )
     return count
 
@@ -186,6 +207,58 @@ def _build_parser() -> argparse.ArgumentParser:
     design.add_argument(
         "--workers", type=_worker_count, default=1,
         help="worker processes for the characterization phase",
+    )
+
+    explore_cmd = sub.add_parser(
+        "explore", help="batch design-space exploration (top-k + simulation)"
+    )
+    explore_cmd.add_argument("--app", choices=sorted(WORKLOADS), default="websearch")
+    explore_cmd.add_argument("--trials", type=int, default=40)
+    explore_cmd.add_argument("--scale", type=float, default=1.0)
+    explore_cmd.add_argument("--seed", type=int, default=99)
+    explore_cmd.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the characterization phase",
+    )
+    explore_cmd.add_argument(
+        "--target", type=float, default=0.999,
+        help="minimum single-server availability (default 0.999)",
+    )
+    explore_cmd.add_argument(
+        "--max-incorrect", type=float, default=None, metavar="PER_MILLION",
+        help="optional incorrectness budget (errors per million queries)",
+    )
+    explore_cmd.add_argument(
+        "--backend", choices=EXPLORE_BACKENDS, default="auto",
+        help="search engine; all backends return identical designs "
+        "('auto' picks 'vectorized' when NumPy is importable)",
+    )
+    explore_cmd.add_argument(
+        "--top-k", type=_top_k, default=5, metavar="K",
+        help="number of best feasible designs to rank (default 5)",
+    )
+    explore_cmd.add_argument(
+        "--simulate-months", type=_month_count, default=0, metavar="N",
+        help="Monte Carlo-validate the winner over N server-months",
+    )
+    explore_cmd.add_argument(
+        "--sim-seed", type=int, default=0,
+        help="seed for the validation simulation",
+    )
+    explore_cmd.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    explore_cmd.add_argument(
+        "--trace-out", type=_out_path, default=None, metavar="PATH",
+        help="write explore/explore_phase spans as a JSONL trace",
+    )
+    explore_cmd.add_argument(
+        "--metrics-out", type=_out_path, default=None, metavar="PATH",
+        help="write the exploration instrument registry as JSON",
+    )
+    explore_cmd.add_argument(
+        "--prom-out", type=_out_path, default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus text exposition",
     )
 
     recover = sub.add_parser(
@@ -328,6 +401,105 @@ def _cmd_design(arguments) -> int:
     return 0
 
 
+def _cmd_explore(arguments) -> int:
+    workload, factory = _make_workload(arguments)
+    campaign = CharacterizationCampaign(
+        workload,
+        config=CampaignConfig(
+            trials_per_cell=arguments.trials,
+            queries_per_trial=120,
+            seed=arguments.seed,
+        ),
+    )
+    print(f"characterizing {workload.name} (hard errors)...", file=sys.stderr)
+    campaign.prepare()
+    profile = campaign.run(
+        specs=(SINGLE_BIT_HARD,),
+        workers=arguments.workers,
+        workload_factory=factory,
+    )
+    recovery = analyze_recoverability(workload, queries=150)
+    fractions = {name: entry.best_fraction for name, entry in recovery.items()}
+    observer = _build_observer(arguments)
+    try:
+        result = explore(
+            profile,
+            availability_target=arguments.target,
+            error_label="single-bit hard",
+            recoverable_fractions=fractions,
+            max_incorrect_per_million=arguments.max_incorrect,
+            backend=arguments.backend,
+            top_k=arguments.top_k,
+            simulate_months=arguments.simulate_months,
+            simulation_seed=arguments.sim_seed,
+            observer=observer,
+        )
+    finally:
+        observer.close()
+    if arguments.metrics_out is not None:
+        arguments.metrics_out.write_text(
+            json.dumps(
+                {"instruments": observer.metrics.to_dict()},
+                indent=2, sort_keys=True,
+            ) + "\n"
+        )
+    if arguments.prom_out is not None:
+        arguments.prom_out.write_text(observer.metrics.render_prometheus())
+    if arguments.json:
+        payload = {
+            "backend": result.backend,
+            "target": arguments.target,
+            "total_designs": result.total_designs,
+            "evaluated": result.evaluated,
+            "pruned": result.pruned,
+            "feasible_count": result.feasible_count,
+            "top": [
+                {
+                    "design": metrics.design.name,
+                    "memory_cost_savings": metrics.memory_cost_savings,
+                    "server_cost_savings": metrics.server_cost_savings,
+                    "crashes_per_month": metrics.crashes_per_month,
+                    "availability": metrics.availability,
+                    "incorrect_per_million": metrics.incorrect_per_million_queries,
+                }
+                for metrics in result.feasible
+            ],
+        }
+        if result.simulation is not None:
+            payload["simulation"] = result.simulation.to_dict()
+        print(json.dumps(payload, indent=2))
+        return 0 if result.found else 1
+    if not result.found:
+        print(
+            f"no design meets {arguments.target:.2%} "
+            f"({result.evaluated} evaluated, {result.pruned} pruned "
+            f"of {result.total_designs})"
+        )
+        return 1
+    print(
+        f"backend={result.backend}  space={result.total_designs}  "
+        f"evaluated={result.evaluated}  pruned={result.pruned}  "
+        f"feasible={result.feasible_count}"
+    )
+    print(f"{'#':>2} {'design':<34} {'srv save':>9} {'avail':>10} {'inc/M':>8}")
+    for rank, metrics in enumerate(result.feasible, start=1):
+        print(
+            f"{rank:>2} {metrics.design.name:<34} "
+            f"{metrics.server_cost_savings:>8.1%} "
+            f"{metrics.availability:>9.4%} "
+            f"{metrics.incorrect_per_million_queries:>8.2f}"
+        )
+    if result.simulation is not None:
+        sim = result.simulation
+        print(
+            f"\nsimulated {sim.months} months ({sim.backend}, seed {sim.seed}): "
+            f"mean availability {sim.mean_availability:.4%} "
+            f"(analytic {sim.analytic_availability:.4%}), "
+            f"p5 {sim.percentiles['p5']:.4%} / p95 {sim.percentiles['p95']:.4%}"
+        )
+    return 0
+
+
 def _cmd_recoverability(arguments) -> int:
     workload, _factory = _make_workload(arguments)
     workload.build()
@@ -395,6 +567,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "characterize": _cmd_characterize,
         "design": _cmd_design,
+        "explore": _cmd_explore,
         "recoverability": _cmd_recoverability,
         "ecc": _cmd_ecc,
         "report": _cmd_report,

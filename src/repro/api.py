@@ -39,11 +39,18 @@ from repro.core.cost_model import CostModel
 from repro.core.mapping import DesignEvaluator, DesignMetrics, HRMDesign
 from repro.core.optimizer import (
     DEFAULT_CANDIDATES,
+    SEARCH_BACKENDS,
     MappingOptimizer,
     OptimizationResult,
 )
 from repro.core.taxonomy import ErrorOutcome
 from repro.core.vulnerability import VulnerabilityProfile
+from repro.explore import (
+    EXPLORE_BACKENDS,
+    ExplorationResult,
+    SimulationValidation,
+)
+from repro.explore.engine import explore as _explore
 from repro.ecc.base import Codec, DecodeResult, DecodeStatus
 from repro.ecc.registry import (
     UnknownTechniqueError,
@@ -102,6 +109,10 @@ __all__ = [
     "HRMDesign",
     "MappingOptimizer",
     "OptimizationResult",
+    "SEARCH_BACKENDS",
+    "EXPLORE_BACKENDS",
+    "ExplorationResult",
+    "SimulationValidation",
     # workloads + telemetry
     "Workload",
     "WebSearch",
@@ -160,13 +171,23 @@ def explore_design_space(
     cost_model: Optional[CostModel] = None,
     error_model: Optional[ErrorRateModel] = None,
     availability_params: Optional[AvailabilityParams] = None,
-) -> OptimizationResult:
+    backend: str = "auto",
+    top_k: Optional[int] = None,
+    simulate_months: int = 0,
+    simulation_seed: int = 0,
+    observer: Observer = NULL_OBSERVER,
+) -> ExplorationResult:
     """Search HRM designs against a measured profile (paper §VI-B).
 
-    Wraps :class:`DesignEvaluator` + :class:`MappingOptimizer` into one
-    call: evaluate every per-region policy assignment from
-    ``candidates`` and return the cheapest design meeting the
-    availability target (and incorrectness budget, when given).
+    Evaluates per-region policy assignments from ``candidates`` and
+    returns the cheapest design meeting the availability target (and
+    incorrectness budget, when given). All backends return identical
+    designs; they differ in cost: ``scalar`` is the one-design-at-a-time
+    reference, ``vectorized`` evaluates the space in NumPy chunks,
+    ``branch-and-bound`` finds exact top-k without visiting the whole
+    space, and ``auto`` (default) picks ``vectorized`` when NumPy is
+    importable. The result is an :class:`ExplorationResult` — a
+    backward-compatible :class:`OptimizationResult` subclass.
 
     Args:
         profile: Measured vulnerability profile to evaluate against.
@@ -178,21 +199,31 @@ def explore_design_space(
         max_incorrect_per_million: Optional incorrectness budget.
         regions: Regions to assign policies to (default: all profiled).
         cost_model / error_model / availability_params: Model overrides.
+        backend: ``auto`` / ``scalar`` / ``vectorized`` /
+            ``branch-and-bound``.
+        top_k: When set, return only the k best feasible designs
+            (memory-safe on huge spaces); when ``None``, exhaustive
+            backends return the full feasible list.
+        simulate_months: When > 0, Monte Carlo-validate the winner over
+            this many server-months (``result.simulation``).
+        simulation_seed: Seed for the validation simulation.
+        observer: Receives ``explore`` spans and the
+            designs-evaluated / pruned instruments when enabled.
     """
-    evaluator = DesignEvaluator(
+    return _explore(
         profile,
+        availability_target=availability_target,
+        error_label=error_label,
+        recoverable_fractions=recoverable_fractions,
+        candidates=candidates,
+        max_incorrect_per_million=max_incorrect_per_million,
+        regions=regions,
         cost_model=cost_model,
         error_model=error_model,
         availability_params=availability_params,
-        error_label=error_label,
-    )
-    optimizer = MappingOptimizer(
-        evaluator,
-        candidates=candidates,
-        recoverable_fractions=recoverable_fractions,
-    )
-    return optimizer.search(
-        availability_target,
-        max_incorrect_per_million=max_incorrect_per_million,
-        regions=regions,
+        backend=backend,
+        top_k=top_k,
+        simulate_months=simulate_months,
+        simulation_seed=simulation_seed,
+        observer=observer,
     )

@@ -1,6 +1,7 @@
 """Datacenter-level cost and availability modeling."""
 
 from repro.cluster.availability_sim import (
+    SIMULATOR_BACKENDS,
     AvailabilitySimulator,
     MonthOutcome,
     SimulationSummary,
@@ -19,6 +20,7 @@ __all__ = [
     "ReliabilityDomainProvisioner",
     "Tenant",
     "TenantAssignment",
+    "SIMULATOR_BACKENDS",
     "AvailabilitySimulator",
     "MonthOutcome",
     "SimulationSummary",

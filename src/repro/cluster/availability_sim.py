@@ -23,6 +23,13 @@ from repro.core.availability import (
 )
 from repro.core.design_space import RegionPolicy, SoftwareResponse
 from repro.core.vulnerability import VulnerabilityProfile
+from repro.utils.rng import poisson_variate
+
+#: Simulation execution strategies: ``scalar`` is the per-event Python
+#: loop; ``vectorized`` delegates to the NumPy batched simulator in
+#: :mod:`repro.explore.simulator` (statistically equivalent, different
+#: draw stream).
+SIMULATOR_BACKENDS = ("scalar", "vectorized")
 
 
 @dataclass
@@ -83,12 +90,18 @@ class AvailabilitySimulator:
         params: AvailabilityParams = AvailabilityParams(),
         error_label: str = "single-bit soft",
         region_sizes: Optional[Mapping[str, int]] = None,
+        backend: str = "scalar",
     ) -> None:
+        if backend not in SIMULATOR_BACKENDS:
+            raise ValueError(
+                f"unknown backend '{backend}'; expected one of {SIMULATOR_BACKENDS}"
+            )
         self.profile = profile
         self.policies = dict(policies)
         self.error_model = error_model
         self.params = params
         self.error_label = error_label
+        self.backend = backend
         sizes = dict(region_sizes) if region_sizes is not None else profile.region_sizes
         self.region_sizes = {
             region: sizes.get(region, 0) for region in self.policies
@@ -146,9 +159,26 @@ class AvailabilitySimulator:
         return outcome
 
     def simulate(self, months: int, seed: int = 0) -> SimulationSummary:
-        """Simulate many server-months."""
+        """Simulate many server-months.
+
+        The ``vectorized`` backend draws from a different (NumPy) stream
+        than the scalar per-event loop, so its summaries are
+        statistically — not bitwise — equivalent.
+        """
         if months <= 0:
             raise ValueError(f"months must be positive, got {months}")
+        if self.backend == "vectorized":
+            from repro.explore.simulator import BatchAvailabilitySimulator
+
+            batch = BatchAvailabilitySimulator(
+                self.profile,
+                [self.policies],
+                error_model=self.error_model,
+                params=self.params,
+                error_label=self.error_label,
+                region_sizes=self.region_sizes,
+            )
+            return batch.simulate(months, seed=seed).to_summary(0)
         rng = random.Random(seed)
         summary = SimulationSummary()
         for _ in range(months):
@@ -157,16 +187,12 @@ class AvailabilitySimulator:
 
 
 def _poisson(rng: random.Random, mean: float) -> int:
-    """Poisson sample; normal approximation for large means."""
+    """Exact Poisson sample (see :func:`repro.utils.rng.poisson_variate`).
+
+    Historically this used a normal approximation above mean 500; it now
+    delegates to the exact Knuth/PTRS sampler, which changes the draw
+    sequence (simulation outputs remain statistically identical).
+    """
     if mean <= 0:
         return 0
-    if mean > 500:
-        return max(0, round(rng.gauss(mean, math.sqrt(mean))))
-    # Knuth's method.
-    threshold = math.exp(-mean)
-    count = 0
-    product = rng.random()
-    while product > threshold:
-        count += 1
-        product *= rng.random()
-    return count
+    return poisson_variate(rng, mean)

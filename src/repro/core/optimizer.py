@@ -27,6 +27,22 @@ from repro.core.mapping import DesignEvaluator, DesignMetrics, HRMDesign
 from repro.core.vulnerability import VulnerabilityProfile
 from repro.utils.validation import check_fraction
 
+#: Search execution strategies accepted by :class:`MappingOptimizer`.
+#: ``auto`` resolves to ``vectorized`` when NumPy is importable and
+#: ``scalar`` otherwise — safe because the two backends are
+#: bit-identical (the batch engine replicates the scalar evaluator's
+#: floating-point operation order; see :mod:`repro.explore`).
+SEARCH_BACKENDS = ("auto", "scalar", "vectorized")
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
 #: Policy candidates enumerated per region by the optimizer: the
 #: techniques of Table 6 plus their less-tested variants.
 DEFAULT_CANDIDATES: Tuple[RegionPolicy, ...] = (
@@ -83,11 +99,17 @@ class OptimizationResult:
 
 
 class MappingOptimizer:
-    """Exhaustive per-region policy search (regions² · candidates ways).
+    """Exact per-region policy search (candidates^regions designs).
 
-    Region counts are tiny (≤4) and the candidate list short, so
-    exhaustive enumeration is exact and fast — the same exploration the
-    paper describes doing by hand in §VI-B.
+    The search is exhaustive and exact — the same exploration the paper
+    describes doing by hand in §VI-B, generalized. Two execution
+    backends produce byte-identical results: ``scalar`` evaluates one
+    design at a time through :class:`DesignEvaluator`, while
+    ``vectorized`` precomputes a per-(region, candidate) contribution
+    matrix and evaluates whole id ranges with NumPy (see
+    :mod:`repro.explore`), which is what keeps rich candidate sets and
+    6+ regions interactive. For top-k-only searches over huge spaces,
+    use :func:`repro.explore.explore` (branch-and-bound backend).
     """
 
     def __init__(
@@ -95,12 +117,42 @@ class MappingOptimizer:
         evaluator: DesignEvaluator,
         candidates: Sequence[RegionPolicy] = DEFAULT_CANDIDATES,
         recoverable_fractions: Optional[Dict[str, float]] = None,
+        backend: str = "auto",
     ) -> None:
         if not candidates:
             raise ValueError("candidate policy list must be non-empty")
+        if backend not in SEARCH_BACKENDS:
+            raise ValueError(
+                f"unknown backend '{backend}'; expected one of {SEARCH_BACKENDS}"
+            )
         self.evaluator = evaluator
         self.candidates = tuple(candidates)
         self.recoverable_fractions = dict(recoverable_fractions or {})
+        self.backend = backend
+
+    def resolved_backend(self) -> str:
+        """The backend that will actually run (``auto`` resolved)."""
+        if self.backend == "auto":
+            return "vectorized" if _numpy_available() else "scalar"
+        if self.backend == "vectorized" and not _numpy_available():
+            raise RuntimeError("backend='vectorized' requires numpy")
+        return self.backend
+
+    def contribution_matrix(self, regions: Optional[Sequence[str]] = None):
+        """Per-(region, candidate) contribution matrix for this search.
+
+        Candidates are specialized per region (recoverable fractions
+        bound into RECOVER policies) exactly as the scalar loop does.
+        """
+        from repro.explore.matrix import ContributionMatrix
+
+        if regions is None:
+            regions = sorted(self.evaluator.region_sizes)
+        specialized = [
+            tuple(self._specialize(region, policy) for policy in self.candidates)
+            for region in regions
+        ]
+        return ContributionMatrix.build(self.evaluator, list(regions), specialized)
 
     def _specialize(self, region: str, policy: RegionPolicy) -> RegionPolicy:
         """Bind region-specific recoverability into a RECOVER policy."""
@@ -127,6 +179,33 @@ class MappingOptimizer:
         check_fraction("availability_target", availability_target)
         if regions is None:
             regions = sorted(self.evaluator.region_sizes)
+        if self.resolved_backend() == "vectorized":
+            feasible, evaluated = self._search_vectorized(
+                availability_target, max_incorrect_per_million, regions
+            )
+        else:
+            feasible, evaluated = self._search_scalar(
+                availability_target, max_incorrect_per_million, regions
+            )
+        feasible.sort(
+            key=lambda metrics: (
+                -metrics.server_cost_savings,
+                -metrics.availability,
+                metrics.design.name,
+            )
+        )
+        return OptimizationResult(
+            best=feasible[0] if feasible else None,
+            feasible=feasible,
+            evaluated=evaluated,
+        )
+
+    def _search_scalar(
+        self,
+        availability_target: float,
+        max_incorrect_per_million: Optional[float],
+        regions: Sequence[str],
+    ) -> Tuple[List[DesignMetrics], int]:
         feasible: List[DesignMetrics] = []
         evaluated = 0
         for assignment in itertools.product(self.candidates, repeat=len(regions)):
@@ -148,22 +227,45 @@ class MappingOptimizer:
             ):
                 continue
             feasible.append(metrics)
-        feasible.sort(key=lambda metrics: -metrics.server_cost_savings)
-        return OptimizationResult(
-            best=feasible[0] if feasible else None,
-            feasible=feasible,
-            evaluated=evaluated,
+        return feasible, evaluated
+
+    def _search_vectorized(
+        self,
+        availability_target: float,
+        max_incorrect_per_million: Optional[float],
+        regions: Sequence[str],
+    ) -> Tuple[List[DesignMetrics], int]:
+        from repro.explore.batch import BatchDesignSpaceEvaluator
+
+        matrix = self.contribution_matrix(regions)
+        batch = BatchDesignSpaceEvaluator(matrix)
+        ids, evaluated = batch.feasible_ids(
+            availability_target, max_incorrect_per_million
         )
+        feasible = [matrix.metrics_at(digits) for digits in batch.digits(ids)]
+        return feasible, evaluated
 
     def pareto_front(
         self, regions: Optional[Sequence[str]] = None
     ) -> List[DesignMetrics]:
         """Designs not dominated in (cost savings, availability).
 
-        Useful for plotting the cost/reliability trade-off curve.
+        Useful for plotting the cost/reliability trade-off curve. Both
+        backends use the O(n log n) sort-based sweep of
+        :mod:`repro.explore.pareto` (golden-tested against the old
+        quadratic dominance scan, including output order).
         """
         if regions is None:
             regions = sorted(self.evaluator.region_sizes)
+        if self.resolved_backend() == "vectorized":
+            from repro.explore.batch import BatchDesignSpaceEvaluator
+
+            matrix = self.contribution_matrix(regions)
+            batch = BatchDesignSpaceEvaluator(matrix)
+            ids, _ = batch.pareto_ids()
+            return [matrix.metrics_at(digits) for digits in batch.digits(ids)]
+        from repro.explore.pareto import pareto_indices
+
         all_metrics: List[DesignMetrics] = []
         for assignment in itertools.product(self.candidates, repeat=len(regions)):
             policies = {
@@ -175,18 +277,8 @@ class MappingOptimizer:
                 policies=policies,
             )
             all_metrics.append(self.evaluator.evaluate(design))
-        front: List[DesignMetrics] = []
-        for metrics in all_metrics:
-            dominated = any(
-                other.server_cost_savings >= metrics.server_cost_savings
-                and other.availability >= metrics.availability
-                and (
-                    other.server_cost_savings > metrics.server_cost_savings
-                    or other.availability > metrics.availability
-                )
-                for other in all_metrics
-            )
-            if not dominated:
-                front.append(metrics)
-        front.sort(key=lambda metrics: -metrics.server_cost_savings)
-        return front
+        points = [
+            (metrics.server_cost_savings, metrics.availability)
+            for metrics in all_metrics
+        ]
+        return [all_metrics[i] for i in pareto_indices(points)]

@@ -31,13 +31,15 @@ from repro.obs.events import (
     SPAN_CAMPAIGN,
     SPAN_CELL,
     SPAN_CONSUME,
+    SPAN_EXPLORE,
+    SPAN_EXPLORE_PHASE,
     SPAN_INJECTION,
     SPAN_MONITOR,
     SPAN_TRIAL,
     SPAN_VERIFY,
     TraceEvent,
 )
-from repro.obs.instruments import CampaignInstruments
+from repro.obs.instruments import CampaignInstruments, ExplorationInstruments
 from repro.obs.metrics import (
     INJECTION_LATENCY_BUCKETS,
     Counter,
@@ -68,12 +70,15 @@ __all__ = [
     "SPAN_CAMPAIGN",
     "SPAN_CELL",
     "SPAN_CONSUME",
+    "SPAN_EXPLORE",
+    "SPAN_EXPLORE_PHASE",
     "SPAN_INJECTION",
     "SPAN_MONITOR",
     "SPAN_TRIAL",
     "SPAN_VERIFY",
     "TraceEvent",
     "CampaignInstruments",
+    "ExplorationInstruments",
     "INJECTION_LATENCY_BUCKETS",
     "Counter",
     "Gauge",

@@ -35,6 +35,10 @@ SPAN_CONSUME = "consume"
 SPAN_VERIFY = "verify"
 #: Span name for one :class:`~repro.monitoring.AccessMonitor` session.
 SPAN_MONITOR = "monitor"
+#: Span wrapping one design-space exploration (``repro.explore``), and
+#: its phases (``matrix`` build, ``search``, ``simulate``).
+SPAN_EXPLORE = "explore"
+SPAN_EXPLORE_PHASE = "explore_phase"
 #: Point event emitted after every completed shard of campaign work.
 POINT_PROGRESS = "progress"
 

@@ -36,7 +36,62 @@ from repro.obs.metrics import (
 )
 from repro.utils.stats import safe_div
 
-__all__ = ["CampaignInstruments"]
+__all__ = ["CampaignInstruments", "ExplorationInstruments"]
+
+
+class ExplorationInstruments:
+    """Instruments for design-space exploration (``repro.explore``).
+
+    Updated directly by the exploration engine (not from the event
+    stream — exploration emits a handful of spans, not per-design
+    events, so batch-incrementing counters at phase boundaries keeps
+    instrument cost off the search hot path):
+
+    * ``explore_designs_evaluated_total{backend}`` — designs whose exact
+      metrics were computed;
+    * ``explore_designs_pruned_total{reason}`` — designs eliminated by a
+      branch-and-bound bound without exact evaluation (reasons:
+      ``availability`` / ``incorrectness`` / ``cost`` / ``dominated``);
+    * ``explore_feasible_designs`` — feasible count of the last search;
+    * ``explore_space_designs`` — size of the last explored space.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.designs_evaluated = registry.counter(
+            "explore_designs_evaluated_total",
+            "Designs exactly evaluated during design-space exploration",
+            labels=("backend",),
+        )
+        self.designs_pruned = registry.counter(
+            "explore_designs_pruned_total",
+            "Designs eliminated by branch-and-bound pruning, by bound",
+            labels=("reason",),
+        )
+        self.feasible_designs = registry.gauge(
+            "explore_feasible_designs",
+            "Feasible designs found by the last exploration",
+        )
+        self.space_designs = registry.gauge(
+            "explore_space_designs",
+            "Total assignment-space size of the last exploration",
+        )
+
+    def record_search(
+        self,
+        backend: str,
+        evaluated: int,
+        feasible: int,
+        total_designs: int,
+        pruned_by: Dict[str, int] = None,
+    ) -> None:
+        """Fold one completed search into the registry."""
+        self.designs_evaluated.labels(backend=backend).inc(evaluated)
+        for reason, count in (pruned_by or {}).items():
+            if count:
+                self.designs_pruned.labels(reason=reason).inc(count)
+        self.feasible_designs.labels().set(float(feasible))
+        self.space_designs.labels().set(float(total_designs))
 
 
 class CampaignInstruments:

@@ -1,0 +1,247 @@
+"""Property-based equivalence tests for the batch exploration engine.
+
+The batch paths promise *bit-identical* results to the scalar
+``DesignEvaluator`` / ``MappingOptimizer`` reference. Hypothesis drives
+that contract across random profiles, region counts, candidate subsets
+and recoverable fractions — the inputs the seed-profile unit tests
+cannot vary.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design_space import (
+    HardwareTechnique,
+    RegionPolicy,
+    SoftwareResponse,
+)
+from repro.core.mapping import DesignEvaluator, HRMDesign
+from repro.core.optimizer import DEFAULT_CANDIDATES, MappingOptimizer
+from repro.core.taxonomy import ErrorOutcome
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.explore import BranchAndBoundSearcher, pareto_indices
+
+#: A wider policy pool than DEFAULT_CANDIDATES so draws exercise every
+#: technique family (including the ones only the benchmark grid uses).
+POLICY_POOL = DEFAULT_CANDIDATES + (
+    RegionPolicy(technique=HardwareTechnique.CHIPKILL, less_tested=True),
+    RegionPolicy(technique=HardwareTechnique.RAIM),
+    RegionPolicy(technique=HardwareTechnique.MIRRORING),
+    RegionPolicy(
+        technique=HardwareTechnique.DEC_TED,
+        response=SoftwareResponse.RETIRE_PAGES,
+    ),
+)
+
+REGION_NAMES = ("private", "heap", "stack", "anon")
+
+
+@st.composite
+def profiles(draw):
+    """A random measured profile over 1-4 regions."""
+    region_count = draw(st.integers(min_value=1, max_value=4))
+    regions = REGION_NAMES[:region_count]
+    prof = VulnerabilityProfile(app="prop")
+    prof.region_sizes = {
+        region: draw(st.integers(min_value=1, max_value=5000))
+        for region in regions
+    }
+    for region in regions:
+        cell = prof.cell(region, "single-bit soft")
+        crashes = draw(st.integers(min_value=0, max_value=12))
+        incorrect = draw(st.integers(min_value=0, max_value=6))
+        masked = draw(st.integers(min_value=1, max_value=80))
+        for _ in range(crashes):
+            cell.record(ErrorOutcome.CRASH, 10, 0, 10, 0.5)
+        for _ in range(incorrect):
+            cell.record(ErrorOutcome.INCORRECT, 100, 3, 1, 5.0)
+        for _ in range(masked):
+            cell.record(ErrorOutcome.MASKED_LOGIC, 100, 0, 0, None)
+    return prof
+
+
+@st.composite
+def optimizers(draw, max_candidates=4):
+    """A scalar-reference optimizer over a random profile + candidates."""
+    prof = draw(profiles())
+    count = draw(st.integers(min_value=1, max_value=max_candidates))
+    indices = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(POLICY_POOL) - 1),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    candidates = tuple(POLICY_POOL[i] for i in indices)
+    fractions = {
+        region: draw(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+        )
+        for region in prof.region_sizes
+        if draw(st.booleans())
+    }
+    evaluator = DesignEvaluator(prof)
+    return MappingOptimizer(
+        evaluator, candidates=candidates, recoverable_fractions=fractions
+    )
+
+
+def scalar_metrics(optimizer, regions, digits):
+    policies = {
+        region: optimizer._specialize(region, optimizer.candidates[c])
+        for region, c in zip(regions, digits)
+    }
+    design = HRMDesign(
+        name="+".join(p.describe() for p in policies.values()),
+        policies=policies,
+    )
+    return optimizer.evaluator.evaluate(design)
+
+
+class TestMatrixMatchesScalarOracle:
+    @settings(max_examples=40, deadline=None)
+    @given(optimizer=optimizers(), data=st.data())
+    def test_metrics_bit_identical(self, optimizer, data):
+        regions = sorted(optimizer.evaluator.region_sizes)
+        matrix = optimizer.contribution_matrix(regions)
+        width = matrix.candidate_count
+        design_id = data.draw(
+            st.integers(min_value=0, max_value=matrix.total_designs - 1)
+        )
+        digits = matrix.digits_of(design_id)
+        expected = scalar_metrics(optimizer, regions, digits)
+        got = matrix.metrics_at(digits)
+        assert got.design.name == expected.design.name
+        assert got.memory_cost_savings == expected.memory_cost_savings
+        assert got.server_cost_savings == expected.server_cost_savings
+        assert got.crashes_per_month == expected.crashes_per_month
+        assert got.availability == expected.availability
+        assert (
+            got.incorrect_per_million_queries
+            == expected.incorrect_per_million_queries
+        )
+        assert got.memory_cost_savings_range == expected.memory_cost_savings_range
+        assert width ** len(regions) == matrix.total_designs
+
+    @settings(max_examples=25, deadline=None)
+    @given(optimizer=optimizers(max_candidates=3))
+    def test_batch_arrays_bit_identical(self, optimizer):
+        np = pytest.importorskip("numpy")
+        from repro.explore.batch import BatchDesignSpaceEvaluator
+
+        regions = sorted(optimizer.evaluator.region_sizes)
+        matrix = optimizer.contribution_matrix(regions)
+        batch = BatchDesignSpaceEvaluator(matrix, chunk_size=13)
+        ids = np.arange(matrix.total_designs, dtype=np.int64)
+        values = batch.evaluate_ids(ids)
+        for design_id in range(matrix.total_designs):
+            expected = scalar_metrics(
+                optimizer, regions, matrix.digits_of(design_id)
+            )
+            assert values["savings"][design_id] == expected.server_cost_savings
+            assert values["availability"][design_id] == expected.availability
+            assert (
+                values["incorrect_per_million"][design_id]
+                == expected.incorrect_per_million_queries
+            )
+
+
+class TestSearchEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        optimizer=optimizers(max_candidates=3),
+        target=st.floats(min_value=0.9, max_value=1.0, allow_nan=False),
+        top_k=st.integers(min_value=1, max_value=6),
+    )
+    def test_branch_and_bound_matches_exhaustive(self, optimizer, target, top_k):
+        regions = sorted(optimizer.evaluator.region_sizes)
+        exhaustive = optimizer.search(target, regions=regions)
+        matrix = optimizer.contribution_matrix(regions)
+        bounded = BranchAndBoundSearcher(matrix).search(target, top_k=top_k)
+        expected = exhaustive.feasible[:top_k]
+        assert [m.design.name for m in bounded.top] == [
+            m.design.name for m in expected
+        ]
+        for got, want in zip(bounded.top, expected):
+            assert got.server_cost_savings == want.server_cost_savings
+            assert got.availability == want.availability
+        assert bounded.evaluated + bounded.pruned == matrix.total_designs
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        optimizer=optimizers(max_candidates=3),
+        target=st.floats(min_value=0.9, max_value=1.0, allow_nan=False),
+    )
+    def test_vectorized_search_matches_scalar(self, optimizer, target):
+        pytest.importorskip("numpy")
+        regions = sorted(optimizer.evaluator.region_sizes)
+        scalar = optimizer.search(target, regions=regions)
+        vectorized = MappingOptimizer(
+            optimizer.evaluator,
+            candidates=optimizer.candidates,
+            recoverable_fractions=optimizer.recoverable_fractions,
+            backend="vectorized",
+        ).search(target, regions=regions)
+        assert [m.design.name for m in vectorized.feasible] == [
+            m.design.name for m in scalar.feasible
+        ]
+        assert vectorized.evaluated == scalar.evaluated
+
+
+class TestParetoSweep:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=-1.0, max_value=1.0, allow_nan=False
+                ),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_quadratic_front(self, points):
+        front = []
+        for i, (savings_a, avail_a) in enumerate(points):
+            dominated = False
+            for j, (savings_b, avail_b) in enumerate(points):
+                if i == j:
+                    continue
+                if (
+                    savings_b >= savings_a
+                    and avail_b >= avail_a
+                    and (savings_b > savings_a or avail_b > avail_a)
+                ):
+                    dominated = True
+                    break
+            if not dominated:
+                front.append(i)
+        front.sort(key=lambda idx: (-points[idx][0], idx))
+        assert pareto_indices(points) == front
+
+
+class TestExhaustiveEnumerationOrder:
+    @settings(max_examples=20, deadline=None)
+    @given(optimizer=optimizers(max_candidates=3))
+    def test_matrix_ids_enumerate_product_order(self, optimizer):
+        regions = sorted(optimizer.evaluator.region_sizes)
+        matrix = optimizer.contribution_matrix(regions)
+        names = [
+            matrix.design_name(matrix.digits_of(i))
+            for i in range(matrix.total_designs)
+        ]
+        expected = [
+            "+".join(
+                optimizer._specialize(region, policy).describe()
+                for region, policy in zip(regions, assignment)
+            )
+            for assignment in itertools.product(
+                optimizer.candidates, repeat=len(regions)
+            )
+        ]
+        assert names == expected

@@ -216,6 +216,82 @@ class TestDesignCommand:
         assert code == 0
 
 
+class TestExploreCommand:
+    BASE = [
+        "explore", "--app", "memcached", "--trials", "4",
+        "--scale", "0.3", "--target", "0.5",
+    ]
+
+    def test_table_lists_top_k(self, capsys):
+        assert main(self.BASE + ["--top-k", "3", "--backend", "scalar"]) == 0
+        output = capsys.readouterr().out
+        assert "backend=scalar" in output
+        assert "srv save" in output
+        # Three ranked rows.
+        assert all(f"\n {rank} " in output for rank in (1, 2, 3))
+
+    def test_backends_print_identical_rankings(self, capsys):
+        pytest.importorskip("numpy")
+        payloads = {}
+        for backend in ("scalar", "vectorized", "branch-and-bound"):
+            code = main(
+                self.BASE + ["--top-k", "3", "--backend", backend, "--json"]
+            )
+            assert code == 0
+            payloads[backend] = json.loads(capsys.readouterr().out)
+        rankings = {
+            backend: [row["design"] for row in payload["top"]]
+            for backend, payload in payloads.items()
+        }
+        assert (
+            rankings["scalar"]
+            == rankings["vectorized"]
+            == rankings["branch-and-bound"]
+        )
+        assert payloads["branch-and-bound"]["pruned"] > 0
+
+    def test_simulation_summary_printed(self, capsys):
+        code = main(
+            self.BASE + ["--top-k", "1", "--backend", "scalar",
+                         "--simulate-months", "60"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "simulated 60 months" in output
+        assert "mean availability" in output
+
+    def test_json_includes_simulation(self, capsys):
+        code = main(
+            self.BASE + ["--top-k", "1", "--backend", "scalar",
+                         "--simulate-months", "40", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulation"]["months"] == 40
+        assert {"p5", "p50", "p95"} <= set(payload["simulation"]["percentiles"])
+
+    def test_metrics_out_records_instruments(self, capsys, tmp_path):
+        metrics = tmp_path / "explore.json"
+        code = main(
+            self.BASE + ["--top-k", "2", "--backend", "scalar",
+                         "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        evaluated = payload["instruments"][
+            "explore_designs_evaluated_total"]["values"]
+        assert sum(evaluated.values()) > 0
+
+    def test_invalid_top_k_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--top-k", "0"])
+
+    def test_invalid_simulate_months_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--simulate-months", "-1"])
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -171,3 +171,81 @@ class TestAvailabilitySimulator:
             summary.availability_percentile(200)
         with pytest.raises(ValueError):
             AvailabilitySimulator(profile, {"ghost": RegionPolicy(technique=HardwareTechnique.NONE)})
+
+    def test_unknown_backend_rejected(self, profile):
+        policies = {
+            "private": RegionPolicy(technique=HardwareTechnique.NONE),
+            "heap": RegionPolicy(technique=HardwareTechnique.NONE),
+        }
+        with pytest.raises(ValueError):
+            AvailabilitySimulator(profile, policies, backend="fpga")
+
+
+class TestVectorizedSimulatorBackend:
+    """The NumPy backend must agree with the scalar loop statistically:
+    the streams differ, so means/percentiles match within Monte Carlo
+    error, not bitwise (the contract documented in repro.explore)."""
+
+    POLICIES = {
+        "private": RegionPolicy(technique=HardwareTechnique.NONE),
+        "heap": RegionPolicy(technique=HardwareTechnique.NONE),
+    }
+
+    def test_matches_scalar_statistics(self, profile):
+        pytest.importorskip("numpy")
+        scalar = AvailabilitySimulator(
+            profile, self.POLICIES, backend="scalar"
+        ).simulate(300, seed=1)
+        vectorized = AvailabilitySimulator(
+            profile, self.POLICIES, backend="vectorized"
+        ).simulate(300, seed=1)
+        assert vectorized.mean_crashes == pytest.approx(
+            scalar.mean_crashes, rel=0.15
+        )
+        assert vectorized.mean_availability == pytest.approx(
+            scalar.mean_availability, abs=0.002
+        )
+        assert vectorized.availability_percentile(50) == pytest.approx(
+            scalar.availability_percentile(50), abs=0.005
+        )
+
+    def test_matches_analytic_model(self, profile):
+        pytest.importorskip("numpy")
+        summary = AvailabilitySimulator(
+            profile, self.POLICIES, backend="vectorized"
+        ).simulate(300, seed=1)
+        # Same analytic anchor as the scalar test: 2000 errors * 0.9
+        # share * 2% crash = 36 crashes/month.
+        assert summary.mean_crashes == pytest.approx(36, rel=0.15)
+        analytic = availability_from_crashes(36)
+        assert summary.mean_availability == pytest.approx(analytic, abs=0.002)
+
+    def test_recovery_reduces_crashes(self, profile):
+        pytest.importorskip("numpy")
+        protected = {
+            "private": RegionPolicy(
+                technique=HardwareTechnique.PARITY,
+                response=SoftwareResponse.RECOVER,
+            ),
+            "heap": RegionPolicy(technique=HardwareTechnique.NONE),
+        }
+        base_summary = AvailabilitySimulator(
+            profile, self.POLICIES, backend="vectorized"
+        ).simulate(100, seed=3)
+        protected_summary = AvailabilitySimulator(
+            profile, protected, backend="vectorized"
+        ).simulate(100, seed=3)
+        assert protected_summary.mean_crashes < base_summary.mean_crashes
+
+    def test_seed_reproducible(self, profile):
+        pytest.importorskip("numpy")
+        first = AvailabilitySimulator(
+            profile, self.POLICIES, backend="vectorized"
+        ).simulate(50, seed=9)
+        second = AvailabilitySimulator(
+            profile, self.POLICIES, backend="vectorized"
+        ).simulate(50, seed=9)
+        assert [m.errors for m in first.months] == [
+            m.errors for m in second.months
+        ]
+        assert first.mean_availability == second.mean_availability

@@ -1,6 +1,16 @@
 """Unit tests for repro.utils.rng."""
 
-from repro.utils.rng import SeedSequenceFactory, derive_seed
+import math
+import random
+
+import pytest
+
+from repro.utils.rng import (
+    POISSON_PTRS_SWITCHOVER,
+    SeedSequenceFactory,
+    derive_seed,
+    poisson_variate,
+)
 
 
 class TestDeriveSeed:
@@ -16,6 +26,67 @@ class TestDeriveSeed:
     def test_similar_labels_diverge(self):
         # SHA-based derivation should not correlate app0/app1 streams.
         assert derive_seed(0, "app0") != derive_seed(0, "app1")
+
+
+class TestPoissonVariate:
+    """Moment tests across the Knuth/PTRS switchover.
+
+    The old sampler fell back to a clamped normal approximation for
+    large means (and would underflow ``exp(-mean)`` near 745);
+    :func:`poisson_variate` must stay an exact Poisson sampler for every
+    mean, so mean and variance are checked on both sides of
+    :data:`POISSON_PTRS_SWITCHOVER` and far beyond the underflow point.
+    """
+
+    # (mean, samples): bigger means use fewer samples — the relative
+    # tolerances below are ~5 standard errors for each pair.
+    CASES = [
+        (0.5, 40000),
+        (1.0, 40000),
+        (9.5, 20000),
+        (10.5, 20000),
+        (50.0, 10000),
+        (600.0, 5000),
+        (1000.0, 5000),
+    ]
+
+    @pytest.mark.parametrize("mean,samples", CASES)
+    def test_mean_and_variance_match_poisson(self, mean, samples):
+        rng = random.Random(12345)
+        draws = [poisson_variate(rng, mean) for _ in range(samples)]
+        observed_mean = sum(draws) / samples
+        observed_var = (
+            sum((draw - observed_mean) ** 2 for draw in draws) / samples
+        )
+        # Poisson: mean == variance == lambda. Standard error of the
+        # sample mean is sqrt(mean / samples).
+        tolerance = 5 * math.sqrt(mean / samples)
+        assert observed_mean == pytest.approx(mean, abs=tolerance)
+        # Var(sample variance) ~ (2*mean^2 + mean) / samples.
+        var_tolerance = 5 * math.sqrt((2 * mean * mean + mean) / samples)
+        assert observed_var == pytest.approx(mean, abs=var_tolerance)
+
+    def test_deterministic_given_seed(self):
+        first = [poisson_variate(random.Random(7), m) for m in (0.5, 20.0, 900.0)]
+        second = [poisson_variate(random.Random(7), m) for m in (0.5, 20.0, 900.0)]
+        assert first == second
+
+    def test_huge_mean_does_not_underflow(self):
+        # exp(-746) underflows to 0.0; Knuth's method would never
+        # terminate there. PTRS must handle it exactly.
+        rng = random.Random(3)
+        draw = poisson_variate(rng, 10000.0)
+        assert abs(draw - 10000) < 1000
+
+    def test_zero_mean_is_zero(self):
+        assert poisson_variate(random.Random(1), 0.0) == 0
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_variate(random.Random(1), -1.0)
+
+    def test_switchover_documented(self):
+        assert POISSON_PTRS_SWITCHOVER == 10.0
 
 
 class TestSeedSequenceFactory:
