@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Oracle-vs-fast-path trial throughput → ``BENCH_trials.json``.
+
+Runs full characterization campaigns (restart → inject → drive →
+classify, Figure 2) for all three paper workloads with the memory fast
+path disabled (the scalar oracle: every access walks the full guard
+cascade, every restore copies the whole space) versus enabled
+(dirty-page snapshot restore, fused accessors, batched workload
+drivers, pristine-replay fusion). Before any timing, both modes'
+vulnerability profiles are asserted byte-identical — the fast path is
+an optimization, never a semantics change.
+
+The headline number is the aggregate trials/second speedup across the
+three apps, which gates CI at 2× (smoke) and the acceptance bar at 5×
+(full).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trial_throughput.py
+    PYTHONPATH=src python benchmarks/bench_trial_throughput.py --smoke
+
+``--smoke`` shrinks the per-cell trial budget for CI; the JSON schema
+is the same. Output lands at the repo root as ``BENCH_trials.json``
+unless ``--out`` says otherwise.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.apps.graphmining.workload import GraphMining  # noqa: E402
+from repro.apps.kvstore.workload import KVStoreWorkload  # noqa: E402
+from repro.apps.websearch.workload import WebSearch  # noqa: E402
+from repro.core.campaign import CampaignConfig, CharacterizationCampaign  # noqa: E402
+from repro.injection import SINGLE_BIT_HARD, SINGLE_BIT_SOFT  # noqa: E402
+from repro.memory.fastpath import set_fastpath  # noqa: E402
+
+SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
+
+APPS = {
+    "websearch": WebSearch,
+    "kvstore": KVStoreWorkload,
+    "graphmining": GraphMining,
+}
+
+
+def _profile_json(profile):
+    return json.dumps(profile.to_dict(), sort_keys=True)
+
+
+def _run_campaign(app_factory, config, fast):
+    """One full campaign in the given memory mode; returns (json, stats)."""
+    previous = set_fastpath(fast)
+    try:
+        workload = app_factory()
+        campaign = CharacterizationCampaign(
+            workload, config=config, backend="vectorized"
+        )
+        campaign.prepare()
+        region_count = len(workload.space.regions)
+        start = time.perf_counter()
+        profile = campaign.run(specs=SPECS)
+        elapsed = time.perf_counter() - start
+        return {
+            "profile_json": _profile_json(profile),
+            "seconds": elapsed,
+            "regions": region_count,
+            "memory_stats": workload.space.fast_path_stats(),
+        }
+    finally:
+        set_fastpath(previous)
+
+
+def bench_app(name, app_factory, config):
+    oracle = _run_campaign(app_factory, config, fast=False)
+    fast = _run_campaign(app_factory, config, fast=True)
+    # Correctness gate before any throughput claim: the fast path must
+    # reproduce the oracle's vulnerability profile byte for byte.
+    assert oracle["profile_json"] == fast["profile_json"], (
+        f"{name}: fast-path profile diverges from the oracle profile"
+    )
+    cells = len(SPECS) * fast["regions"]
+    trials = config.trials_per_cell * cells
+    stats = fast["memory_stats"]
+    checked = stats["checked_accesses"]
+    fast_accesses = stats["fast_accesses"]
+    return {
+        "app": name,
+        "trials": trials,
+        "oracle_seconds": oracle["seconds"],
+        "fast_seconds": fast["seconds"],
+        "oracle_trials_per_sec": trials / oracle["seconds"],
+        "fast_trials_per_sec": trials / fast["seconds"],
+        "speedup": oracle["seconds"] / fast["seconds"],
+        "profiles_identical": True,
+        "fastpath": {
+            "fast_accesses": fast_accesses,
+            "checked_accesses": checked,
+            "hit_rate": (
+                fast_accesses / (fast_accesses + checked)
+                if fast_accesses + checked
+                else 0.0
+            ),
+            "restores_incremental": stats["restores_incremental"],
+            "restores_full": stats["restores_full"],
+            "restore_bytes_copied": stats["restore_bytes_copied"],
+            "restore_bytes_saved": stats["restore_bytes_saved"],
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller trial budget for CI (same JSON schema)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_trials.json",
+        metavar="PATH", help="where to write the JSON report",
+    )
+    parser.add_argument("--seed", type=int, default=29)
+    arguments = parser.parse_args(argv)
+
+    config = CampaignConfig(
+        trials_per_cell=3 if arguments.smoke else 6,
+        queries_per_trial=20 if arguments.smoke else 40,
+        seed=arguments.seed,
+    )
+
+    rows = []
+    total_oracle = 0.0
+    total_fast = 0.0
+    total_trials = 0
+    for name, app_factory in APPS.items():
+        row = bench_app(name, app_factory, config)
+        rows.append(row)
+        total_oracle += row["oracle_seconds"]
+        total_fast += row["fast_seconds"]
+        total_trials += row["trials"]
+        print(
+            f"{name:<12} {row['speedup']:>5.1f}x  "
+            f"oracle {row['oracle_trials_per_sec']:>7.1f} trials/s  "
+            f"fast {row['fast_trials_per_sec']:>8.1f} trials/s  "
+            f"hit rate {row['fastpath']['hit_rate']:.3f}"
+        )
+
+    report = {
+        "mode": "smoke" if arguments.smoke else "full",
+        "trials_per_cell": config.trials_per_cell,
+        "queries_per_trial": config.queries_per_trial,
+        "seed": arguments.seed,
+        "specs": [spec.label for spec in SPECS],
+        "apps": rows,
+        "total_trials": total_trials,
+        "oracle_trials_per_sec": total_trials / total_oracle,
+        "fast_trials_per_sec": total_trials / total_fast,
+        "aggregate_speedup": total_oracle / total_fast,
+    }
+    arguments.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {arguments.out}")
+    print(
+        f"aggregate {report['aggregate_speedup']:.2f}x "
+        f"({report['oracle_trials_per_sec']:.1f} -> "
+        f"{report['fast_trials_per_sec']:.1f} trials/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

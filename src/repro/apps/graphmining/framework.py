@@ -14,6 +14,8 @@ import abc
 import struct
 from typing import List
 
+import numpy as np
+
 from repro.apps.base import QueryTimeout
 from repro.apps.graphmining.graph import CsrGraph
 from repro.memory.address_space import AddressSpace
@@ -36,6 +38,17 @@ class VertexProgram(abc.ABC):
         follower_out_degrees,
     ) -> float:
         """New value of ``vertex`` from its followers' values/degrees."""
+
+    # Programs may additionally provide
+    #
+    #     compute_batch(values, degrees, follower_ids, counts) -> list[float]
+    #
+    # over float64 arrays of all current values/degrees, the concatenated
+    # in-range follower ids of the clean vertices, and the per-vertex
+    # segment lengths. It must return, per segment, exactly the float
+    # ``compute`` would — the engine only batches vertices whose follower
+    # blocks are bit-for-bit pristine, and falls back to ``compute``
+    # otherwise (and entirely, when ``compute_batch`` is absent).
 
 
 class SyncEngine:
@@ -77,6 +90,9 @@ class SyncEngine:
             self._pack_all.pack(*(program.initial_value(v) for v in range(n))),
         )
         out_degrees = graph.read_out_degrees()
+        batch_compute = getattr(program, "compute_batch", None)
+        batched = batch_compute is not None and space.fast_path_enabled
+        degrees_f64 = np.array(out_degrees, dtype=np.float64) if batched else None
         frame = self._stack.push(64)
         try:
             for iteration in range(iterations):
@@ -87,48 +103,170 @@ class SyncEngine:
                 current = self._value_addrs[selector]
                 target = self._value_addrs[1 - selector]
                 raw = space.read(current, n * 4)
-                values = list(self._pack_all.unpack(raw))
-                new_values: List[float] = []
-                for vertex in range(n):
-                    start, end = graph.follower_slice(vertex)
-                    if end < start or end - start > graph.edge_count:
-                        raise QueryTimeout(
-                            f"vertex {vertex} follower slice [{start}, {end}) "
-                            "is out of bounds"
+                if batched:
+                    plan = graph.pristine_plan()
+                    if plan is not None:
+                        # Whole-sweep fusion: both CSR arrays hold their
+                        # build-time bytes, so every follower slice and
+                        # block decode is the precomputed one (and no
+                        # stray out-of-range load can occur). Replay the
+                        # gather wholesale and settle the clock/counter
+                        # debt in one charge per array.
+                        values_f64 = np.frombuffer(raw, dtype="<f4").astype(
+                            np.float64
                         )
-                    count = end - start
-                    if count:
-                        block = graph.read_followers_block(start, count)
-                        followers = struct.unpack(f"<{count}I", block)
+                        new_values = batch_compute(
+                            values_f64, degrees_f64, plan.gathered, plan.counts
+                        )
+                        graph.charge_sweep(plan)
                     else:
-                        followers = ()
-                    follower_values = []
-                    follower_degrees = []
-                    for follower in followers:
-                        if follower < n:
-                            follower_values.append(values[follower])
-                            follower_degrees.append(out_degrees[follower])
-                        else:
-                            # A corrupted edge id indexes past the arrays:
-                            # a native engine would read whatever lies at
-                            # that address — do the same through the
-                            # simulated memory (may segfault).
-                            follower_values.append(
-                                space.read_f32(current + follower * 4)
-                            )
-                            follower_degrees.append(
-                                space.read_u32(
-                                    graph.out_degree_addr + follower * 4
-                                )
-                            )
-                    new_values.append(
-                        program.compute(vertex, follower_values, follower_degrees)
+                        new_values = self._sweep_batched(
+                            program, batch_compute, raw, out_degrees,
+                            degrees_f64, current,
+                        )
+                else:
+                    values = list(self._pack_all.unpack(raw))
+                    new_values = self._sweep_scalar(
+                        program, values, out_degrees, current
                     )
                 space.write(target, self._pack_all.pack(*self._clamp(new_values)))
         finally:
             self._stack.pop()
         final = self._value_addrs[iterations & 1]
         return list(self._pack_all.unpack(space.read(final, n * 4)))
+
+    def _sweep_scalar(
+        self,
+        program: VertexProgram,
+        values: List[float],
+        out_degrees: List[int],
+        current: int,
+    ) -> List[float]:
+        """One gather-apply sweep, vertex at a time (the oracle path)."""
+        space = self._space
+        graph = self._graph
+        n = graph.vertex_count
+        new_values: List[float] = []
+        for vertex in range(n):
+            start, end = graph.follower_slice(vertex)
+            if end < start or end - start > graph.edge_count:
+                raise QueryTimeout(
+                    f"vertex {vertex} follower slice [{start}, {end}) "
+                    "is out of bounds"
+                )
+            count = end - start
+            if count:
+                block = graph.read_followers_block(start, count)
+                followers = struct.unpack(f"<{count}I", block)
+            else:
+                followers = ()
+            follower_values = []
+            follower_degrees = []
+            for follower in followers:
+                if follower < n:
+                    follower_values.append(values[follower])
+                    follower_degrees.append(out_degrees[follower])
+                else:
+                    # A corrupted edge id indexes past the arrays:
+                    # a native engine would read whatever lies at
+                    # that address — do the same through the
+                    # simulated memory (may segfault).
+                    follower_values.append(
+                        space.read_f32(current + follower * 4)
+                    )
+                    follower_degrees.append(
+                        space.read_u32(
+                            graph.out_degree_addr + follower * 4
+                        )
+                    )
+            new_values.append(
+                program.compute(vertex, follower_values, follower_degrees)
+            )
+        return new_values
+
+    def _sweep_batched(
+        self,
+        program: VertexProgram,
+        batch_compute,
+        raw: bytes,
+        out_degrees: List[int],
+        degrees_f64: np.ndarray,
+        current: int,
+    ) -> List[float]:
+        """One sweep batching all vertices with pristine follower blocks.
+
+        Issues the exact same simulated-memory accesses in the exact same
+        order as :meth:`_sweep_scalar` — offset pair, follower block, and
+        (for corrupted out-of-range ids only) the per-follower stray
+        loads — so the logical clock, counters, and any watchpoint or
+        disturbance hooks observe an identical trace. Only the Python-side
+        gather/apply arithmetic is deferred and vectorized, and solely for
+        vertices whose follower block matches the pristine bytes; every
+        other vertex goes through ``program.compute`` unchanged.
+        """
+        space = self._space
+        graph = self._graph
+        n = graph.vertex_count
+        values_f64 = np.frombuffer(raw, dtype="<f4").astype(np.float64)
+        values_list = None  # decoded lazily, only if a dirty vertex appears
+        clean_chunks: List[np.ndarray] = []
+        # Per vertex: an int follower count (clean → batched) or the
+        # (follower_values, follower_degrees) gather (dirty → compute()).
+        plan: List = []
+        edge_count = graph.edge_count
+        for vertex in range(n):
+            start, end = graph.follower_slice(vertex)
+            if end < start or end - start > edge_count:
+                raise QueryTimeout(
+                    f"vertex {vertex} follower slice [{start}, {end}) "
+                    "is out of bounds"
+                )
+            count = end - start
+            if not count:
+                plan.append(0)
+                continue
+            block = graph.read_followers_block(start, count)
+            followers_np = graph.clean_followers(start, count, block)
+            if followers_np is not None:
+                clean_chunks.append(followers_np)
+                plan.append(count)
+                continue
+            if values_list is None:
+                values_list = values_f64.tolist()
+            follower_values = []
+            follower_degrees = []
+            for follower in struct.unpack(f"<{count}I", block):
+                if follower < n:
+                    follower_values.append(values_list[follower])
+                    follower_degrees.append(out_degrees[follower])
+                else:
+                    follower_values.append(
+                        space.read_f32(current + follower * 4)
+                    )
+                    follower_degrees.append(
+                        space.read_u32(graph.out_degree_addr + follower * 4)
+                    )
+            plan.append((follower_values, follower_degrees))
+        counts = [entry for entry in plan if isinstance(entry, int)]
+        totals = iter(())
+        if counts:
+            gathered = (
+                np.concatenate(clean_chunks)
+                if clean_chunks
+                else np.empty(0, dtype=np.uint32)
+            )
+            totals = iter(
+                batch_compute(values_f64, degrees_f64, gathered, counts)
+            )
+        new_values: List[float] = []
+        for vertex, entry in enumerate(plan):
+            if isinstance(entry, int):
+                new_values.append(next(totals))
+            else:
+                new_values.append(
+                    program.compute(vertex, entry[0], entry[1])
+                )
+        return new_values
 
     @staticmethod
     def _clamp(values: List[float]) -> List[float]:

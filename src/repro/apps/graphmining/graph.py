@@ -18,7 +18,9 @@ from __future__ import annotations
 import random
 import struct
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.memory.address_space import AddressSpace
 from repro.memory.allocator import HeapAllocator
@@ -84,6 +86,22 @@ def generate_follower_graph(
     )
 
 
+@dataclass(frozen=True)
+class SweepPlan:
+    """Precomputed gather of a whole pristine sweep.
+
+    ``counts[v]`` is vertex v's follower count and ``gathered`` the
+    concatenated follower ids of every non-empty vertex — exactly what a
+    vertex-at-a-time sweep would decode when the CSR arrays hold their
+    build-time bytes. ``block_reads`` counts the non-empty vertices (one
+    follower-block load each) for deferred accounting.
+    """
+
+    counts: List[int]
+    gathered: np.ndarray
+    block_reads: int
+
+
 class CsrGraph:
     """CSR arrays serialized into the simulated heap."""
 
@@ -109,21 +127,109 @@ class CsrGraph:
             self.offsets_addr,
             struct.pack(f"<{len(offsets)}I", *offsets),
         )
+        edges_raw = b""
         if edge_values:
-            space.write(
-                self.edges_addr,
-                struct.pack(f"<{len(edge_values)}I", *edge_values),
-            )
+            edges_raw = struct.pack(f"<{len(edge_values)}I", *edge_values)
+            space.write(self.edges_addr, edges_raw)
         space.write(
             self.out_degree_addr,
             struct.pack(f"<{graph.vertex_count}I", *graph.out_degree),
         )
+        # Pristine follower blocks, keyed by (start, count). The sweep
+        # fast path compares a freshly read block against the pristine
+        # bytes: on a match the pre-decoded id array is reusable and all
+        # ids are known in-range; any corruption (bit flip, stuck cell,
+        # disturbance) misses and falls back to the exact scalar gather.
+        self._clean_blocks: Dict[Tuple[int, int], Tuple[bytes, np.ndarray]] = {}
+        for vertex in range(graph.vertex_count):
+            start, end = offsets[vertex], offsets[vertex + 1]
+            count = end - start
+            if count:
+                block = edges_raw[start * 4 : end * 4]
+                ids = np.frombuffer(block, dtype="<u4")
+                if int(ids.max()) < graph.vertex_count:
+                    self._clean_blocks[(start, count)] = (block, ids)
+        # Whole-sweep fusion state: the build-time bytes of both arrays,
+        # the precomputed gather a pristine sweep replays, and the last
+        # content versions at which the bytes were re-verified.
+        self._offsets_raw = struct.pack(f"<{len(offsets)}I", *offsets)
+        self._edges_raw = edges_raw
+        all_ids = np.frombuffer(edges_raw, dtype="<u4")
+        plan: Optional[SweepPlan] = None
+        if edge_values == [] or int(all_ids.max()) < graph.vertex_count:
+            counts = [
+                offsets[v + 1] - offsets[v] for v in range(graph.vertex_count)
+            ]
+            plan = SweepPlan(
+                counts=counts,
+                gathered=all_ids,
+                block_reads=sum(1 for count in counts if count),
+            )
+        self._plan = plan
+        self._verified_versions: Optional[Tuple[int, int]] = None
+
+    def pristine_plan(self) -> Optional[SweepPlan]:
+        """The fused whole-sweep gather iff both CSR arrays are pristine.
+
+        Pristine means: the spans are clean (no fault, watchpoint, or
+        disturbance interaction — checked via the space's guard logic)
+        and their stored bytes equal the build-time bytes. The byte
+        comparison is keyed on the regions' content versions, so it only
+        reruns after a mutation somewhere in those regions. Returns None
+        whenever any of this fails; callers then take the exact per-vertex
+        path.
+        """
+        plan = self._plan
+        if plan is None:
+            return None
+        space = self._space
+        offsets_len = len(self._offsets_raw)
+        edges_len = len(self._edges_raw)
+        if not space.span_is_clean(self.offsets_addr, offsets_len):
+            return None
+        if edges_len and not space.span_is_clean(self.edges_addr, edges_len):
+            return None
+        versions = (
+            space.version_at(self.offsets_addr),
+            space.version_at(self.edges_addr),
+        )
+        if versions != self._verified_versions:
+            if space.peek(self.offsets_addr, offsets_len) != self._offsets_raw:
+                return None
+            if edges_len and (
+                space.peek(self.edges_addr, edges_len) != self._edges_raw
+            ):
+                return None
+            self._verified_versions = versions
+        return plan
+
+    def charge_sweep(self, plan: SweepPlan) -> None:
+        """Settle the deferred accounting of one fused pristine sweep:
+        one offset-pair read per vertex plus one block read per non-empty
+        follower list, exactly as the per-vertex sweep would issue."""
+        space = self._space
+        n = self.vertex_count
+        space.charge_reads(self.offsets_addr, 2 * n, 8 * n)
+        if plan.block_reads:
+            space.charge_reads(
+                self.edges_addr, plan.block_reads, 4 * self.edge_count
+            )
 
     def follower_slice(self, vertex: int):
         """Read this vertex's follower-list bounds (two u32 loads)."""
-        start = self._space.read_u32(self.offsets_addr + vertex * 4)
-        end = self._space.read_u32(self.offsets_addr + (vertex + 1) * 4)
-        return start, end
+        return self._space.read_u32_pair(self.offsets_addr + vertex * 4)
+
+    def clean_followers(self, start: int, count: int, block: bytes) -> Optional[np.ndarray]:
+        """Pre-decoded follower ids iff ``block`` is bit-for-bit pristine.
+
+        Returns None when the slice is unknown or the block bytes differ
+        from the bytes written at build time (i.e. observably corrupted),
+        in which case the caller must take the exact scalar path.
+        """
+        cached = self._clean_blocks.get((start, count))
+        if cached is not None and cached[0] == block:
+            return cached[1]
+        return None
 
     def read_followers_block(self, start: int, count: int) -> bytes:
         """Block-read ``count`` follower ids beginning at edge ``start``."""

@@ -11,6 +11,10 @@ fixed sweep budget.
 
 from __future__ import annotations
 
+from itertools import islice
+
+import numpy as np
+
 from repro.apps.graphmining.framework import VertexProgram
 
 #: Probability that a follower retweets, propagating influence.
@@ -44,3 +48,29 @@ class TunkRank(VertexProgram):
                 # division by zero yields infinity, as native code would.
                 total += float("inf") if contribution > 0 else float("-inf")
         return total
+
+    def compute_batch(self, values, degrees, follower_ids, counts):
+        """Vectorized gather-apply over concatenated clean segments.
+
+        Bit-identical to calling :meth:`compute` per segment: elementwise
+        float64 multiply/add/divide match scalar IEEE arithmetic exactly,
+        the zero-degree fixup replicates the scalar branch (including its
+        NaN-contribution → -inf behaviour), and each segment is summed
+        with the same left-to-right Python float accumulation.
+        """
+        p = self.retweet_probability
+        if len(follower_ids):
+            contributions = 1.0 + p * values[follower_ids]
+            gathered_degrees = degrees[follower_ids]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                quotients = contributions / gathered_degrees
+            zero_degree = gathered_degrees == 0.0
+            if zero_degree.any():
+                positive = contributions > 0.0
+                quotients[zero_degree & positive] = np.inf
+                quotients[zero_degree & ~positive] = -np.inf
+            flat = quotients.tolist()
+        else:
+            flat = []
+        chunks = iter(flat)
+        return [float(sum(islice(chunks, count))) for count in counts]

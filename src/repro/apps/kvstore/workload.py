@@ -14,6 +14,7 @@ the heap (35 GB in the paper, no private region) plus a tiny stack.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Hashable, List, Optional
 
 from repro.apps.base import Workload
@@ -48,6 +49,7 @@ class Operation:
     version: int
 
 
+@lru_cache(maxsize=8192)
 def value_bytes(key_id: int, version: int) -> bytes:
     """Deterministic value for (key, version) — no RNG state involved."""
     seed = fnv1a64(f"value:{key_id}:{version}".encode())

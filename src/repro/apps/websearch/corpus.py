@@ -18,12 +18,24 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 
+#: Memo for :func:`fnv1a64` — workloads rehash a fixed population of
+#: keys/values thousands of times per campaign. Bounded so adversarial
+#: inputs cannot grow it without limit.
+_FNV_CACHE: dict = {}
+_FNV_CACHE_LIMIT = 1 << 16
+
+
 def fnv1a64(data: bytes) -> int:
     """FNV-1a 64-bit hash — deterministic across processes (unlike hash())."""
+    cached = _FNV_CACHE.get(data)
+    if cached is not None:
+        return cached
     value = 0xCBF29CE484222325
     for byte in data:
         value ^= byte
         value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    if len(_FNV_CACHE) < _FNV_CACHE_LIMIT:
+        _FNV_CACHE[bytes(data)] = value
     return value
 
 

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import math
 import struct
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.apps.base import QueryTimeout
 from repro.apps.websearch.corpus import fnv1a64
@@ -52,6 +54,29 @@ _TERM_ENTRY = struct.Struct("<IIIf")
 _CACHE_HEADER = struct.Struct("<QII")
 _RESULT = struct.Struct("<If")
 _F32 = struct.Struct("<f")
+_POSTING_DTYPE = np.dtype([("doc", "<u4"), ("tf", "<u2"), ("pad", "<u2")])
+
+_LOG1P_FACTORS: Optional[np.ndarray] = None
+
+#: Memo sentinel: this chain/lookup cannot be replayed offline (it walks
+#: outside the pristine index bytes or trips a sanity cap) — the caller
+#: must issue the real simulated-memory accesses.
+_LIVE = object()
+
+
+def _log1p_factor_table() -> np.ndarray:
+    """``1.0 + log1p(tf)`` for every possible u16 term frequency.
+
+    Table lookup keeps the vectorized postings decode bit-identical to
+    the scalar ``math.log1p`` call — entries are computed with the very
+    same libm function.
+    """
+    global _LOG1P_FACTORS
+    if _LOG1P_FACTORS is None:
+        _LOG1P_FACTORS = np.array(
+            [1.0 + math.log1p(tf) for tf in range(65536)], dtype=np.float64
+        )
+    return _LOG1P_FACTORS
 
 #: One search response: tuple of (doc_id, score, snippet_digest).
 SearchResponse = Tuple[Tuple[int, float, int], ...]
@@ -88,12 +113,35 @@ class SearchEngine:
         self._snippet_table_addr = snippet_table_addr
         self._cache_addr = cache_addr
         self._stack = stack
+        # Query-hash memo: fnv1a64 over the packed term ids is a pure
+        # function of the query tuple, and workloads replay a fixed query
+        # mix thousands of times per campaign.
+        self._query_hash_cache: Dict[Tuple[int, ...], int] = {}
         # The header is read once at startup — like a real server parsing
         # the shard header into locals — so later corruption of header
         # bytes is never consumed (a masked, never-read location).
         self._header: IndexHeader = unpack_header(
             space.peek(index_base, 24)
         )
+        # Index-level fusion state: the build-time bytes of the whole
+        # serialized index (header + term table + posting blocks), the
+        # region content version at which those bytes were last
+        # re-verified, and per-term / per-chain replay memos. While the
+        # index span is provably clean and byte-identical to build time,
+        # term lookups and chain walks are served from these memos with
+        # exact deferred accounting instead of per-access reads.
+        self._index_len = self._header.postings_off + self._header.postings_bytes
+        self._index_raw = space.peek(index_base, self._index_len)
+        self._index_version: Optional[int] = None
+        self._term_memo: Dict[int, object] = {}
+        self._scan_memo: Dict[int, object] = {}
+        # Candidate-selection memo for fully-fused queries, keyed by the
+        # exact (first_block_rel, idf) pairs scanned in order — the sole
+        # inputs determining the result once every chain was served from
+        # the pristine replay. Keying on the values actually read back
+        # from the stack frame (not the query terms) keeps a corrupted
+        # frame from aliasing a cached selection. Bounded defensively.
+        self._select_memo: Dict[Tuple, List[Tuple[int, float]]] = {}
 
     @property
     def header(self) -> IndexHeader:
@@ -103,7 +151,13 @@ class SearchEngine:
     # ------------------------------------------------------------------
     def search(self, terms: Sequence[int]) -> SearchResponse:
         """Serve one query: list of term ids -> top-4 response tuple."""
-        query_hash = fnv1a64(b"".join(term.to_bytes(4, "little") for term in terms))
+        query_key = tuple(terms)
+        query_hash = self._query_hash_cache.get(query_key)
+        if query_hash is None:
+            query_hash = fnv1a64(
+                b"".join(term.to_bytes(4, "little") for term in terms)
+            )
+            self._query_hash_cache[query_key] = query_hash
         cached = self._cache_lookup(query_hash)
         if cached is not None:
             return cached
@@ -112,9 +166,12 @@ class SearchEngine:
         space = self._space
         try:
             term_count = min(len(terms), 4)
+            batched = space.fast_path_enabled
             space.write_u32(frame.slot(128), term_count)
             for position, term in enumerate(terms[:term_count]):
-                entry = self._find_term(term)
+                entry = self._find_term_fused(term) if batched else _LIVE
+                if entry is _LIVE:
+                    entry = self._find_term(term)
                 base = position * 16
                 if entry is None:
                     space.write_u32(frame.slot(base), 0)
@@ -128,6 +185,9 @@ class SearchEngine:
                 space.write_u32(frame.slot(base + 12), terms[position] if position < len(terms) else 0)
 
             relevance: dict = {}
+            doc_chunks: List[np.ndarray] = []
+            contrib_chunks: List[np.ndarray] = []
+            fused_scans: Optional[List[Tuple[int, float]]] = []
             stored_count = space.read_u32(frame.slot(128))
             if stored_count > 4:
                 raise QueryTimeout(
@@ -145,11 +205,38 @@ class SearchEngine:
                         f"posting list claims {count} entries "
                         f"(cap {MAX_POSTINGS_PER_TERM})"
                     )
-                self._scan_postings(first_block_rel, idf, relevance)
+                if batched:
+                    if self._scan_fused(
+                        first_block_rel, idf, doc_chunks, contrib_chunks
+                    ):
+                        if fused_scans is not None:
+                            fused_scans.append((first_block_rel, idf))
+                    else:
+                        fused_scans = None
+                        self._scan_postings_batched(
+                            first_block_rel, idf, doc_chunks, contrib_chunks
+                        )
+                else:
+                    self._scan_postings(first_block_rel, idf, relevance)
 
-            candidates = sorted(
-                relevance.items(), key=lambda item: (-item[1], item[0])
-            )[:CANDIDATE_POOL]
+            if batched:
+                if fused_scans is not None:
+                    select_key = tuple(fused_scans)
+                    candidates = self._select_memo.get(select_key)
+                    if candidates is None:
+                        candidates = self._select_candidates(
+                            doc_chunks, contrib_chunks
+                        )
+                        if len(self._select_memo) < 4096:
+                            self._select_memo[select_key] = candidates
+                else:
+                    candidates = self._select_candidates(
+                        doc_chunks, contrib_chunks
+                    )
+            else:
+                candidates = sorted(
+                    relevance.items(), key=lambda item: (-item[1], item[0])
+                )[:CANDIDATE_POOL]
             ranked: List[Tuple[float, int]] = []
             for doc_id, score in candidates:
                 popularity = space.read_f32(self._doc_table_addr + doc_id * 8)
@@ -214,6 +301,294 @@ class SearchEngine:
                     else:
                         relevance[doc_id] = contribution
             block_rel = next_rel
+
+    def _scan_postings_batched(
+        self,
+        first_block_rel: int,
+        idf: float,
+        doc_chunks: List[np.ndarray],
+        contrib_chunks: List[np.ndarray],
+    ) -> None:
+        """Chain walk of :meth:`_scan_postings` with vectorized decode.
+
+        Issues the identical block-header and payload reads (same
+        addresses, sizes, and order — so clock, counters, and fault
+        consumption match the scalar scan exactly) but decodes each
+        payload with one NumPy record view and computes contributions by
+        table lookup instead of per-posting ``struct``/``log1p`` calls.
+        Accumulation into per-document sums is deferred to
+        :meth:`_select_candidates`.
+        """
+        space = self._space
+        postings_base = self._index_base + self._header.postings_off
+        factors = _log1p_factor_table()
+        block_rel = first_block_rel
+        blocks_walked = 0
+        while block_rel != END_OF_CHAIN:
+            blocks_walked += 1
+            if blocks_walked > MAX_BLOCKS_PER_TERM:
+                raise QueryTimeout(
+                    f"posting chain exceeded {MAX_BLOCKS_PER_TERM} blocks"
+                )
+            block_addr = postings_base + block_rel
+            next_rel, count, _pad = unpack_block_header(
+                space.read(block_addr, BLOCK_HEADER_SIZE)
+            )
+            if count:
+                payload = space.read(
+                    block_addr + BLOCK_HEADER_SIZE, count * POSTING_SIZE
+                )
+                postings = np.frombuffer(payload, dtype=_POSTING_DTYPE)
+                doc_chunks.append(postings["doc"])
+                contrib_chunks.append(idf * factors[postings["tf"]])
+            block_rel = next_rel
+
+    # ------------------------------------------------------------------
+    # Index-level fusion (pristine-index replay with deferred accounting)
+    # ------------------------------------------------------------------
+    def _index_pristine(self) -> bool:
+        """True while the serialized index is provably untouched.
+
+        Clean span (no fault, watchpoint, or disturbance interaction per
+        the space's guard logic) plus stored bytes equal to build time.
+        The byte comparison is keyed on the region's content version, so
+        it reruns only after a mutation somewhere in the region. Checked
+        before every fused lookup/scan because an access in between (e.g.
+        a stack read hitting a disturbance aggressor) can corrupt index
+        bytes mid-query.
+        """
+        space = self._space
+        length = self._index_len
+        if not space.span_is_clean(self._index_base, length):
+            return False
+        version = space.version_at(self._index_base)
+        if version != self._index_version:
+            if space.peek(self._index_base, length) != self._index_raw:
+                return False
+            self._index_version = version
+        return True
+
+    def _spans_pristine(self, spans, state) -> bool:
+        """True when every (offset, length) span holds its build-time
+        bytes and is clean. The byte comparison is keyed on the region
+        content version in ``state`` (a 1-slot list private to one memo
+        entry), so it reruns only after a mutation in the region. Used to
+        rescue individual replays when the index as a whole is not
+        pristine — e.g. a fault landed in some *other* chain."""
+        space = self._space
+        base = self._index_base
+        for offset, length in spans:
+            if not space.span_is_clean(base + offset, length):
+                return False
+        version = space.version_at(base)
+        if state[0] != version:
+            raw = self._index_raw
+            for offset, length in spans:
+                if space.peek(base + offset, length) != raw[offset : offset + length]:
+                    return False
+            state[0] = version
+        return True
+
+    def _find_term_fused(self, term_id: int):
+        """Memoized term lookup over the pristine table.
+
+        Returns the entry tuple (or None for an absent term) after
+        charging the exact reads the live binary search would issue, or
+        ``_LIVE`` when the replay cannot stand in for real accesses —
+        because the probed bytes are corrupted, guarded, or out of span.
+        """
+        memo = self._term_memo.get(term_id)
+        if memo is None:
+            memo = self._replay_find_term(term_id)
+            self._term_memo[term_id] = memo
+        if memo is _LIVE:
+            return _LIVE
+        entry, ops, nbytes, spans, state = memo
+        if not (self._index_pristine() or self._spans_pristine(spans, state)):
+            return _LIVE
+        self._space.charge_reads(self._index_base, ops, nbytes)
+        return entry
+
+    def _replay_find_term(self, term_id: int):
+        """Run :meth:`_find_term`'s binary search over the pristine bytes,
+        counting the loads it would issue (one u32 probe per step, one
+        16-byte entry read on a hit)."""
+        raw = self._index_raw
+        table_off = self._header.term_table_off
+        lo = 0
+        hi = self._header.term_count - 1
+        probes = 0
+        ops = 0
+        nbytes = 0
+        spans: List[Tuple[int, int]] = []
+        while lo <= hi:
+            probes += 1
+            if probes > 64:
+                return _LIVE  # live path raises QueryTimeout identically
+            mid = (lo + hi) // 2
+            offset = table_off + mid * TERM_ENTRY_SIZE
+            if offset < 0 or offset + TERM_ENTRY_SIZE > len(raw):
+                return _LIVE  # probe strays outside the pristine bytes
+            ops += 1
+            nbytes += 4
+            spans.append((offset, 4))
+            stored_term = int.from_bytes(raw[offset : offset + 4], "little")
+            if stored_term == term_id:
+                ops += 1
+                nbytes += TERM_ENTRY_SIZE
+                spans.append((offset, TERM_ENTRY_SIZE))
+                _term, rel_off, count, idf = _TERM_ENTRY.unpack(
+                    raw[offset : offset + TERM_ENTRY_SIZE]
+                )
+                return ((rel_off, count, idf), ops, nbytes, spans, [None])
+            if stored_term < term_id:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return (None, ops, nbytes, spans, [None])
+
+    def _scan_fused(
+        self,
+        first_block_rel: int,
+        idf: float,
+        doc_chunks: List[np.ndarray],
+        contrib_chunks: List[np.ndarray],
+    ) -> bool:
+        """Serve one chain scan from the pristine-index replay memo.
+
+        Appends the memoized decode (contributions scaled by ``idf`` with
+        the same elementwise multiply the live decode uses) and settles
+        the chain's exact read accounting in one charge. Returns False
+        when the chain cannot be replayed offline; the caller then issues
+        the real scan.
+        """
+        memo = self._scan_memo.get(first_block_rel)
+        if memo is None:
+            memo = self._replay_scan(first_block_rel)
+            self._scan_memo[first_block_rel] = memo
+        if memo is _LIVE:
+            return False
+        docs, factor_values, ops, nbytes, spans, state = memo
+        if not (self._index_pristine() or self._spans_pristine(spans, state)):
+            return False
+        if docs.size:
+            doc_chunks.append(docs)
+            contrib_chunks.append(idf * factor_values)
+        self._space.charge_reads(self._index_base, ops, nbytes)
+        return True
+
+    def _replay_scan(self, first_block_rel: int):
+        """Walk one posting chain over the pristine bytes, collecting the
+        concatenated doc ids, per-posting ``1 + log1p(tf)`` factors, and
+        the exact loads the live walk would issue."""
+        raw = self._index_raw
+        postings_off = self._header.postings_off
+        limit = len(raw)
+        factors = _log1p_factor_table()
+        doc_parts: List[np.ndarray] = []
+        factor_parts: List[np.ndarray] = []
+        ops = 0
+        nbytes = 0
+        spans: List[Tuple[int, int]] = []
+        block_rel = first_block_rel
+        blocks_walked = 0
+        while block_rel != END_OF_CHAIN:
+            blocks_walked += 1
+            if blocks_walked > MAX_BLOCKS_PER_TERM:
+                return _LIVE  # live path raises QueryTimeout identically
+            start = postings_off + block_rel
+            if start + BLOCK_HEADER_SIZE > limit:
+                return _LIVE  # chain walks outside the pristine bytes
+            next_rel, count, _pad = unpack_block_header(
+                raw[start : start + BLOCK_HEADER_SIZE]
+            )
+            ops += 1
+            nbytes += BLOCK_HEADER_SIZE
+            block_len = BLOCK_HEADER_SIZE
+            if count:
+                payload_start = start + BLOCK_HEADER_SIZE
+                payload_len = count * POSTING_SIZE
+                if payload_start + payload_len > limit:
+                    return _LIVE
+                postings = np.frombuffer(
+                    raw[payload_start : payload_start + payload_len],
+                    dtype=_POSTING_DTYPE,
+                )
+                doc_parts.append(postings["doc"])
+                factor_parts.append(factors[postings["tf"]])
+                ops += 1
+                nbytes += payload_len
+                block_len += payload_len
+            spans.append((start, block_len))
+            block_rel = next_rel
+        docs = (
+            np.concatenate(doc_parts)
+            if doc_parts
+            else np.empty(0, dtype="<u4")
+        )
+        factor_values = (
+            np.concatenate(factor_parts) if factor_parts else np.empty(0)
+        )
+        return (docs, factor_values, ops, nbytes, spans, [None])
+
+    @staticmethod
+    def _select_candidates(
+        doc_chunks: List[np.ndarray],
+        contrib_chunks: List[np.ndarray],
+    ) -> List[Tuple[int, float]]:
+        """Per-document relevance sums -> top CANDIDATE_POOL candidates.
+
+        Mirrors the scalar dict accumulation bit for bit: ``np.add.at``
+        adds contributions unbuffered in encounter order, exactly like
+        repeated ``relevance[doc] += c``, and ``np.lexsort`` over
+        ``(-sum, doc)`` reproduces the Python tuple sort (ties on equal
+        sums, including ±0.0 which NumPy and Python both compare equal,
+        break by ascending doc id). Two corruption-only corners where
+        the vectorized result could diverge bitwise — a NaN sum (Python's
+        ``sorted`` order then depends on comparison sequence) and an
+        exactly-zero sum (the dict keeps a first-assigned ``-0.0``;
+        ``0.0 + -0.0`` is ``+0.0``) — fall back to an exact replay of
+        the scalar accumulation from the recorded chunks.
+        """
+        if not doc_chunks:
+            return []
+        docs = (
+            np.concatenate(doc_chunks) if len(doc_chunks) > 1 else doc_chunks[0]
+        )
+        contribs = (
+            np.concatenate(contrib_chunks)
+            if len(contrib_chunks) > 1
+            else contrib_chunks[0]
+        )
+        max_doc = int(docs.max())
+        if max_doc < (1 << 20):
+            # Dense accumulation: np.bincount adds weights in input order
+            # exactly like repeated ``+=`` (and like np.add.at), but runs
+            # in O(n + max_doc) instead of unique's O(n log n) sort.
+            docs_int = docs.astype(np.intp)
+            occupancy = np.bincount(docs_int)
+            dense = np.bincount(docs_int, weights=contribs)
+            touched = np.flatnonzero(occupancy)
+            sums = dense[touched]
+        else:
+            touched, inverse = np.unique(docs, return_inverse=True)
+            sums = np.zeros(touched.size)
+            np.add.at(sums, inverse, contribs)
+        if np.isnan(sums).any() or (sums == 0.0).any():
+            relevance: dict = {}
+            for chunk_docs, chunk_contribs in zip(doc_chunks, contrib_chunks):
+                for doc_id, contribution in zip(
+                    chunk_docs.tolist(), chunk_contribs.tolist()
+                ):
+                    if doc_id in relevance:
+                        relevance[doc_id] += contribution
+                    else:
+                        relevance[doc_id] = contribution
+            return sorted(
+                relevance.items(), key=lambda item: (-item[1], item[0])
+            )[:CANDIDATE_POOL]
+        order = np.lexsort((touched, np.negative(sums)))[:CANDIDATE_POOL]
+        return [(int(touched[i]), float(sums[i])) for i in order]
 
     def _find_term(self, term_id: int):
         """Binary search of the term table through simulated memory."""

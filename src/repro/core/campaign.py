@@ -510,6 +510,7 @@ class CharacterizationCampaign:
             for cell_def in cells:
                 cell = profile.cell(cell_def.name, cell_def.spec.label)
                 cell_key = f"{cell_def.name}|{cell_def.spec.label}"
+                memory_before = self.workload.space.fast_path_stats()
                 cell_start = time.perf_counter()
                 plan = (
                     self.plan_cell_trials(cell_def, range(budget))
@@ -540,6 +541,15 @@ class CharacterizationCampaign:
                             failed=trial.failed,
                             effect_delay_minutes=trial.effect_delay_minutes,
                         )
+                instruments = observer.instruments
+                if instruments is not None:
+                    memory_after = self.workload.space.fast_path_stats()
+                    instruments.record_memory(
+                        {
+                            key: memory_after[key] - memory_before.get(key, 0)
+                            for key in memory_after
+                        }
+                    )
                 trials_done += budget
                 logger.debug(
                     "cell %s done (%d/%d trials)",

@@ -88,6 +88,9 @@ class ShardResult:
 
     ``events`` carries the worker's captured trace events back to the
     parent through the result pipe (empty when tracing is disabled).
+    ``memory_stats`` is the shard's delta of the worker space's
+    ``fast_path_stats()`` counters, folded into the parent's metrics
+    registry at merge time.
     """
 
     cell_index: int
@@ -98,6 +101,7 @@ class ShardResult:
     worker_pid: int
     seconds: float
     events: Tuple[TraceEvent, ...] = field(default=())
+    memory_stats: Dict[str, int] = field(default_factory=dict)
 
 
 def _worker_initializer(
@@ -147,6 +151,7 @@ def run_shard_on(
         campaign.observer = Observer(
             sinks=[buffer], root_path=f"campaign/cell:{cell_key}"
         )
+    stats_before = campaign.workload.space.fast_path_stats()
     start = time.perf_counter()
     results = []
     try:
@@ -172,6 +177,7 @@ def run_shard_on(
     finally:
         if capture_events:
             campaign.observer = original_observer
+    stats_after = campaign.workload.space.fast_path_stats()
     return ShardResult(
         cell_index=shard.cell_index,
         trial_start=shard.trial_start,
@@ -181,6 +187,10 @@ def run_shard_on(
         worker_pid=os.getpid(),
         seconds=time.perf_counter() - start,
         events=tuple(buffer.events) if buffer is not None else (),
+        memory_stats={
+            key: stats_after[key] - stats_before.get(key, 0)
+            for key in stats_after
+        },
     )
 
 
@@ -234,6 +244,9 @@ def merge_shard_results(
                 by_cell.get(cell_index, []), key=lambda r: r.trial_start
             ):
                 obs.replay(shard_result.events)
+                instruments = getattr(obs, "instruments", None)
+                if instruments is not None and shard_result.memory_stats:
+                    instruments.record_memory(shard_result.memory_stats)
                 for result in shard_result.results:
                     cell.record(
                         outcome=ErrorOutcome(result.outcome),

@@ -164,14 +164,39 @@ class ProtectedArray:
             kernel = get_kernel(self._codec.name)
         except KeyError:
             return [self.read(index) for index in index_list]
-        raws = [
-            int.from_bytes(
-                self._space.read(self.slot_addr(index), self._slot_bytes),
-                "little",
+        count = len(index_list)
+        contiguous = (
+            count > 1
+            and 0 <= index_list[0]
+            and index_list[0] + count - 1 == index_list[-1]
+            and index_list[-1] < self.word_count
+            and all(
+                later - earlier == 1
+                for earlier, later in zip(index_list, index_list[1:])
             )
-            & self._code_mask
-            for index in index_list
-        ]
+        )
+        if contiguous:
+            # One bulk kernel for the slot loads: read_array issues the
+            # identical per-slot access sequence (count loads of
+            # slot_bytes each, ascending) in a single dispatch.
+            rows = self._space.read_array(
+                self.slot_addr(index_list[0]),
+                count,
+                f"V{self._slot_bytes}",
+            )
+            mask = self._code_mask
+            raws = [
+                int.from_bytes(row, "little") & mask for row in rows.tolist()
+            ]
+        else:
+            raws = [
+                int.from_bytes(
+                    self._space.read(self.slot_addr(index), self._slot_bytes),
+                    "little",
+                )
+                & self._code_mask
+                for index in index_list
+            ]
         batch = kernel.decode_ints(raws)
         data_values = batch.data_ints()
         values: List[int] = []

@@ -14,20 +14,40 @@ Facilities provided:
 
 * region-mapped reads/writes with guard-gap fault semantics,
 * typed accessors (``read_u32``, ``write_f64``, ...),
+* bulk array kernels (``read_array``, ``write_array``) with identical
+  fault/region semantics and per-element accounting,
 * a logical clock that advances on every access (used for safe-ratio and
   recoverability analyses),
 * soft bit flips and stuck-at hard faults (:mod:`repro.memory.faults`),
 * software watchpoints equivalent to the paper's ``awatch`` usage,
 * per-region access counters and optional per-page write tracking,
-* snapshot/restore for fast campaign trial resets.
+* snapshot/restore for fast campaign trial resets, with page-granular
+  dirty tracking so restores copy only what a trial touched.
+
+Two access paths implement one semantics. The *checked* path
+(`_read_guarded`/`_write_guarded`) is the scalar oracle: it validates,
+advances the clock, updates counters, applies the hard-fault overlay,
+and fires tracked-fault / disturbance / watchpoint hooks per access.
+The *fast* path handles the overwhelmingly common case — a validated,
+in-region access that overlaps no fault, watchpoint, or disturbance
+aggressor (tracked via a single ``[_guard_lo, _guard_hi]`` interval) —
+with the exact same clock/counter updates but none of the hook
+dispatch. Any access the fast path cannot prove clean falls through to
+the checked path, so results, exceptions, and side effects are
+bit-identical by construction (enforced by the hypothesis equivalence
+suite in ``tests/property/test_prop_fastpath.py``).
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.memory.errors import ProtectionFault, SegmentationFault
+from repro.memory.fastpath import fastpath_enabled
 from repro.memory.faults import FaultKind, FaultLog, HardFaultOverlay, InjectedFault
 from repro.memory.regions import (
     PAGE_SIZE,
@@ -41,6 +61,14 @@ WatchCallback = Callable[[int, bool, int, int], None]
 
 _STRUCT_F32 = struct.Struct("<f")
 _STRUCT_F64 = struct.Struct("<d")
+_STRUCT_U16 = struct.Struct("<H")
+_STRUCT_U32 = struct.Struct("<I")
+_STRUCT_U64 = struct.Struct("<Q")
+_STRUCT_I32 = struct.Struct("<i")
+_STRUCT_U32X2 = struct.Struct("<II")
+
+_PAGE_SHIFT = PAGE_SIZE.bit_length() - 1
+assert 1 << _PAGE_SHIFT == PAGE_SIZE, "dirty tracking needs a power-of-two page"
 
 
 class MemorySnapshot:
@@ -73,6 +101,7 @@ class AddressSpace:
             for page in range(region.base // PAGE_SIZE, region.end // PAGE_SIZE):
                 page_map[page] = region.index
         self._page_map = page_map
+        self._region_ends = [region.end for region in self.regions]
         self._time = 0
         # Per-region access counters (bytes loaded / stored, access counts).
         n = len(self.regions)
@@ -95,6 +124,30 @@ class AddressSpace:
         self._page_write_counts: Dict[int, int] = {}
         self._page_last_write: Dict[int, int] = {}
         self._page_first_write: Dict[int, int] = {}
+        # Fast path state. `_guard_lo/_guard_hi` bound every address that
+        # needs per-access hook dispatch (faults, watchpoints, disturbance
+        # aggressors); an access that does not overlap the interval is
+        # provably clean. `_overlay_keys`/`_tracked_keys` are the sorted
+        # fault addresses the checked path bisects instead of scanning.
+        self._fast = fastpath_enabled()
+        self._overlay_keys: List[int] = []
+        self._tracked_keys: List[int] = []
+        self._guard_lo = self._size + 1
+        self._guard_hi = -1
+        # Per-region content versions: bumped whenever a region's stored
+        # bytes may have changed. Workload drivers key pristine-data
+        # caches on these so a memcmp re-verification happens only after
+        # an actual mutation, not per access.
+        self._region_versions = [0] * n
+        # Dirty pages since the last snapshot/restore of `_baseline`.
+        self._baseline: Optional[MemorySnapshot] = None
+        self._dirty_pages: Set[int] = set()
+        self._fast_hits = 0
+        self._fast_fallbacks = 0
+        self._restores_full = 0
+        self._restores_incremental = 0
+        self._restore_bytes_copied = 0
+        self._restore_bytes_saved = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -113,6 +166,42 @@ class AddressSpace:
     def time(self) -> int:
         """Current logical time (advances by 1 per access)."""
         return self._time
+
+    @property
+    def fast_path_enabled(self) -> bool:
+        """Whether this space uses the clean fast path for accesses."""
+        return self._fast
+
+    def set_fast_path(self, enabled: bool) -> None:
+        """Pin this space to the fast path or the scalar oracle path.
+
+        Semantics are identical either way; this exists for equivalence
+        tests and benchmark baselines. Enabling drops any incremental
+        restore baseline, so the next ``restore`` is a full copy.
+        """
+        enabled = bool(enabled)
+        if enabled == self._fast:
+            return
+        self._fast = enabled
+        self._baseline = None
+        self._dirty_pages.clear()
+
+    def fast_path_stats(self) -> Dict[str, int]:
+        """Counters for fast-path hit rate and dirty-page restore savings.
+
+        ``fast_accesses`` / ``checked_accesses`` partition every
+        completed load/store by which path served it;
+        ``restore_bytes_saved`` is the bytes an incremental restore did
+        *not* have to copy versus a full-space copy.
+        """
+        return {
+            "fast_accesses": self._fast_hits,
+            "checked_accesses": self._fast_fallbacks,
+            "restores_full": self._restores_full,
+            "restores_incremental": self._restores_incremental,
+            "restore_bytes_copied": self._restore_bytes_copied,
+            "restore_bytes_saved": self._restore_bytes_saved,
+        }
 
     def advance_time(self, units: int) -> None:
         """Advance the logical clock, e.g. to model think time between queries."""
@@ -137,7 +226,7 @@ class AddressSpace:
         return [(region.base, region.end) for region in self.regions]
 
     # ------------------------------------------------------------------
-    # Checked access path (what applications use)
+    # Checked access path (the scalar oracle)
     # ------------------------------------------------------------------
     def _region_index_for(self, addr: int, n: int) -> int:
         """Validate an access and return its region index.
@@ -159,9 +248,39 @@ class AddressSpace:
             raise SegmentationFault(addr, n, "access crosses region boundary")
         return index
 
+    def _fast_index(self, addr: int, n: int) -> int:
+        """Fast-path admission check: region index, or -1 to fall back.
+
+        Accepts exactly the accesses the checked path would complete
+        without touching a fault, watchpoint, or disturbance aggressor;
+        everything else (including invalid accesses, which must raise
+        with the oracle's exact exception) returns -1.
+        """
+        if addr < 0 or addr + n > self._size:
+            return -1
+        index = self._page_map[addr >> _PAGE_SHIFT]
+        if index < 0 or addr + n > self._region_ends[index]:
+            return -1
+        if addr <= self._guard_hi and addr + n > self._guard_lo:
+            return -1
+        return index
+
     def read(self, addr: int, n: int) -> bytes:
         """Load ``n`` bytes from ``addr`` with full fault/watch semantics."""
+        if self._fast and n > 0:
+            index = self._fast_index(addr, n)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += n
+                self._fast_hits += 1
+                return bytes(self._mem[addr : addr + n])
+        return self._read_guarded(addr, n)
+
+    def _read_guarded(self, addr: int, n: int) -> bytes:
         index = self._region_index_for(addr, n)
+        if self._fast:
+            self._fast_fallbacks += 1
         self._time += 1
         self._load_ops[index] += 1
         self._load_bytes[index] += n
@@ -183,14 +302,35 @@ class AddressSpace:
             ProtectionFault: if the target region is frozen.
         """
         n = len(data)
+        if self._fast and n > 0:
+            index = self._fast_index(addr, n)
+            if index >= 0 and not self.regions[index].frozen:
+                if not self._page_write_tracking:
+                    self._time += 1
+                    self._store_ops[index] += 1
+                    self._store_bytes[index] += n
+                    self._mem[addr : addr + n] = data
+                    self._mark_dirty(addr, n)
+                    self._region_versions[index] += 1
+                    self._fast_hits += 1
+                    return
+        self._write_guarded(addr, data)
+
+    def _write_guarded(self, addr: int, data: bytes) -> None:
+        n = len(data)
         index = self._region_index_for(addr, n)
         region = self.regions[index]
         if region.frozen:
             raise ProtectionFault(addr, region.name)
+        if self._fast:
+            self._fast_fallbacks += 1
         self._time += 1
         self._store_ops[index] += 1
         self._store_bytes[index] += n
         self._mem[addr : addr + n] = data
+        self._region_versions[index] += 1
+        if self._fast:
+            self._mark_dirty(addr, n)
         if self._tracked_faults:
             self._note_tracked(addr, n, is_store=True)
         if self._page_write_tracking:
@@ -199,24 +339,39 @@ class AddressSpace:
             self._fire_watchpoints(addr, data, is_store=True)
 
     def _apply_overlay(self, addr: int, data: bytes) -> bytes:
+        keys = self._overlay_keys
         end = addr + len(data)
-        patched: Optional[bytearray] = None
-        for fault_addr in self._overlay.faulty_addresses():
-            if addr <= fault_addr < end:
-                if patched is None:
-                    patched = bytearray(data)
-                offset = fault_addr - addr
-                patched[offset] = self._overlay.apply(fault_addr, patched[offset])
-        return bytes(patched) if patched is not None else data
+        i = bisect_left(keys, addr)
+        if i == len(keys) or keys[i] >= end:
+            return data
+        patched = bytearray(data)
+        overlay = self._overlay
+        total = len(keys)
+        while i < total:
+            fault_addr = keys[i]
+            if fault_addr >= end:
+                break
+            offset = fault_addr - addr
+            patched[offset] = overlay.apply(fault_addr, patched[offset])
+            i += 1
+        return bytes(patched)
 
     def _note_tracked(self, addr: int, n: int, is_store: bool) -> None:
+        keys = self._tracked_keys
         end = addr + n
-        for fault_addr, state in self._tracked_faults.items():
-            if addr <= fault_addr < end:
-                if is_store:
-                    state[1] = 1
-                elif not state[1]:
-                    state[0] += 1
+        i = bisect_left(keys, addr)
+        tracked = self._tracked_faults
+        total = len(keys)
+        while i < total:
+            fault_addr = keys[i]
+            if fault_addr >= end:
+                break
+            state = tracked[fault_addr]
+            if is_store:
+                state[1] = 1
+            elif not state[1]:
+                state[0] += 1
+            i += 1
 
     def _note_page_writes(self, addr: int, n: int) -> None:
         now = self._time
@@ -234,6 +389,11 @@ class AddressSpace:
                     victim, bit, probability, rng = coupling
                     if rng.random() < probability:
                         self._mem[victim] ^= 1 << bit
+                        victim_region = self._page_map[victim >> _PAGE_SHIFT]
+                        if victim_region >= 0:
+                            self._region_versions[victim_region] += 1
+                        if self._fast:
+                            self._mark_dirty(victim, 1)
                         fault = InjectedFault(
                             addr=victim,
                             bit=bit,
@@ -242,7 +402,9 @@ class AddressSpace:
                             injected_at=self._time,
                         )
                         self.fault_log.record(fault)
-                        self._tracked_faults.setdefault(victim, [0, 0])
+                        if victim not in self._tracked_faults:
+                            self._tracked_faults[victim] = [0, 0]
+                            self._refresh_guards()
 
     def _fire_watchpoints(self, addr: int, data: bytes, is_store: bool) -> None:
         now = self._time
@@ -253,36 +415,205 @@ class AddressSpace:
                 for callback in callbacks:
                     callback(addr + offset, is_store, byte, now)
 
+    def _refresh_guards(self) -> None:
+        """Rebuild sorted fault-key lists and the guarded-address interval."""
+        self._overlay_keys = sorted(self._overlay.masks)
+        self._tracked_keys = sorted(self._tracked_faults)
+        lo: Optional[int] = None
+        hi: Optional[int] = None
+        for keys in (self._overlay_keys, self._tracked_keys):
+            if keys:
+                lo = keys[0] if lo is None else min(lo, keys[0])
+                hi = keys[-1] if hi is None else max(hi, keys[-1])
+        for addrs in (self._watchpoints, self._disturbances):
+            if addrs:
+                first = min(addrs)
+                last = max(addrs)
+                lo = first if lo is None else min(lo, first)
+                hi = last if hi is None else max(hi, last)
+        if lo is None:
+            self._guard_lo = self._size + 1
+            self._guard_hi = -1
+        else:
+            self._guard_lo = lo
+            self._guard_hi = hi
+
+    def _mark_dirty(self, addr: int, n: int) -> None:
+        first = addr >> _PAGE_SHIFT
+        last = (addr + n - 1) >> _PAGE_SHIFT
+        if first == last:
+            self._dirty_pages.add(first)
+        else:
+            self._dirty_pages.update(range(first, last + 1))
+
+    def _bump_span_versions(self, addr: int, n: int) -> None:
+        """Bump the content version of every region overlapping the span.
+
+        Versions track *stored* bytes only: stuck-at overlays never touch
+        stored memory (the guard interval already excludes them from any
+        clean-span claim), so hard-fault installation does not bump.
+        """
+        page_map = self._page_map
+        versions = self._region_versions
+        previous = -1
+        for page in range(addr >> _PAGE_SHIFT, ((addr + n - 1) >> _PAGE_SHIFT) + 1):
+            index = page_map[page]
+            if index >= 0 and index != previous:
+                versions[index] += 1
+                previous = index
+
+    # ------------------------------------------------------------------
+    # Clean-span fusion hooks (used by batched workload drivers)
+    # ------------------------------------------------------------------
+    def version_at(self, addr: int) -> int:
+        """Content version of the region containing ``addr``.
+
+        Bumped on every mutation of that region's stored bytes (stores,
+        pokes, soft flips, disturbance flips, snapshot restores). Callers
+        key caches of decoded pristine data on this counter so expensive
+        re-verification only happens after an actual mutation.
+        """
+        index = self._page_map[addr >> _PAGE_SHIFT]
+        if index < 0:
+            raise SegmentationFault(addr, 1, "version query at unmapped address")
+        return self._region_versions[index]
+
+    def span_is_clean(self, addr: int, n: int) -> bool:
+        """True when reads of ``[addr, addr+n)`` are provably unobserved.
+
+        A clean span lies inside one region and intersects no stuck-at
+        overlay, tracked fault, watchpoint, or disturbance aggressor, so a
+        batch of loads from it returns stored bytes verbatim and has no
+        side effects beyond clock/counter accounting (which callers settle
+        separately via :meth:`charge_reads`). Always False in oracle mode.
+        """
+        return self._fast and n > 0 and self._fast_index(addr, n) >= 0
+
+    def charge_reads(self, addr: int, ops: int, nbytes: int) -> None:
+        """Account for ``ops`` fused loads totalling ``nbytes`` bytes.
+
+        Settles the exact clock/counter debt of a batch of loads that a
+        driver satisfied from a pristine-data cache instead of issuing
+        individually. Only valid for spans vetted via :meth:`span_is_clean`
+        (same region, no fault/watchpoint interaction), where deferred
+        bulk accounting is observationally identical to per-access updates.
+        """
+        index = self._page_map[addr >> _PAGE_SHIFT]
+        if index < 0:
+            raise SegmentationFault(addr, 1, "charge at unmapped address")
+        self._time += ops
+        self._load_ops[index] += ops
+        self._load_bytes[index] += nbytes
+        self._fast_hits += ops
+
     # ------------------------------------------------------------------
     # Typed accessors
     # ------------------------------------------------------------------
     def read_u8(self, addr: int) -> int:
         """Load one unsigned byte."""
-        return self.read(addr, 1)[0]
+        if self._fast:
+            index = self._fast_index(addr, 1)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += 1
+                self._fast_hits += 1
+                return self._mem[addr]
+        return self._read_guarded(addr, 1)[0]
 
     def read_u16(self, addr: int) -> int:
         """Load an unsigned little-endian 16-bit integer."""
-        return int.from_bytes(self.read(addr, 2), "little")
+        if self._fast:
+            index = self._fast_index(addr, 2)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += 2
+                self._fast_hits += 1
+                return _STRUCT_U16.unpack_from(self._mem, addr)[0]
+        return int.from_bytes(self._read_guarded(addr, 2), "little")
 
     def read_u32(self, addr: int) -> int:
         """Load an unsigned little-endian 32-bit integer."""
-        return int.from_bytes(self.read(addr, 4), "little")
+        if self._fast:
+            index = self._fast_index(addr, 4)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += 4
+                self._fast_hits += 1
+                return _STRUCT_U32.unpack_from(self._mem, addr)[0]
+        return int.from_bytes(self._read_guarded(addr, 4), "little")
 
     def read_u64(self, addr: int) -> int:
         """Load an unsigned little-endian 64-bit integer."""
-        return int.from_bytes(self.read(addr, 8), "little")
+        if self._fast:
+            index = self._fast_index(addr, 8)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += 8
+                self._fast_hits += 1
+                return _STRUCT_U64.unpack_from(self._mem, addr)[0]
+        return int.from_bytes(self._read_guarded(addr, 8), "little")
 
     def read_i32(self, addr: int) -> int:
         """Load a signed little-endian 32-bit integer."""
-        return int.from_bytes(self.read(addr, 4), "little", signed=True)
+        if self._fast:
+            index = self._fast_index(addr, 4)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += 4
+                self._fast_hits += 1
+                return _STRUCT_I32.unpack_from(self._mem, addr)[0]
+        return int.from_bytes(self._read_guarded(addr, 4), "little", signed=True)
 
     def read_f32(self, addr: int) -> float:
         """Load a little-endian IEEE-754 single."""
-        return _STRUCT_F32.unpack(self.read(addr, 4))[0]
+        if self._fast:
+            index = self._fast_index(addr, 4)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += 4
+                self._fast_hits += 1
+                return _STRUCT_F32.unpack_from(self._mem, addr)[0]
+        return _STRUCT_F32.unpack(self._read_guarded(addr, 4))[0]
 
     def read_f64(self, addr: int) -> float:
         """Load a little-endian IEEE-754 double."""
-        return _STRUCT_F64.unpack(self.read(addr, 8))[0]
+        if self._fast:
+            index = self._fast_index(addr, 8)
+            if index >= 0:
+                self._time += 1
+                self._load_ops[index] += 1
+                self._load_bytes[index] += 8
+                self._fast_hits += 1
+                return _STRUCT_F64.unpack_from(self._mem, addr)[0]
+        return _STRUCT_F64.unpack(self._read_guarded(addr, 8))[0]
+
+    def read_u32_pair(self, addr: int) -> Tuple[int, int]:
+        """Load two consecutive u32s, fused into one bounds/guard check.
+
+        Semantically identical to ``(read_u32(addr), read_u32(addr+4))``
+        — two clock ticks, two load ops, eight load bytes — but a single
+        dispatch on the fast path. Any case the fused check cannot admit
+        (straddle, guard overlap, oracle mode) decomposes into the two
+        scalar loads, preserving exception identity and hook order.
+        """
+        if self._fast:
+            index = self._fast_index(addr, 8)
+            if index >= 0:
+                self._time += 2
+                self._load_ops[index] += 2
+                self._load_bytes[index] += 8
+                self._fast_hits += 2
+                return _STRUCT_U32X2.unpack_from(self._mem, addr)
+        return (
+            int.from_bytes(self.read(addr, 4), "little"),
+            int.from_bytes(self.read(addr + 4, 4), "little"),
+        )
 
     def write_u8(self, addr: int, value: int) -> None:
         """Store one unsigned byte."""
@@ -319,6 +650,85 @@ class AddressSpace:
         self.write(addr, _STRUCT_F64.pack(value))
 
     # ------------------------------------------------------------------
+    # Bulk array kernels
+    # ------------------------------------------------------------------
+    def read_array(self, addr: int, count: int, dtype: str = "<u4") -> np.ndarray:
+        """Load ``count`` elements of ``dtype`` starting at ``addr``.
+
+        Semantically identical to ``count`` consecutive element-sized
+        loads in ascending address order — ``count`` clock ticks,
+        ``count`` load ops, ``count * itemsize`` load bytes, identical
+        fault/overlay/watchpoint behaviour and exceptions — but a single
+        dispatch and one buffer copy on the fast path. ``count == 0``
+        performs no access (an empty loop) and returns an empty array.
+        Accepts any NumPy dtype string, including void records such as
+        ``"V5"`` for raw fixed-width slots. The returned array owns its
+        data (it never aliases simulated memory).
+        """
+        dt = np.dtype(dtype)
+        if count < 0:
+            raise ValueError(f"element count must be non-negative, got {count}")
+        width = dt.itemsize
+        total = count * width
+        if count == 0:
+            return np.frombuffer(b"", dtype=dt)
+        if self._fast:
+            index = self._fast_index(addr, total)
+            if index >= 0:
+                self._time += count
+                self._load_ops[index] += count
+                self._load_bytes[index] += total
+                self._fast_hits += count
+                return np.frombuffer(
+                    bytes(self._mem[addr : addr + total]), dtype=dt
+                )
+        data = b"".join(
+            self.read(addr + i * width, width) for i in range(count)
+        )
+        return np.frombuffer(data, dtype=dt)
+
+    def write_array(self, addr: int, values: np.ndarray) -> None:
+        """Store a 1-D array's elements starting at ``addr``.
+
+        Semantically identical to one element-sized store per entry in
+        ascending address order (little-endian byte images), with the
+        matching per-element accounting; fused into a single dispatch
+        and one buffer copy when the whole span is provably clean.
+        """
+        arr = np.ascontiguousarray(values)
+        if arr.ndim != 1:
+            raise ValueError(f"expected a 1-D array, got shape {arr.shape}")
+        width = arr.dtype.itemsize
+        count = arr.size
+        total = count * width
+        if count == 0:
+            return
+        if self._fast and not self._page_write_tracking:
+            index = self._fast_index(addr, total)
+            if index >= 0 and not self.regions[index].frozen:
+                self._time += count
+                self._store_ops[index] += count
+                self._store_bytes[index] += total
+                self._mem[addr : addr + total] = arr.tobytes()
+                self._mark_dirty(addr, total)
+                self._region_versions[index] += 1
+                self._fast_hits += count
+                return
+        raw = arr.tobytes()
+        for i in range(count):
+            self.write(addr + i * width, raw[i * width : (i + 1) * width])
+
+    def read_block_array(self, addr: int, count: int, dtype: str = "<u4") -> np.ndarray:
+        """Decode one block load of ``count * itemsize`` bytes as an array.
+
+        Semantically identical to ``read(addr, count * itemsize)`` — a
+        *single* access on the clock and counters — followed by a NumPy
+        decode; the block-read counterpart of :meth:`read_array`.
+        """
+        dt = np.dtype(dtype)
+        return np.frombuffer(self.read(addr, count * dt.itemsize), dtype=dt)
+
+    # ------------------------------------------------------------------
     # Raw access path (hardware / framework side, bypasses all semantics)
     # ------------------------------------------------------------------
     def peek(self, addr: int, n: int = 1) -> bytes:
@@ -341,6 +751,10 @@ class AddressSpace:
         if addr < 0 or addr + len(data) > self._size:
             raise SegmentationFault(addr, len(data), "poke out of bounds")
         self._mem[addr : addr + len(data)] = data
+        if data:
+            self._bump_span_versions(addr, len(data))
+            if self._fast:
+                self._mark_dirty(addr, len(data))
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -352,6 +766,9 @@ class AddressSpace:
         if self.region_at(addr) is None:
             raise SegmentationFault(addr, 1, "soft-error injection at unmapped address")
         self._mem[addr] ^= 1 << bit
+        self._bump_span_versions(addr, 1)
+        if self._fast:
+            self._mark_dirty(addr, 1)
         fault = InjectedFault(
             addr=addr,
             bit=bit,
@@ -361,6 +778,7 @@ class AddressSpace:
         )
         self.fault_log.record(fault)
         self._tracked_faults.setdefault(addr, [0, 0])
+        self._refresh_guards()
         return fault
 
     def inject_hard_fault(self, addr: int, bit: int, stuck_value: Optional[int] = None) -> InjectedFault:
@@ -385,6 +803,7 @@ class AddressSpace:
         )
         self.fault_log.record(fault)
         self._tracked_faults.setdefault(addr, [0, 0])
+        self._refresh_guards()
         return fault
 
     def install_disturbance(
@@ -420,6 +839,7 @@ class AddressSpace:
         self._disturbances.setdefault(aggressor_addr, []).append(
             (victim_addr, bit, probability, rng)
         )
+        self._refresh_guards()
 
     def clear_faults(self) -> None:
         """Remove all injected faults, their log, and consumption tracking."""
@@ -427,6 +847,7 @@ class AddressSpace:
         self.fault_log.clear()
         self._tracked_faults.clear()
         self._disturbances.clear()
+        self._refresh_guards()
 
     def fault_consumption(self, addr: int) -> Tuple[int, bool]:
         """Return (reads_before_overwrite, overwritten) for a fault address.
@@ -473,6 +894,7 @@ class AddressSpace:
         if self.region_at(addr) is None:
             raise SegmentationFault(addr, 1, "watchpoint at unmapped address")
         self._watchpoints.setdefault(addr, []).append(callback)
+        self._refresh_guards()
 
     def remove_watchpoint(self, addr: int, callback: WatchCallback) -> None:
         """Remove a previously registered watchpoint callback."""
@@ -482,10 +904,12 @@ class AddressSpace:
         callbacks.remove(callback)
         if not callbacks:
             del self._watchpoints[addr]
+        self._refresh_guards()
 
     def clear_watchpoints(self) -> None:
         """Remove all watchpoints."""
         self._watchpoints.clear()
+        self._refresh_guards()
 
     # ------------------------------------------------------------------
     # Access statistics
@@ -537,21 +961,74 @@ class AddressSpace:
     # Snapshot / restore
     # ------------------------------------------------------------------
     def snapshot(self) -> MemorySnapshot:
-        """Capture memory contents + clock for later restoration."""
-        return MemorySnapshot(bytes(self._mem), self._time)
+        """Capture memory contents + clock for later restoration.
+
+        On the fast path the snapshot becomes the dirty-tracking
+        baseline: subsequent restores of *this* snapshot copy only the
+        pages written since.
+        """
+        snap = MemorySnapshot(bytes(self._mem), self._time)
+        if self._fast:
+            self._baseline = snap
+            self._dirty_pages.clear()
+        return snap
 
     def restore(self, snap: MemorySnapshot) -> None:
         """Restore a snapshot: clears faults, keeps watchpoints/stats.
 
         Models an application restart with pristine data (Figure 2 step 1).
+        Restoring the current baseline snapshot copies only dirty pages;
+        restoring any other snapshot falls back to a full copy and makes
+        that snapshot the new baseline.
         """
         if len(snap.mem) != self._size:
             raise ValueError(
                 f"snapshot size {len(snap.mem)} does not match space size {self._size}"
             )
-        self._mem[:] = snap.mem
+        if self._fast and snap is self._baseline:
+            copied = 0
+            if self._dirty_pages:
+                destination = np.frombuffer(self._mem, dtype=np.uint8)
+                source = np.frombuffer(snap.mem, dtype=np.uint8)
+                pages = sorted(self._dirty_pages)
+                run_start = previous = pages[0]
+                for page in pages[1:]:
+                    if page != previous + 1:
+                        copied += self._copy_page_run(
+                            destination, source, run_start, previous
+                        )
+                        run_start = page
+                    previous = page
+                copied += self._copy_page_run(
+                    destination, source, run_start, previous
+                )
+            self._restores_incremental += 1
+            self._restore_bytes_copied += copied
+            self._restore_bytes_saved += self._size - copied
+        else:
+            self._mem[:] = snap.mem
+            self._restores_full += 1
+            self._restore_bytes_copied += self._size
+            for index in range(len(self._region_versions)):
+                self._region_versions[index] += 1
+            if self._fast:
+                self._baseline = snap
+        self._dirty_pages.clear()
         self._time = snap.time
         self.clear_faults()
+
+    def _copy_page_run(
+        self,
+        destination: np.ndarray,
+        source: np.ndarray,
+        first_page: int,
+        last_page: int,
+    ) -> int:
+        start = first_page << _PAGE_SHIFT
+        end = min((last_page + 1) << _PAGE_SHIFT, self._size)
+        destination[start:end] = source[start:end]
+        self._bump_span_versions(start, end - start)
+        return end - start
 
 
 def build_address_space(specs: Sequence[RegionSpec]) -> AddressSpace:

@@ -134,6 +134,25 @@ class CampaignInstruments:
             "Trials completed per worker",
             labels=("pid",),
         )
+        self.memory_fastpath = registry.counter(
+            "memory_fastpath_accesses_total",
+            "Simulated-memory accesses by dispatch path",
+            labels=("path",),
+        )
+        self.memory_restores = registry.counter(
+            "memory_restores_total",
+            "Snapshot restores by mode",
+            labels=("mode",),
+        )
+        self.memory_restore_bytes = registry.counter(
+            "memory_restore_bytes_total",
+            "Snapshot-restore byte traffic by disposition",
+            labels=("disposition",),
+        )
+        self.memory_fastpath_hit_ratio = registry.gauge(
+            "memory_fastpath_hit_ratio",
+            "Fraction of simulated-memory accesses served by the fast path",
+        )
         self.trials_done = registry.gauge(
             "campaign_trials_done", "Trials completed so far"
         )
@@ -232,6 +251,39 @@ class CampaignInstruments:
                 histogram.observe(duration)
         for event in progress_events:
             self._update_progress(event)
+
+    def record_memory(self, stats: Dict[str, int]) -> None:
+        """Fold one memory fast-path stats delta into the registry.
+
+        Updated directly (like :meth:`ExplorationInstruments.record_search`)
+        rather than from the event stream: the address space counts
+        accesses and restore bytes itself, and campaigns fold the deltas
+        at cell/shard boundaries to keep instrument cost off the trial
+        hot path. Keys match ``AddressSpace.fast_path_stats()``.
+        """
+        fast = int(stats.get("fast_accesses", 0))
+        checked = int(stats.get("checked_accesses", 0))
+        if fast:
+            self.memory_fastpath.labels(path="fast").inc(fast)
+        if checked:
+            self.memory_fastpath.labels(path="checked").inc(checked)
+        full = int(stats.get("restores_full", 0))
+        incremental = int(stats.get("restores_incremental", 0))
+        if full:
+            self.memory_restores.labels(mode="full").inc(full)
+        if incremental:
+            self.memory_restores.labels(mode="incremental").inc(incremental)
+        copied = int(stats.get("restore_bytes_copied", 0))
+        saved = int(stats.get("restore_bytes_saved", 0))
+        if copied:
+            self.memory_restore_bytes.labels(disposition="copied").inc(copied)
+        if saved:
+            self.memory_restore_bytes.labels(disposition="saved").inc(saved)
+        fast_total = self.memory_fastpath.labels(path="fast").value
+        checked_total = self.memory_fastpath.labels(path="checked").value
+        self.memory_fastpath_hit_ratio.labels().set(
+            safe_div(fast_total, fast_total + checked_total)
+        )
 
     def _update_progress(self, event: TraceEvent) -> None:
         attrs = event.attrs

@@ -144,6 +144,16 @@ class Observer:
         """Whether any sink or metrics registry is configured."""
         return bool(self.sinks) or self.metrics is not None
 
+    @property
+    def instruments(self) -> Optional[CampaignInstruments]:
+        """The campaign instruments, when a metrics registry is attached.
+
+        Exposed for directly-recorded aggregates (e.g. memory fast-path
+        deltas folded at cell boundaries) that do not flow through the
+        event stream.
+        """
+        return self._instruments
+
     def current_path(self) -> str:
         """Path of the innermost open span (or the relay root path)."""
         return self._stack[-1] if self._stack else self.root_path

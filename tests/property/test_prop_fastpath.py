@@ -1,0 +1,358 @@
+"""Hypothesis equivalence suite: memory fast path vs the scalar oracle.
+
+The fast path (fused typed accessors, bulk array kernels, dirty-page
+snapshot restore) claims to be *bit-identical* to the checked scalar
+path. This module enforces that claim mechanically: a stateful machine
+drives two address spaces — one pinned to the fast path, one pinned to
+the oracle — through the same randomized operation sequence (reads,
+writes, typed and bulk accessors, fault injection, disturbance
+couplings, watchpoints, freezes, snapshot/restore) and asserts after
+every step that return values, raised exceptions, stored bytes, the
+logical clock, per-region access counters, the fault log, watchpoint
+firings, and fault-consumption tracking all match exactly.
+"""
+
+import random
+import struct
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.memory import AddressSpace, standard_layout
+
+
+def _layout():
+    return standard_layout(heap_size=32768, stack_size=4096)
+
+
+def make_pair():
+    """(fast, oracle) spaces over identically constructed layouts."""
+    fast = AddressSpace(_layout())
+    oracle = AddressSpace(_layout())
+    fast.set_fast_path(True)
+    oracle.set_fast_path(False)
+    return fast, oracle
+
+
+def _canonical(value):
+    """Make results comparable with plain == (floats bitwise, arrays raw)."""
+    if isinstance(value, float):
+        return struct.pack("<d", value)
+    if isinstance(value, np.ndarray):
+        return (str(value.dtype), value.tobytes())
+    if isinstance(value, tuple):
+        return tuple(_canonical(item) for item in value)
+    return value
+
+
+# Addresses deliberately range over the whole space, including guard
+# gaps and the out-of-bounds tail, so segfault semantics are compared
+# too. The layout above is ~tens of KiB; 65536 safely overshoots.
+ADDRS = st.integers(min_value=0, max_value=65536)
+BITS = st.integers(min_value=0, max_value=7)
+
+
+class FastOracleMachine(RuleBasedStateMachine):
+    """Apply identical operations to both spaces; everything must match."""
+
+    def __init__(self):
+        super().__init__()
+        self.fast, self.oracle = make_pair()
+        assert self.fast.size == self.oracle.size
+        self.size = self.fast.size
+        self.heap = self.fast.region_named("heap")
+        self.snaps = []  # [(fast_snap, oracle_snap)]
+        self.injected = set()  # addrs with live tracked faults
+        self.fast_events = []
+        self.oracle_events = []
+
+    # -- helpers -------------------------------------------------------
+    def both(self, op):
+        outcomes = []
+        for space in (self.fast, self.oracle):
+            try:
+                outcomes.append(("ok", _canonical(op(space))))
+            except Exception as error:  # noqa: BLE001 - compared below
+                outcomes.append(("raise", type(error).__name__, str(error)))
+        assert outcomes[0] == outcomes[1], outcomes
+        return outcomes[0]
+
+    def heap_addr(self, offset):
+        return self.heap.base + offset % self.heap.size
+
+    # -- raw and typed accesses ----------------------------------------
+    @rule(addr=ADDRS, payload=st.binary(min_size=1, max_size=64))
+    def write_bytes(self, addr, payload):
+        self.both(lambda space: space.write(addr, payload))
+
+    @rule(addr=ADDRS, n=st.integers(min_value=1, max_value=64))
+    def read_bytes(self, addr, n):
+        self.both(lambda space: space.read(addr, n))
+
+    @rule(
+        addr=ADDRS,
+        kind=st.sampled_from(
+            ["u8", "u16", "u32", "u64", "i32", "f32", "f64"]
+        ),
+    )
+    def read_typed(self, addr, kind):
+        self.both(lambda space: getattr(space, f"read_{kind}")(addr))
+
+    @rule(addr=ADDRS, value=st.integers(min_value=0, max_value=2**32 - 1))
+    def write_u32(self, addr, value):
+        self.both(lambda space: space.write_u32(addr, value))
+
+    @rule(addr=ADDRS, value=st.floats(allow_nan=False))
+    def write_f64(self, addr, value):
+        self.both(lambda space: space.write_f64(addr, value))
+
+    @rule(addr=ADDRS)
+    def read_u32_pair(self, addr):
+        self.both(lambda space: space.read_u32_pair(addr))
+
+    # -- bulk kernels --------------------------------------------------
+    @rule(
+        addr=ADDRS,
+        count=st.integers(min_value=0, max_value=32),
+        dtype=st.sampled_from(["<u1", "<u4", "<f4", "V3"]),
+    )
+    def read_array(self, addr, count, dtype):
+        self.both(lambda space: space.read_array(addr, count, dtype))
+
+    @rule(
+        addr=ADDRS,
+        values=st.lists(
+            st.integers(min_value=0, max_value=2**32 - 1), max_size=32
+        ),
+    )
+    def write_array(self, addr, values):
+        payload = np.asarray(values, dtype="<u4")
+        self.both(lambda space: space.write_array(addr, payload))
+
+    @rule(addr=ADDRS, count=st.integers(min_value=1, max_value=16))
+    def read_block_array(self, addr, count):
+        self.both(lambda space: space.read_block_array(addr, count, "<u4"))
+
+    @rule(addr=ADDRS, payload=st.binary(max_size=32))
+    def poke(self, addr, payload):
+        self.both(lambda space: space.poke(addr, payload))
+
+    # -- fault machinery -----------------------------------------------
+    @rule(addr=ADDRS, bit=BITS)
+    def soft_flip(self, addr, bit):
+        status = self.both(
+            lambda space: _fault_key(space.inject_soft_flip(addr, bit))
+        )
+        if status[0] == "ok":
+            self.injected.add(addr)
+
+    @rule(addr=ADDRS, bit=BITS, stuck=st.sampled_from([None, 0, 1]))
+    def hard_fault(self, addr, bit, stuck):
+        status = self.both(
+            lambda space: _fault_key(
+                space.inject_hard_fault(addr, bit, stuck_value=stuck)
+            )
+        )
+        if status[0] == "ok":
+            self.injected.add(addr)
+
+    @rule(
+        aggressor=st.integers(min_value=0, max_value=4096),
+        victim=st.integers(min_value=0, max_value=4096),
+        bit=BITS,
+        probability=st.sampled_from([0.3, 0.7, 1.0]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def disturbance(self, aggressor, victim, bit, probability, seed):
+        # Each space gets its own RNG with the same seed: identical
+        # access sequences must consume identical random draws.
+        aggr = self.heap_addr(aggressor)
+        vict = self.heap_addr(victim)
+        self.both(
+            lambda space: space.install_disturbance(
+                aggr, vict, bit, probability, random.Random(seed)
+            )
+        )
+
+    @rule()
+    def clear_faults(self):
+        self.both(lambda space: space.clear_faults())
+        self.injected.clear()
+
+    # -- watchpoints and protection ------------------------------------
+    @rule(offset=st.integers(min_value=0, max_value=32767))
+    def add_watchpoint(self, offset):
+        addr = self.heap_addr(offset)
+        self.fast.add_watchpoint(
+            addr, lambda *event: self.fast_events.append(event)
+        )
+        self.oracle.add_watchpoint(
+            addr, lambda *event: self.oracle_events.append(event)
+        )
+
+    @rule()
+    def clear_watchpoints(self):
+        self.both(lambda space: space.clear_watchpoints())
+
+    @rule(frozen=st.booleans())
+    def set_heap_frozen(self, frozen):
+        method = "freeze_region" if frozen else "thaw_region"
+        self.both(lambda space: getattr(space, method)("heap"))
+
+    @rule(units=st.integers(min_value=0, max_value=16))
+    def advance_time(self, units):
+        self.both(lambda space: space.advance_time(units))
+
+    # -- snapshot / restore --------------------------------------------
+    @rule()
+    def snapshot(self):
+        self.snaps.append((self.fast.snapshot(), self.oracle.snapshot()))
+
+    @precondition(lambda self: self.snaps)
+    @rule(data=st.data())
+    def restore(self, data):
+        index = data.draw(
+            st.integers(min_value=0, max_value=len(self.snaps) - 1)
+        )
+        fast_snap, oracle_snap = self.snaps[index]
+        self.fast.restore(fast_snap)
+        self.oracle.restore(oracle_snap)
+        self.injected.clear()
+
+    # -- equivalence invariants ----------------------------------------
+    @invariant()
+    def same_clock(self):
+        assert self.fast.time == self.oracle.time
+
+    @invariant()
+    def same_stored_bytes(self):
+        assert self.fast.peek(0, self.size) == self.oracle.peek(0, self.size)
+
+    @invariant()
+    def same_access_stats(self):
+        assert self.fast.access_stats() == self.oracle.access_stats()
+
+    @invariant()
+    def same_fault_log(self):
+        fast_log = [_fault_key(fault) for fault in self.fast.fault_log.entries]
+        oracle_log = [
+            _fault_key(fault) for fault in self.oracle.fault_log.entries
+        ]
+        assert fast_log == oracle_log
+
+    @invariant()
+    def same_fault_consumption(self):
+        for addr in self.injected:
+            assert self.fast.fault_consumption(
+                addr
+            ) == self.oracle.fault_consumption(addr)
+
+    @invariant()
+    def same_watch_events(self):
+        assert self.fast_events == self.oracle_events
+
+    @invariant()
+    def accesses_partitioned(self):
+        # Every completed access lands in exactly one bucket; the oracle
+        # space must never take the fast path.
+        assert self.fast.fast_path_stats()["fast_accesses"] >= 0
+        assert self.oracle.fast_path_stats()["fast_accesses"] == 0
+
+
+def _fault_key(fault):
+    return (fault.addr, fault.bit, fault.kind, fault.stuck_value, fault.injected_at)
+
+
+TestFastOracleMachine = FastOracleMachine.TestCase
+TestFastOracleMachine.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)
+
+
+class TestFastPathProperties:
+    """Targeted (non-stateful) properties of the fast-path machinery."""
+
+    @given(
+        payload=st.binary(min_size=1, max_size=256),
+        scribbles=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=30000),
+                st.binary(min_size=1, max_size=64),
+            ),
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=40)
+    def test_incremental_restore_is_exact(self, payload, scribbles):
+        """Dirty-page restore reproduces the snapshot bytes exactly."""
+        space = AddressSpace(_layout())
+        space.set_fast_path(True)
+        heap = space.region_named("heap")
+        space.write(heap.base, payload)
+        snap = space.snapshot()
+        golden = space.peek(0, space.size)
+        for offset, data in scribbles:
+            addr = heap.base + min(offset, heap.size - len(data))
+            space.write(addr, data)
+        space.restore(snap)
+        assert space.peek(0, space.size) == golden
+        stats = space.fast_path_stats()
+        assert stats["restores_incremental"] == 1
+        assert stats["restores_full"] == 0
+        assert (
+            stats["restore_bytes_copied"] + stats["restore_bytes_saved"]
+            == space.size
+        )
+
+    @given(
+        offset=st.integers(min_value=0, max_value=30000),
+        count=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40)
+    def test_charge_reads_matches_scalar_accounting(self, offset, count):
+        """A vetted span charged in bulk == the same loads done one by one."""
+        bulk = AddressSpace(_layout())
+        scalar = AddressSpace(_layout())
+        bulk.set_fast_path(True)
+        scalar.set_fast_path(True)
+        heap = bulk.region_named("heap")
+        addr = heap.base + min(offset, heap.size - 4 * count)
+        assert bulk.span_is_clean(addr, 4 * count)
+        bulk.charge_reads(addr, count, 4 * count)
+        for i in range(count):
+            scalar.read_u32(addr + 4 * i)
+        assert bulk.time == scalar.time
+        assert bulk.access_stats() == scalar.access_stats()
+        assert (
+            bulk.fast_path_stats()["fast_accesses"]
+            == scalar.fast_path_stats()["fast_accesses"]
+        )
+
+    @given(
+        offset=st.integers(min_value=0, max_value=30000),
+        payload=st.binary(min_size=1, max_size=32),
+    )
+    @settings(max_examples=40)
+    def test_version_bumps_on_mutation_only(self, offset, payload):
+        """version_at ticks on stores/pokes/flips, never on plain reads."""
+        space = AddressSpace(_layout())
+        heap = space.region_named("heap")
+        addr = heap.base + min(offset, heap.size - len(payload))
+        before = space.version_at(addr)
+        space.read(addr, len(payload))
+        assert space.version_at(addr) == before
+        space.write(addr, payload)
+        after_write = space.version_at(addr)
+        assert after_write > before
+        space.poke(addr, payload)
+        after_poke = space.version_at(addr)
+        assert after_poke > after_write
+        space.inject_soft_flip(addr, 0)
+        assert space.version_at(addr) > after_poke

@@ -1,0 +1,316 @@
+"""Unit tests for the trial-loop memory fast path.
+
+Covers the pieces the hypothesis equivalence suite exercises only
+statistically: dirty-page restore accounting, the fused pair/bulk
+accessors' exact clock and counter debts, the clean-span fusion hooks
+(``span_is_clean`` / ``version_at`` / ``charge_reads``), fast-path hit
+statistics, the campaign memory instruments, and the contiguous
+``ProtectedArray.read_batch`` bulk load.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ecc import make_codec
+from repro.hrm import ProtectedArray
+from repro.memory import AddressSpace, standard_layout
+from repro.memory.errors import ProtectionFault, SegmentationFault
+from repro.memory.regions import PAGE_SIZE
+from repro.obs import CampaignInstruments, MetricsRegistry
+
+
+def make_space(*, fast=True):
+    space = AddressSpace(standard_layout(heap_size=32768, stack_size=4096))
+    space.set_fast_path(fast)
+    return space
+
+
+class TestDirtyPageRestore:
+    def test_untouched_restore_copies_nothing(self):
+        space = make_space()
+        snap = space.snapshot()
+        space.restore(snap)
+        stats = space.fast_path_stats()
+        assert stats["restores_incremental"] == 1
+        assert stats["restore_bytes_copied"] == 0
+        assert stats["restore_bytes_saved"] == space.size
+
+    def test_incremental_copies_only_dirty_pages(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        snap = space.snapshot()
+        # Touch two pages far apart: two runs, two pages copied.
+        space.write(heap.base, b"\x01")
+        space.write(heap.base + 4 * PAGE_SIZE, b"\x02")
+        space.restore(snap)
+        stats = space.fast_path_stats()
+        assert stats["restores_incremental"] == 1
+        assert stats["restore_bytes_copied"] == 2 * PAGE_SIZE
+        assert stats["restore_bytes_saved"] == space.size - 2 * PAGE_SIZE
+        assert space.peek(heap.base, 1) == b"\x00"
+        assert space.peek(heap.base + 4 * PAGE_SIZE, 1) == b"\x00"
+
+    def test_non_baseline_snapshot_falls_back_to_full_copy(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        old_snap = space.snapshot()
+        space.write(heap.base, b"\x07")
+        space.snapshot()  # new baseline displaces old_snap
+        space.write(heap.base, b"\x08")
+        space.restore(old_snap)
+        stats = space.fast_path_stats()
+        assert stats["restores_full"] == 1
+        assert stats["restores_incremental"] == 0
+        assert stats["restore_bytes_copied"] == space.size
+        assert space.peek(heap.base, 1) == b"\x00"
+        # The restored snapshot becomes the new baseline.
+        space.write(heap.base, b"\x09")
+        space.restore(old_snap)
+        assert space.fast_path_stats()["restores_incremental"] == 1
+
+    def test_oracle_mode_always_full_copy(self):
+        space = make_space(fast=False)
+        snap = space.snapshot()
+        space.restore(snap)
+        space.restore(snap)
+        stats = space.fast_path_stats()
+        assert stats["restores_full"] == 2
+        assert stats["restores_incremental"] == 0
+
+    def test_restore_restores_clock_and_clears_faults(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        space.read(heap.base, 4)
+        snap = space.snapshot()
+        time_at_snap = space.time
+        space.inject_hard_fault(heap.base, 3)
+        space.read(heap.base, 4)
+        space.restore(snap)
+        assert space.time == time_at_snap
+        assert len(space.fault_log) == 0
+        with pytest.raises(KeyError):
+            space.fault_consumption(heap.base)
+
+
+class TestFusedAccessors:
+    def test_read_u32_pair_values_and_accounting(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        space.write_u32(heap.base, 0xDEADBEEF)
+        space.write_u32(heap.base + 4, 0x12345678)
+        before = space.time
+        pair = space.read_u32_pair(heap.base)
+        assert pair == (0xDEADBEEF, 0x12345678)
+        assert space.time - before == 2
+        stats = space.access_stats()["heap"]
+        assert stats["load_ops"] == 2
+        assert stats["load_bytes"] == 8
+
+    def test_read_u32_pair_decomposes_on_guard_overlap(self):
+        fused = make_space()
+        scalar = make_space()
+        for space in (fused, scalar):
+            heap = space.region_named("heap")
+            space.write_u32(heap.base, 41)
+            space.write_u32(heap.base + 4, 43)
+            space.inject_hard_fault(heap.base + 4, 1, stuck_value=1)
+        heap = fused.region_named("heap")
+        assert fused.read_u32_pair(heap.base) == (
+            scalar.read_u32(heap.base),
+            scalar.read_u32(heap.base + 4),
+        )
+        assert fused.time == scalar.time
+
+    def test_read_array_accounting_is_per_element(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        space.write_array(heap.base, np.arange(16, dtype="<u4"))
+        space.reset_access_stats()
+        before = space.time
+        out = space.read_array(heap.base, 16, "<u4")
+        assert out.tolist() == list(range(16))
+        assert space.time - before == 16
+        stats = space.access_stats()["heap"]
+        assert stats["load_ops"] == 16
+        assert stats["load_bytes"] == 64
+
+    def test_read_array_zero_count_is_no_access(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        before = space.time
+        assert space.read_array(heap.base, 0).size == 0
+        assert space.time == before
+
+    def test_read_array_applies_hard_fault_overlay(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        space.write_array(heap.base, np.zeros(4, dtype="<u4"))
+        space.inject_hard_fault(heap.base + 4, 0, stuck_value=1)
+        out = space.read_array(heap.base, 4, "<u4")
+        assert out.tolist() == [0, 1, 0, 0]
+
+    def test_write_array_frozen_region_raises(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        space.freeze_region("heap")
+        with pytest.raises(ProtectionFault):
+            space.write_array(heap.base, np.ones(4, dtype="<u4"))
+
+    def test_bulk_kernels_reject_bad_shapes(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        with pytest.raises(ValueError):
+            space.read_array(heap.base, -1)
+        with pytest.raises(ValueError):
+            space.write_array(heap.base, np.ones((2, 2), dtype="<u4"))
+
+
+class TestCleanSpanFusion:
+    def test_span_is_clean_false_in_oracle_mode(self):
+        space = make_space(fast=False)
+        heap = space.region_named("heap")
+        assert not space.span_is_clean(heap.base, 64)
+
+    def test_span_is_clean_false_on_guard_overlap(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        assert space.span_is_clean(heap.base, 64)
+        space.inject_soft_flip(heap.base + 32, 0)
+        assert not space.span_is_clean(heap.base, 64)
+        assert space.span_is_clean(heap.base + 64, 64)
+        space.clear_faults()
+        assert space.span_is_clean(heap.base, 64)
+
+    def test_span_is_clean_false_across_region_boundary(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        assert not space.span_is_clean(heap.end - 4, 8)
+
+    def test_version_at_unmapped_raises(self):
+        space = make_space()
+        with pytest.raises(SegmentationFault):
+            space.version_at(space.size - 1)
+
+    def test_charge_reads_unmapped_raises(self):
+        space = make_space()
+        with pytest.raises(SegmentationFault):
+            space.charge_reads(space.size - 1, 1, 4)
+
+    def test_charge_reads_settles_exact_debt(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        before = space.time
+        space.charge_reads(heap.base, 10, 40)
+        assert space.time - before == 10
+        stats = space.access_stats()["heap"]
+        assert stats["load_ops"] == 10
+        assert stats["load_bytes"] == 40
+        assert space.fast_path_stats()["fast_accesses"] == 10
+
+
+class TestFastPathStats:
+    def test_accesses_partition_by_path(self):
+        space = make_space()
+        heap = space.region_named("heap")
+        space.read(heap.base, 4)  # clean -> fast
+        space.inject_soft_flip(heap.base + 1000, 0)
+        space.read(heap.base + 1000, 1)  # guarded -> checked
+        stats = space.fast_path_stats()
+        assert stats["fast_accesses"] == 1
+        assert stats["checked_accesses"] == 1
+
+    def test_oracle_mode_counts_no_fallbacks(self):
+        space = make_space(fast=False)
+        heap = space.region_named("heap")
+        space.read(heap.base, 4)
+        stats = space.fast_path_stats()
+        assert stats["fast_accesses"] == 0
+        assert stats["checked_accesses"] == 0
+
+
+class TestRecordMemoryInstruments:
+    def _stats(self, **overrides):
+        base = {
+            "fast_accesses": 0,
+            "checked_accesses": 0,
+            "restores_full": 0,
+            "restores_incremental": 0,
+            "restore_bytes_copied": 0,
+            "restore_bytes_saved": 0,
+        }
+        base.update(overrides)
+        return base
+
+    def test_deltas_accumulate(self):
+        instruments = CampaignInstruments(MetricsRegistry())
+        instruments.record_memory(
+            self._stats(fast_accesses=90, checked_accesses=10)
+        )
+        instruments.record_memory(
+            self._stats(
+                fast_accesses=60,
+                checked_accesses=40,
+                restores_incremental=3,
+                restore_bytes_copied=4096,
+                restore_bytes_saved=28672,
+            )
+        )
+        fastpath = instruments.memory_fastpath
+        assert fastpath.labels(path="fast").value == 150
+        assert fastpath.labels(path="checked").value == 50
+        assert instruments.memory_restores.labels(mode="incremental").value == 3
+        restore_bytes = instruments.memory_restore_bytes
+        assert restore_bytes.labels(disposition="copied").value == 4096
+        assert restore_bytes.labels(disposition="saved").value == 28672
+        assert instruments.memory_fastpath_hit_ratio.labels().value == 0.75
+
+    def test_matches_live_space_counters(self):
+        instruments = CampaignInstruments(MetricsRegistry())
+        space = make_space()
+        heap = space.region_named("heap")
+        snap = space.snapshot()
+        space.write(heap.base, b"\xff" * 8)
+        space.read(heap.base, 8)
+        space.restore(snap)
+        instruments.record_memory(space.fast_path_stats())
+        stats = space.fast_path_stats()
+        assert (
+            instruments.memory_fastpath.labels(path="fast").value
+            == stats["fast_accesses"]
+        )
+        assert (
+            instruments.memory_restores.labels(mode="incremental").value
+            == stats["restores_incremental"]
+        )
+        assert instruments.memory_fastpath_hit_ratio.labels().value == 1.0
+
+
+class TestProtectedBatchBulkLoad:
+    def _build(self, words=12):
+        space = AddressSpace(standard_layout(heap_size=262144))
+        space.set_fast_path(True)
+        codec = make_codec("SEC-DED")
+        array = ProtectedArray(
+            space, space.region_named("heap").base, words, codec
+        )
+        for i in range(words):
+            array.write(i, i * 2654435761 % (1 << codec.data_bits))
+        return space, array
+
+    def test_contiguous_batch_matches_scalar_reads_and_accounting(self):
+        space_a, scalar = self._build()
+        space_b, batch = self._build()
+        space_a.reset_access_stats()
+        space_b.reset_access_stats()
+        expected = [scalar.read(i) for i in range(scalar.word_count)]
+        assert batch.read_batch() == expected
+        assert space_b.time == space_a.time
+        assert space_b.access_stats() == space_a.access_stats()
+
+    def test_non_contiguous_indices_use_per_slot_loads(self):
+        space_a, scalar = self._build()
+        space_b, batch = self._build()
+        subset = [7, 2, 9]
+        expected = [scalar.read(i) for i in subset]
+        assert batch.read_batch(subset) == expected
+        assert space_b.time == space_a.time
