@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Serving-layer throughput + determinism → ``BENCH_serve.json``.
+
+Times a seeded ``repro serve`` session at a nonzero error rate: the
+asyncio multiplexer drives the three tenant workloads over a live
+HRM-partitioned address space while faults arrive, Table 2 policies
+respond, and every event lands in the JSONL ledger. Reported numbers:
+
+* sustained requests/second and ticks/second over the session;
+* per-tenant availability as replayed from the ledger;
+* a determinism check — the session runs twice and the two ledgers
+  must be byte-identical (recorded, and a hard failure here);
+* a replay audit — availability recomputed from the ledger alone must
+  equal the live instruments.
+
+The headline number is ``requests_per_sec``, which gates CI at
+50 req/s in ``--smoke`` mode (a deliberately low bar — the gate exists
+to catch pathological slowdowns, not to race hardware).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve import (  # noqa: E402
+    ServeConfig,
+    load_ledger,
+    replay_ledger,
+    run_serve,
+)
+
+SMOKE_GATE_REQUESTS_PER_SEC = 50.0
+
+FULL = dict(duration_ticks=400, error_rate=1.0, seed=20140622)
+SMOKE = dict(duration_ticks=60, error_rate=1.0, seed=20140622)
+SCALE = {"full": 0.5, "smoke": 0.3}
+
+
+def run_session(config: ServeConfig, ledger: Path, scale: float):
+    start = time.perf_counter()
+    result = run_serve(config, ledger_path=ledger, scale=scale)
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short session with the CI throughput gate",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_serve.json",
+        help="report path (default: BENCH_serve.json at the repo root)",
+    )
+    parser.add_argument(
+        "--ledger-out", type=Path, default=REPO_ROOT / "serve_ledger.jsonl",
+        help="ledger path for the timed run",
+    )
+    arguments = parser.parse_args()
+
+    mode = "smoke" if arguments.smoke else "full"
+    config = ServeConfig(**(SMOKE if arguments.smoke else FULL))
+    scale = SCALE[mode]
+
+    print(
+        f"serve bench ({mode}): {config.duration_ticks} ticks @ "
+        f"error rate {config.error_rate}/tick, seed {config.seed}"
+    )
+    result, elapsed = run_session(config, arguments.ledger_out, scale)
+
+    # Determinism: a second run must reproduce the ledger byte for byte.
+    twin_path = arguments.ledger_out.with_suffix(".twin.jsonl")
+    twin, _ = run_session(config, twin_path, scale)
+    byte_identical = (
+        arguments.ledger_out.read_bytes() == twin_path.read_bytes()
+    )
+    twin_path.unlink()
+
+    # Replay audit: the ledger alone reproduces the live gauges.
+    replay = replay_ledger(load_ledger(arguments.ledger_out))
+    audit_exact = all(
+        summary.availability == result.instruments.availability_of(name)
+        for name, summary in replay.tenants.items()
+    )
+
+    requests_total = result.total_requests()
+    faults_total = sum(
+        sum(summary.faults.values()) for summary in replay.tenants.values()
+    )
+    responses_total = sum(
+        sum(summary.responses.values()) for summary in replay.tenants.values()
+    )
+    report = {
+        "mode": mode,
+        "config": {
+            "duration_ticks": config.duration_ticks,
+            "error_rate": config.error_rate,
+            "seed": config.seed,
+            "scale": scale,
+        },
+        "wall_seconds": round(elapsed, 4),
+        "ticks_per_sec": round(config.duration_ticks / elapsed, 2),
+        "requests_per_sec": round(requests_total / elapsed, 2),
+        "requests_total": requests_total,
+        "faults_total": faults_total,
+        "responses_total": responses_total,
+        "ledger_events": len(result.events),
+        "availability": result.availability(),
+        "slo_fraction": {
+            name: summary.slo_fraction
+            for name, summary in replay.tenants.items()
+        },
+        "determinism": {"byte_identical": byte_identical},
+        "replay_audit": {"exact": audit_exact},
+    }
+    arguments.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"  {requests_total} requests in {elapsed:.2f}s -> "
+        f"{report['requests_per_sec']} req/s "
+        f"({report['ticks_per_sec']} ticks/s), "
+        f"{faults_total} faults, {responses_total} responses"
+    )
+    for name, availability in sorted(report["availability"].items()):
+        print(f"  {name:<12} availability {availability:.4f}")
+    print(
+        f"  determinism: byte_identical={byte_identical} "
+        f"replay_audit={audit_exact}"
+    )
+    print(f"  report -> {arguments.out}")
+
+    if not byte_identical or not audit_exact:
+        print("FAIL: determinism or replay audit broken", file=sys.stderr)
+        return 1
+    if arguments.smoke and report["requests_per_sec"] < SMOKE_GATE_REQUESTS_PER_SEC:
+        print(
+            f"FAIL: {report['requests_per_sec']} req/s below the "
+            f"{SMOKE_GATE_REQUESTS_PER_SEC} req/s smoke gate",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,19 @@ recovery, and transparent correction respectively. Finally, Figure 9's
 per-channel provisioning places each reliability class on real channel
 capacity.
 
+The tiers are laid out with :class:`repro.memory.RegionArena`, the
+carve allocator that keeps each tier aligned and guarded inside the
+heap region. ``tier_demo()`` returns the numbers so the integration
+smoke test (tests/integration/test_example_hrm_runtime.py) can assert
+on them; ``main()`` prints the human-readable report.
+
 Run:  python examples/hrm_runtime.py
 """
 
 from __future__ import annotations
 
 import random
+from typing import Dict
 
 from repro.core.design_space import HardwareTechnique
 from repro.dram import DramGeometry
@@ -24,44 +31,49 @@ from repro.hrm import (
     UncorrectableMemoryError,
     figure9_plan,
 )
-from repro.memory import AddressSpace, standard_layout
+from repro.memory import AddressSpace, RegionArena, standard_layout
 
 WORDS = 256
+FLIPS_PER_TIER = 120
+#: Unallocated bytes between tiers: a stray pointer that walks off one
+#: tier faults in the gap instead of silently reading the next tier.
+TIER_GUARD = 64
 
 
-def main() -> None:
-    rng = random.Random(99)
+def tier_demo(seed: int = 99) -> Dict[str, Dict[str, object]]:
+    """Build the three tiers, inject the storm, and read everything back.
+
+    Returns per-tier stats: ``overhead`` (capacity cost), ``wrong``
+    (silently corrupted reads), ``corrected`` / ``recovered`` word
+    counts, and ``machine_checks`` (uncorrectable-error traps).
+    """
+    rng = random.Random(seed)
     space = AddressSpace(standard_layout(heap_size=65536))
-    heap = space.region_named("heap")
+    arena = RegionArena(space.region_named("heap"))
     golden = {index: rng.getrandbits(64) for index in range(WORDS)}
 
-    # Three protection tiers over identical data.
+    # Three protection tiers over identical data, carved from one arena.
     tiers = {}
-    cursor = heap.base
     for name, codec, recovery in (
         ("NoECC", NoProtection(), None),
         ("Par+R", Parity(), golden.__getitem__),
         ("SEC-DED", SecDed(), None),
     ):
-        array = ProtectedArray(space, cursor, WORDS, codec, recovery=recovery)
+        footprint = WORDS * ((codec.code_bits + 7) // 8)
+        base = arena.carve(footprint, guard=TIER_GUARD)
+        array = ProtectedArray(space, base, WORDS, codec, recovery=recovery)
         for index, value in golden.items():
             array.write(index, value)
         tiers[name] = array
-        cursor += array.footprint_bytes + 64
 
-    # Error storm: one random single-bit flip into every tier's storage.
-    flips_per_tier = 120
+    # Error storm: random single-bit flips into every tier's storage.
     for array in tiers.values():
-        for _ in range(flips_per_tier):
+        for _ in range(FLIPS_PER_TIER):
             word = rng.randrange(WORDS)
             offset = rng.randrange(array.slot_bytes)
             space.inject_soft_flip(array.slot_addr(word) + offset, rng.randrange(8))
 
-    print(f"{flips_per_tier} single-bit errors injected into each tier\n")
-    print(
-        f"{'tier':<9} {'overhead':>9} {'wrong reads':>12} {'corrected':>10} "
-        f"{'recovered':>10} {'MCEs':>5}"
-    )
+    stats: Dict[str, Dict[str, object]] = {}
     for name, array in tiers.items():
         wrong = 0
         machine_checks = 0
@@ -71,10 +83,38 @@ def main() -> None:
                     wrong += 1
             except UncorrectableMemoryError:
                 machine_checks += 1
+        stats[name] = {
+            "overhead": array.codec.added_capacity,
+            "wrong": wrong,
+            "corrected": array.corrected_words,
+            "recovered": array.recovered_words,
+            "machine_checks": machine_checks,
+        }
+    return stats
+
+
+def figure9_demo() -> ChannelProvisionedMemory:
+    """Figure 9: place reliability classes on channels (3 × 32 GiB)."""
+    geometry = DramGeometry(channels=3, dimms_per_channel=4)
+    memory = ChannelProvisionedMemory(geometry, figure9_plan())
+    memory.allocate(9 * 2**30, HardwareTechnique.SEC_DED)  # vulnerable heap
+    memory.allocate(18 * 2**30, HardwareTechnique.NONE)  # index shard 1
+    memory.allocate(18 * 2**30, HardwareTechnique.NONE)  # index shard 2
+    return memory
+
+
+def main() -> None:
+    stats = tier_demo()
+    print(f"{FLIPS_PER_TIER} single-bit errors injected into each tier\n")
+    print(
+        f"{'tier':<9} {'overhead':>9} {'wrong reads':>12} {'corrected':>10} "
+        f"{'recovered':>10} {'MCEs':>5}"
+    )
+    for name, row in stats.items():
         print(
-            f"{name:<9} {array.codec.added_capacity:>8.1%} {wrong:>12} "
-            f"{array.corrected_words:>10} {array.recovered_words:>10} "
-            f"{machine_checks:>5}"
+            f"{name:<9} {row['overhead']:>8.1%} {row['wrong']:>12} "
+            f"{row['corrected']:>10} {row['recovered']:>10} "
+            f"{row['machine_checks']:>5}"
         )
 
     print(
@@ -83,13 +123,7 @@ def main() -> None:
         "hardware at 12.5%."
     )
 
-    # Figure 9: place reliability classes on channels (3 channels of
-    # 32 GiB: one ECC, two without detection/correction).
-    geometry = DramGeometry(channels=3, dimms_per_channel=4)
-    memory = ChannelProvisionedMemory(geometry, figure9_plan())
-    memory.allocate(9 * 2**30, HardwareTechnique.SEC_DED)  # vulnerable heap
-    memory.allocate(18 * 2**30, HardwareTechnique.NONE)  # index shard 1
-    memory.allocate(18 * 2**30, HardwareTechnique.NONE)  # index shard 2
+    memory = figure9_demo()
     print("\nFigure 9 channel provisioning (paper's WebSearch shape):")
     for channel, info in memory.placement_summary().items():
         print(

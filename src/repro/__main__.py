@@ -53,6 +53,7 @@ from repro.obs import (
     render_trace_report,
     summarize_trace,
 )
+from repro.serve import POLICY_NAMES, ServeConfig, run_serve
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
 
@@ -78,6 +79,15 @@ def _month_count(value: str) -> int:
     if count < 0:
         raise argparse.ArgumentTypeError(
             f"--simulate-months must be >= 0, got {count}"
+        )
+    return count
+
+
+def _tick_count(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"--duration must be >= 1 tick, got {count}"
         )
     return count
 
@@ -257,6 +267,46 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the exploration instrument registry as JSON",
     )
     explore_cmd.add_argument(
+        "--prom-out", type=_out_path, default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus text exposition",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve the three workloads live on HRM with online errors",
+    )
+    serve.add_argument(
+        "--duration", type=_tick_count, default=60, metavar="TICKS",
+        help="virtual-time ticks to serve (default 60)",
+    )
+    serve.add_argument(
+        "--error-rate", type=float, default=0.5, metavar="RATE",
+        help="expected fault footprints per tick (default 0.5)",
+    )
+    serve.add_argument(
+        "--policy", choices=POLICY_NAMES, default=None,
+        help="force one Table 2 response for every region (default: "
+        "choose per region by recoverability class)",
+    )
+    serve.add_argument(
+        "--ledger-out", type=_out_path, default=None, metavar="PATH",
+        help="append every fault/policy/response event to this JSONL "
+        "ledger (availability is recomputed from it on shutdown)",
+    )
+    serve.add_argument("--seed", type=int, default=2014)
+    serve.add_argument("--scale", type=float, default=0.5)
+    serve.add_argument(
+        "--json", action="store_true", help="emit the session summary as JSON"
+    )
+    serve.add_argument(
+        "--trace-out", type=_out_path, default=None, metavar="PATH",
+        help="write the serve span as a JSONL trace",
+    )
+    serve.add_argument(
+        "--metrics-out", type=_out_path, default=None, metavar="PATH",
+        help="write the ServeInstruments registry as JSON",
+    )
+    serve.add_argument(
         "--prom-out", type=_out_path, default=None, metavar="PATH",
         help="write the metrics registry as Prometheus text exposition",
     )
@@ -500,6 +550,65 @@ def _cmd_explore(arguments) -> int:
     return 0
 
 
+def _cmd_serve(arguments) -> int:
+    observer = _build_observer(arguments)
+    config = ServeConfig(
+        duration_ticks=arguments.duration,
+        error_rate=arguments.error_rate,
+        policy=arguments.policy,
+        seed=arguments.seed,
+    )
+    print(
+        f"serving {arguments.duration} ticks at error rate "
+        f"{arguments.error_rate:g}/tick "
+        f"(policy: {arguments.policy or 'auto'})...",
+        file=sys.stderr,
+    )
+    try:
+        result = run_serve(
+            config,
+            ledger_path=arguments.ledger_out,
+            observer=observer,
+            registry=observer.metrics,
+            scale=arguments.scale,
+        )
+    finally:
+        observer.close()
+    if arguments.metrics_out is not None:
+        arguments.metrics_out.write_text(
+            json.dumps(
+                {"instruments": observer.metrics.to_dict()},
+                indent=2, sort_keys=True,
+            ) + "\n"
+        )
+    if arguments.prom_out is not None:
+        arguments.prom_out.write_text(observer.metrics.render_prometheus())
+    replay = result.replay
+    if arguments.json:
+        print(json.dumps(replay.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{'tenant':<12} {'avail':>9} {'ok':>7} {'bad':>5} {'fail':>5} "
+        f"{'shed':>5} {'down':>5} {'responses':>10}"
+    )
+    for name in sorted(replay.tenants):
+        summary = replay.tenants[name]
+        requests = summary.requests
+        print(
+            f"{name:<12} {summary.availability:>8.2%} {requests['ok']:>7} "
+            f"{requests['incorrect']:>5} {requests['failed']:>5} "
+            f"{requests['shed']:>5} {requests['down']:>5} "
+            f"{sum(summary.responses.values()):>10}"
+        )
+    if arguments.ledger_out is not None:
+        print(
+            f"ledger: {arguments.ledger_out} "
+            f"({len(result.events)} events)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_recoverability(arguments) -> int:
     workload, _factory = _make_workload(arguments)
     workload.build()
@@ -568,6 +677,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "characterize": _cmd_characterize,
         "design": _cmd_design,
         "explore": _cmd_explore,
+        "serve": _cmd_serve,
         "recoverability": _cmd_recoverability,
         "ecc": _cmd_ecc,
         "report": _cmd_report,

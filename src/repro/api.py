@@ -68,6 +68,16 @@ from repro.injection.injector import (
 from repro.kernels.registry import available_kernels, get_kernel
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_OBSERVER, Observer
+from repro.serve import (
+    POLICY_NAMES,
+    ServeConfig,
+    ServeResult,
+    ServeTenant,
+    default_tenants,
+    load_ledger,
+    replay_ledger,
+    run_serve,
+)
 
 __all__ = [
     # one-call entry points
@@ -113,6 +123,15 @@ __all__ = [
     "EXPLORE_BACKENDS",
     "ExplorationResult",
     "SimulationValidation",
+    # serving layer
+    "POLICY_NAMES",
+    "ServeConfig",
+    "ServeResult",
+    "ServeTenant",
+    "default_tenants",
+    "load_ledger",
+    "replay_ledger",
+    "run_serve",
     # workloads + telemetry
     "Workload",
     "WebSearch",

@@ -107,6 +107,17 @@ class DramFaultModel:
         addresses, bits = self._materialize(mode, rng)
         return FaultFootprint(mode=mode, kind=kind, addresses=addresses, bits=bits)
 
+    def draw_batch(self, rng: random.Random, count: int) -> List[FaultFootprint]:
+        """Draw ``count`` footprints from one rng stream (arrival bursts).
+
+        A convenience for online arrival processes: a Poisson variate
+        decides ``count`` per interval and this materializes the batch
+        with a single, deterministic pass over the stream.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.draw(rng) for _ in range(count)]
+
     # ------------------------------------------------------------------
     def _random_coords(self, rng: random.Random) -> DramCoordinates:
         geom = self.geometry

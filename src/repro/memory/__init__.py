@@ -10,7 +10,7 @@ from repro.memory.address_space import (
     MemorySnapshot,
     build_address_space,
 )
-from repro.memory.allocator import AllocationInfo, HeapAllocator
+from repro.memory.allocator import AllocationInfo, HeapAllocator, RegionArena
 from repro.memory.errors import (
     AllocationError,
     HeapCorruptionError,
@@ -45,6 +45,7 @@ __all__ = [
     "build_address_space",
     "AllocationInfo",
     "HeapAllocator",
+    "RegionArena",
     "AllocationError",
     "HeapCorruptionError",
     "LayoutError",

@@ -849,6 +849,28 @@ class AddressSpace:
         self._disturbances.clear()
         self._refresh_guards()
 
+    def clear_faults_in_range(self, addr: int, n: int) -> int:
+        """Neutralize resident faults in ``[addr, addr+n)``; returns count.
+
+        Models repair actions that decommission physical cells — page
+        retirement migrating data off a faulty page, a rank being mapped
+        out — after which the stuck-at overlay and consumption tracking
+        for those addresses no longer apply. Stored bytes and the fault
+        log (history) are untouched; callers restore clean contents
+        separately (:meth:`poke` / :class:`~repro.memory.persistence.RegionBacking`).
+        """
+        if n <= 0:
+            return 0
+        end = addr + n
+        cleared = 0
+        for fault_addr in [a for a in self._overlay.masks if addr <= a < end]:
+            del self._overlay.masks[fault_addr]
+            cleared += 1
+        for fault_addr in [a for a in self._tracked_faults if addr <= a < end]:
+            del self._tracked_faults[fault_addr]
+        self._refresh_guards()
+        return cleared
+
     def fault_consumption(self, addr: int) -> Tuple[int, bool]:
         """Return (reads_before_overwrite, overwritten) for a fault address.
 

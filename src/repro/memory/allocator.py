@@ -43,6 +43,72 @@ class AllocationInfo:
     size: int
 
 
+class RegionArena:
+    """Sequential carve allocator over one region (no free, no headers).
+
+    The bump-pointer counterpart of :class:`HeapAllocator` for layouts
+    that are built once and never freed — protected-array tiers, serving
+    partitions, example scaffolding. Unlike ad-hoc cursor arithmetic it
+    enforces alignment, keeps carves inside the region, and can leave an
+    unallocated guard gap after each carve so a corrupted pointer that
+    walks off one carve faults in the gap instead of silently reading
+    the next one.
+    """
+
+    def __init__(self, region: Region) -> None:
+        self._region = region
+        self._cursor = region.base
+        self._carves: List[AllocationInfo] = []
+
+    @property
+    def region(self) -> Region:
+        """The region being carved."""
+        return self._region
+
+    @property
+    def carves(self) -> List[AllocationInfo]:
+        """Every carve handed out so far, in address order."""
+        return list(self._carves)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes consumed from the region (carves + alignment + guards)."""
+        return self._cursor - self._region.base
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available to carve."""
+        return self._region.end - self._cursor
+
+    def carve(self, size: int, *, align: int = 8, guard: int = 0) -> int:
+        """Reserve ``size`` bytes; returns the aligned base address.
+
+        Args:
+            size: Bytes to reserve (must be positive).
+            align: Power-of-two alignment of the returned address.
+            guard: Unallocated bytes left after the carve (kept inside
+                the region; later carves start beyond them).
+
+        Raises:
+            AllocationError: on bad arguments or an exhausted region.
+        """
+        if size <= 0:
+            raise AllocationError(f"carve size must be positive, got {size}")
+        if align < 1 or align & (align - 1):
+            raise AllocationError(f"alignment must be a power of two, got {align}")
+        if guard < 0:
+            raise AllocationError(f"guard must be non-negative, got {guard}")
+        base = (self._cursor + align - 1) & ~(align - 1)
+        if base + size > self._region.end:
+            raise AllocationError(
+                f"region '{self._region.name}' exhausted: requested {size} B "
+                f"at 0x{base:x}, region ends at 0x{self._region.end:x}"
+            )
+        self._cursor = base + size + guard
+        self._carves.append(AllocationInfo(addr=base, size=size))
+        return base
+
+
 class HeapAllocator:
     """First-fit allocator with coalescing free list over one region."""
 

@@ -35,11 +35,16 @@ from repro.obs.events import (
     SPAN_EXPLORE_PHASE,
     SPAN_INJECTION,
     SPAN_MONITOR,
+    SPAN_SERVE,
     SPAN_TRIAL,
     SPAN_VERIFY,
     TraceEvent,
 )
-from repro.obs.instruments import CampaignInstruments, ExplorationInstruments
+from repro.obs.instruments import (
+    CampaignInstruments,
+    ExplorationInstruments,
+    ServeInstruments,
+)
 from repro.obs.metrics import (
     INJECTION_LATENCY_BUCKETS,
     Counter,
@@ -74,11 +79,13 @@ __all__ = [
     "SPAN_EXPLORE_PHASE",
     "SPAN_INJECTION",
     "SPAN_MONITOR",
+    "SPAN_SERVE",
     "SPAN_TRIAL",
     "SPAN_VERIFY",
     "TraceEvent",
     "CampaignInstruments",
     "ExplorationInstruments",
+    "ServeInstruments",
     "INJECTION_LATENCY_BUCKETS",
     "Counter",
     "Gauge",

@@ -39,6 +39,8 @@ SPAN_MONITOR = "monitor"
 #: its phases (``matrix`` build, ``search``, ``simulate``).
 SPAN_EXPLORE = "explore"
 SPAN_EXPLORE_PHASE = "explore_phase"
+#: Span wrapping one long-lived serve session (``repro serve``).
+SPAN_SERVE = "serve"
 #: Point event emitted after every completed shard of campaign work.
 POINT_PROGRESS = "progress"
 

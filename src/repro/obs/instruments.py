@@ -36,7 +36,108 @@ from repro.obs.metrics import (
 )
 from repro.utils.stats import safe_div
 
-__all__ = ["CampaignInstruments", "ExplorationInstruments"]
+__all__ = ["CampaignInstruments", "ExplorationInstruments", "ServeInstruments"]
+
+
+class ServeInstruments:
+    """Live gauges/counters for the HRM serving layer (``repro serve``).
+
+    Updated directly by the multiplexer at each tick barrier (the
+    ``record_*`` style of :class:`ExplorationInstruments`). The ledger —
+    not these instruments — is the system of record: the availability
+    gauge here uses exactly the arithmetic of
+    ``repro.serve.ledger.replay_ledger`` (``ok / offered`` over the same
+    integers), and the audit test asserts the two agree bit-for-bit.
+
+    * ``serve_requests_total{tenant,disposition}`` — request outcomes
+      (ok / incorrect / failed / shed / down);
+    * ``serve_faults_total{tenant,kind}`` — fault events by hard/soft;
+    * ``serve_responses_total{tenant,action}`` — Table 2 responses;
+    * ``serve_pages_retired_total{tenant}`` — pages retired;
+    * ``serve_tenant_availability{tenant}`` — ok / offered so far;
+    * ``serve_backlog_depth{tenant}`` — pending error-response work;
+    * ``serve_shedding{tenant}`` — 1 while admission control sheds.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.requests = registry.counter(
+            "serve_requests_total",
+            "Serve-session requests by tenant and disposition",
+            labels=("tenant", "disposition"),
+        )
+        self.faults = registry.counter(
+            "serve_faults_total",
+            "Fault events routed to a tenant, by fault kind",
+            labels=("tenant", "kind"),
+        )
+        self.responses_total = registry.counter(
+            "serve_responses_total",
+            "Table 2 software responses applied, by action",
+            labels=("tenant", "action"),
+        )
+        self.pages_retired = registry.counter(
+            "serve_pages_retired_total",
+            "Pages retired on behalf of a tenant",
+            labels=("tenant",),
+        )
+        self.availability = registry.gauge(
+            "serve_tenant_availability",
+            "Fraction of offered requests answered correctly so far",
+            labels=("tenant",),
+        )
+        self.backlog_depth = registry.gauge(
+            "serve_backlog_depth",
+            "Detected faults awaiting a software response",
+            labels=("tenant",),
+        )
+        self.shedding = registry.gauge(
+            "serve_shedding",
+            "1 while admission control sheds the tenant's load",
+            labels=("tenant",),
+        )
+        # tenant -> (ok, offered) backing the availability gauge.
+        self._counts: Dict[str, Tuple[int, int]] = {}
+
+    def record_requests(self, tenant: str, counts: Dict[str, int]) -> None:
+        """Fold one tick's request dispositions for a tenant."""
+        ok, offered = self._counts.get(tenant, (0, 0))
+        for disposition, count in counts.items():
+            if count:
+                self.requests.labels(
+                    tenant=tenant, disposition=disposition
+                ).inc(count)
+            offered += int(count)
+        ok += int(counts.get("ok", 0))
+        self._counts[tenant] = (ok, offered)
+        self.availability.labels(tenant=tenant).set(
+            ok / offered if offered else 1.0
+        )
+
+    def record_fault(self, tenant: str, kind: str) -> None:
+        """Count one routed fault event."""
+        self.faults.labels(tenant=tenant, kind=kind).inc()
+
+    def record_response(
+        self, tenant: str, action: str, pages_retired: int = 0
+    ) -> None:
+        """Count one applied Table 2 response."""
+        self.responses_total.labels(tenant=tenant, action=action).inc()
+        if pages_retired:
+            self.pages_retired.labels(tenant=tenant).inc(pages_retired)
+
+    def set_backlog(self, tenant: str, depth: int) -> None:
+        """Publish a tenant's current error-response backlog depth."""
+        self.backlog_depth.labels(tenant=tenant).set(float(depth))
+
+    def set_shedding(self, tenant: str, shedding: bool) -> None:
+        """Publish a tenant's admission-control state."""
+        self.shedding.labels(tenant=tenant).set(1.0 if shedding else 0.0)
+
+    def availability_of(self, tenant: str) -> float:
+        """Current availability gauge value for one tenant."""
+        ok, offered = self._counts.get(tenant, (0, 0))
+        return ok / offered if offered else 1.0
 
 
 class ExplorationInstruments:

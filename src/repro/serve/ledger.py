@@ -1,0 +1,310 @@
+"""Append-only event ledger for the HRM serving layer.
+
+Every fault arrival, policy decision, software response, request batch,
+and admission transition of a serve session lands here as one JSONL
+line, in a canonical deterministic order (tick, then tenant name, then
+per-tenant emission order). Events carry *virtual* time only — the tick
+index and a per-session sequence number, never wall clock, pids, or
+scheduler state — so a seeded session produces a byte-identical ledger
+regardless of asyncio task interleaving.
+
+The ledger is the system of record: per-tenant availability and SLO
+numbers are *defined* as what :func:`replay_ledger` computes from the
+event stream. The live :class:`~repro.obs.instruments.ServeInstruments`
+gauges are a convenience view that must agree exactly (enforced by
+``tests/integration/test_serve_ledger.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+__all__ = [
+    "LEDGER_VERSION",
+    "EVENT_START",
+    "EVENT_FAULT",
+    "EVENT_POLICY",
+    "EVENT_RESPONSE",
+    "EVENT_REQUESTS",
+    "EVENT_ADMISSION",
+    "EVENT_STOP",
+    "DISPOSITIONS",
+    "LedgerEvent",
+    "LedgerWriter",
+    "TenantLedgerSummary",
+    "LedgerReplay",
+    "load_ledger",
+    "replay_ledger",
+]
+
+#: Schema version stamped into the ``start`` event.
+LEDGER_VERSION = 1
+
+#: Event kinds, in the order they can appear within one tick.
+EVENT_START = "serve_start"
+EVENT_FAULT = "fault"
+EVENT_POLICY = "policy"
+EVENT_RESPONSE = "response"
+EVENT_REQUESTS = "requests"
+EVENT_ADMISSION = "admission"
+EVENT_STOP = "serve_stop"
+
+#: Request dispositions tracked per tenant. ``ok``/``incorrect``/
+#: ``failed`` mirror the campaign client driver; ``shed`` is admission
+#: control refusing the request; ``down`` is a request arriving during
+#: restart downtime.
+DISPOSITIONS = ("ok", "incorrect", "failed", "shed", "down")
+
+
+@dataclass(frozen=True)
+class LedgerEvent:
+    """One ledger line.
+
+    Attributes:
+        seq: Session-wide sequence number (0-based, gap-free).
+        tick: Virtual time at emission (-1 for the start event).
+        kind: One of the ``EVENT_*`` names.
+        tenant: Owning tenant name (``""`` for session-level events).
+        attrs: Kind-specific payload (JSON-serializable, sorted keys).
+    """
+
+    seq: int
+    tick: int
+    kind: str
+    tenant: str
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """Canonical single-line JSON form (sorted keys, no whitespace)."""
+        return json.dumps(
+            {
+                "seq": self.seq,
+                "tick": self.tick,
+                "kind": self.kind,
+                "tenant": self.tenant,
+                "attrs": self.attrs,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LedgerEvent":
+        """Inverse of :meth:`to_json` (after ``json.loads``)."""
+        return cls(
+            seq=data["seq"],
+            tick=data["tick"],
+            kind=data["kind"],
+            tenant=data["tenant"],
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class LedgerWriter:
+    """Appends events with gap-free sequence numbers.
+
+    Writes to ``path`` when given one (opened eagerly so unwritable
+    paths fail before the session starts) and always retains the events
+    in memory, so callers can audit a session without re-reading the
+    file.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._file: Optional[IO[str]] = (
+            self.path.open("w", encoding="utf-8") if self.path else None
+        )
+        self.events: List[LedgerEvent] = []
+
+    def append(
+        self, tick: int, kind: str, tenant: str = "", attrs: Optional[dict] = None
+    ) -> LedgerEvent:
+        """Append one event; assigns the next sequence number."""
+        event = LedgerEvent(
+            seq=len(self.events),
+            tick=tick,
+            kind=kind,
+            tenant=tenant,
+            attrs=dict(attrs or {}),
+        )
+        self.events.append(event)
+        if self._file is not None:
+            self._file.write(event.to_json())
+            self._file.write("\n")
+        return event
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_ledger(path: Union[str, Path]) -> List[LedgerEvent]:
+    """Read a JSONL ledger back into events.
+
+    Raises:
+        ValueError: on malformed lines or sequence-number gaps (a gap
+            means the ledger was truncated or tampered with — the
+            append-only audit property no longer holds).
+    """
+    events: List[LedgerEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(LedgerEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed ledger event: {exc}"
+                ) from exc
+    for position, event in enumerate(events):
+        if event.seq != position:
+            raise ValueError(
+                f"{path}: sequence gap at position {position} "
+                f"(event seq {event.seq}) — ledger is not append-complete"
+            )
+    return events
+
+
+@dataclass
+class TenantLedgerSummary:
+    """Per-tenant accounting recomputed purely from ledger events."""
+
+    requests: Dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in DISPOSITIONS}
+    )
+    faults: Dict[str, int] = field(default_factory=dict)
+    responses: Dict[str, int] = field(default_factory=dict)
+    restarts: int = 0
+    pages_retired: int = 0
+    down_ticks: int = 0
+    shed_ticks: int = 0
+
+    @property
+    def offered(self) -> int:
+        """Requests that arrived at the tenant (every disposition)."""
+        return sum(self.requests.values())
+
+    @property
+    def availability(self) -> float:
+        """Fraction of offered requests answered correctly.
+
+        Every non-``ok`` disposition counts against availability: wrong
+        answers, failures, shed load, and downtime all mean the service
+        did not do its job for that request.
+        """
+        offered = self.offered
+        if offered == 0:
+            return 1.0
+        return self.requests["ok"] / offered
+
+    @property
+    def slo_fraction(self) -> float:
+        """Fraction of ticks with no failed/shed/down requests."""
+        if not self._ticks_seen:
+            return 1.0
+        return self._ticks_ok / self._ticks_seen
+
+    # Internal tick bookkeeping (set by replay_ledger).
+    _ticks_seen: int = 0
+    _ticks_ok: int = 0
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (used by the stop event and CLI)."""
+        return {
+            "requests": dict(self.requests),
+            "offered": self.offered,
+            "availability": self.availability,
+            "slo_fraction": self.slo_fraction,
+            "faults": dict(self.faults),
+            "responses": dict(self.responses),
+            "restarts": self.restarts,
+            "pages_retired": self.pages_retired,
+            "down_ticks": self.down_ticks,
+            "shed_ticks": self.shed_ticks,
+        }
+
+
+@dataclass
+class LedgerReplay:
+    """Result of replaying a ledger: per-tenant summaries + session facts."""
+
+    tenants: Dict[str, TenantLedgerSummary]
+    ticks: int
+    config: Dict[str, object]
+    stop_attrs: Dict[str, object]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable replay result."""
+        return {
+            "ticks": self.ticks,
+            "config": dict(self.config),
+            "tenants": {
+                name: summary.to_dict() for name, summary in self.tenants.items()
+            },
+        }
+
+
+def replay_ledger(events: List[LedgerEvent]) -> LedgerReplay:
+    """Recompute all per-tenant availability numbers from events alone.
+
+    This is the auditable definition of the serving layer's SLO math:
+    no live state is consulted, so anyone holding the ledger file can
+    verify (or recompute) every number the session reported.
+
+    Raises:
+        ValueError: if the ledger does not start with ``serve_start``.
+    """
+    if not events or events[0].kind != EVENT_START:
+        raise ValueError("ledger must begin with a serve_start event")
+    config = dict(events[0].attrs)
+    tenants: Dict[str, TenantLedgerSummary] = {
+        str(name): TenantLedgerSummary() for name in config.get("tenants", [])
+    }
+    ticks = 0
+    stop_attrs: Dict[str, object] = {}
+    for event in events[1:]:
+        summary = tenants.get(event.tenant)
+        if event.kind == EVENT_REQUESTS and summary is not None:
+            counts = event.attrs
+            tick_bad = 0
+            for name in DISPOSITIONS:
+                count = int(counts.get(name, 0))
+                summary.requests[name] += count
+                if name != "ok" and name != "incorrect":
+                    tick_bad += count
+            summary._ticks_seen += 1
+            if tick_bad == 0:
+                summary._ticks_ok += 1
+            if int(counts.get("down", 0)):
+                summary.down_ticks += 1
+            if int(counts.get("shed", 0)):
+                summary.shed_ticks += 1
+        elif event.kind == EVENT_FAULT and summary is not None:
+            kind = str(event.attrs.get("kind", "?"))
+            summary.faults[kind] = summary.faults.get(kind, 0) + 1
+        elif event.kind == EVENT_RESPONSE and summary is not None:
+            action = str(event.attrs.get("action", "?"))
+            summary.responses[action] = summary.responses.get(action, 0) + 1
+            if action == "restart-rank":
+                summary.restarts += 1
+            summary.pages_retired += len(event.attrs.get("pages_retired", ()))
+        elif event.kind == EVENT_STOP:
+            ticks = event.tick
+            stop_attrs = dict(event.attrs)
+        ticks = max(ticks, event.tick)
+    return LedgerReplay(
+        tenants=tenants, ticks=ticks, config=config, stop_attrs=stop_attrs
+    )

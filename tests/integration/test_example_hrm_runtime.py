@@ -1,0 +1,67 @@
+"""Smoke test for examples/hrm_runtime.py (converted per ISSUE 6).
+
+The example is a living document of the HRM runtime; this test keeps it
+executable and asserts the qualitative story it prints: unprotected
+data corrupts silently, Par+R heals most errors from the clean copy,
+SEC-DED corrects single-bit errors in hardware.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "examples"))
+
+from hrm_runtime import (  # noqa: E402
+    FLIPS_PER_TIER,
+    WORDS,
+    figure9_demo,
+    tier_demo,
+)
+
+
+class TestTierDemo:
+    def test_runs_and_reports_all_tiers(self):
+        stats = tier_demo()
+        assert set(stats) == {"NoECC", "Par+R", "SEC-DED"}
+
+    def test_protection_story_holds(self):
+        stats = tier_demo()
+        noecc, parr, secded = (
+            stats["NoECC"], stats["Par+R"], stats["SEC-DED"]
+        )
+        # Unprotected: silent corruption only — nothing corrected,
+        # nothing recovered, no machine checks.
+        assert noecc["wrong"] > 0
+        assert noecc["corrected"] == noecc["recovered"] == 0
+        assert noecc["machine_checks"] == 0
+        # Par+R: detects and heals from the clean copy in software.
+        assert parr["recovered"] > 0
+        assert parr["wrong"] < noecc["wrong"]
+        # SEC-DED: corrects in hardware; double-bit words trap.
+        assert secded["corrected"] > 0
+        assert secded["wrong"] < parr["wrong"]
+        # Capacity overheads are the codecs' (NoECC < Par+R < SEC-DED).
+        assert noecc["overhead"] == 0.0
+        assert 0.0 < parr["overhead"] < secded["overhead"]
+
+    def test_deterministic_for_a_seed(self):
+        assert tier_demo(seed=7) == tier_demo(seed=7)
+
+    def test_accounting_covers_every_word(self):
+        stats = tier_demo()
+        for row in stats.values():
+            assert 0 <= row["wrong"] + row["machine_checks"] <= WORDS
+            assert row["corrected"] <= FLIPS_PER_TIER
+
+
+class TestFigure9Demo:
+    def test_channel_placement(self):
+        memory = figure9_demo()
+        summary = memory.placement_summary()
+        assert set(summary) == {0, 1, 2}
+        assert summary[0]["technique"] == "SEC-DED"
+        assert summary[1]["technique"] == "None"
+        assert summary[2]["technique"] == "None"
+        for info in summary.values():
+            assert 0 < info["used_bytes"] <= info["capacity_bytes"]

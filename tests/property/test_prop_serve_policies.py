@@ -1,0 +1,289 @@
+"""Property tests for the Table 2 serving policies (ISSUE 6).
+
+A hypothesis state machine drives random fault arrivals through each
+policy on a small synthetic tenant and checks the mechanics against a
+scalar oracle:
+
+* resident-fault bookkeeping matches an independently maintained set;
+* ``retire-page`` is idempotent — retiring an already-clean page clears
+  nothing and leaves contents untouched;
+* ``recover-from-disk`` restores golden contents *exactly* (byte
+  comparison against the build-time image);
+* availability accounting: ledger replay equals a hand-rolled scalar
+  fold over the same request counts.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.apps.base import Workload
+from repro.memory import AddressSpace, standard_layout
+from repro.memory.faults import FaultKind
+from repro.memory.regions import PAGE_SIZE
+from repro.serve import (
+    DISPOSITIONS,
+    ConsumePolicy,
+    FaultEvent,
+    LedgerEvent,
+    RecoverFromDiskPolicy,
+    RestartRankPolicy,
+    RetirePagePolicy,
+    ServeTenant,
+    replay_ledger,
+)
+from repro.utils.timescale import TimeScale
+
+PRIVATE_SIZE = 2 * PAGE_SIZE
+HEAP_SIZE = 2 * PAGE_SIZE
+STACK_SIZE = PAGE_SIZE
+WORDS = 512
+
+
+class MiniWorkload(Workload):
+    """Tiny deterministic workload: u32 table reads over three regions."""
+
+    name = "Mini"
+
+    def build(self) -> None:
+        layout = standard_layout(
+            private_size=PRIVATE_SIZE,
+            heap_size=HEAP_SIZE,
+            stack_size=STACK_SIZE,
+        )
+        self._space = AddressSpace(layout)
+        private = self._space.region_named("private")
+        heap = self._space.region_named("heap")
+        for index in range(WORDS):
+            value = (index * 2654435761) & 0xFFFFFFFF
+            self._space.write_u32(heap.base + 4 * index, value)
+        pattern = bytes((7 * i + 3) & 0xFF for i in range(private.size))
+        self._space.write(private.base, pattern)
+
+    @property
+    def query_count(self) -> int:
+        return WORDS
+
+    def execute(self, query_index: int):
+        heap = self._space.region_named("heap")
+        private = self._space.region_named("private")
+        word = self._space.read_u32(heap.base + 4 * (query_index % WORDS))
+        salt = self._space.read_u8(private.base + (query_index % PRIVATE_SIZE))
+        return (word + salt) & 0xFFFFFFFF
+
+    @property
+    def time_scale(self) -> TimeScale:
+        return TimeScale(units_per_minute=1000.0)
+
+
+def build_tenant() -> ServeTenant:
+    tenant = ServeTenant("mini", MiniWorkload(), requests_per_tick=4)
+    tenant.build()
+    return tenant
+
+
+def fault_at(tenant: ServeTenant, region_name: str, offset: int, bit: int,
+             kind: FaultKind = FaultKind.HARD) -> FaultEvent:
+    region = tenant.space.region_named(region_name)
+    return FaultEvent(
+        addr=region.base + (offset % region.size),
+        bit=bit,
+        kind=kind,
+        mode="single_bit",
+        channel=0,
+        technique="Parity",
+        region=region_name,
+        detected=True,
+    )
+
+
+class ServePolicyMachine(RuleBasedStateMachine):
+    """Random fault arrivals + policy responses vs. a scalar oracle."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tenant = build_tenant()
+        space = self.tenant.space
+        self.golden = {
+            name: bytes(space.peek(space.region_named(name).base,
+                                   space.region_named(name).size))
+            for name in ("private", "heap")
+        }
+        # Scalar oracle: resident hard-fault addresses.
+        self.oracle_resident = set()
+        # Scalar oracle: request accounting.
+        self.oracle = {name: 0 for name in DISPOSITIONS}
+
+    # ------------------------------------------------------------------
+    @rule(
+        region=st.sampled_from(["private", "heap"]),
+        offset=st.integers(min_value=0, max_value=4 * PAGE_SIZE - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def inject_hard(self, region, offset, bit):
+        fault = fault_at(self.tenant, region, offset, bit)
+        self.tenant.apply_fault(fault.addr, fault.bit, FaultKind.HARD)
+        self.oracle_resident.add(fault.addr)
+
+    @rule(
+        region=st.sampled_from(["private", "heap"]),
+        offset=st.integers(min_value=0, max_value=4 * PAGE_SIZE - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def consume(self, region, offset, bit):
+        fault = fault_at(self.tenant, region, offset, bit)
+        result = ConsumePolicy().respond(self.tenant, fault)
+        assert result.action == "consume"
+        assert result.faults_cleared == 0
+
+    @rule(
+        region=st.sampled_from(["private", "heap"]),
+        offset=st.integers(min_value=0, max_value=4 * PAGE_SIZE - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def retire(self, region, offset, bit):
+        fault = fault_at(self.tenant, region, offset, bit)
+        page_base = (fault.addr // PAGE_SIZE) * PAGE_SIZE
+        expected = {
+            addr for addr in self.oracle_resident
+            if page_base <= addr < page_base + PAGE_SIZE
+        }
+        result = RetirePagePolicy().respond(self.tenant, fault)
+        assert result.action == "retire-page"
+        assert result.faults_cleared == len(expected)
+        self.oracle_resident -= expected
+        # Idempotence: an immediate second retirement of the same page
+        # clears nothing further.
+        again = RetirePagePolicy().respond(self.tenant, fault)
+        assert again.action == "retire-page"
+        assert again.faults_cleared == 0
+
+    @rule(
+        region=st.sampled_from(["private", "heap"]),
+        offset=st.integers(min_value=0, max_value=4 * PAGE_SIZE - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def recover(self, region, offset, bit):
+        fault = fault_at(self.tenant, region, offset, bit)
+        result = RecoverFromDiskPolicy().respond(self.tenant, fault)
+        assert result.action == "recover-from-disk"
+        assert result.pages_recovered == 1
+        # The recovered page must equal the golden image byte-for-byte.
+        space = self.tenant.space
+        reg = space.region_named(region)
+        page_offset = ((fault.addr - reg.base) // PAGE_SIZE) * PAGE_SIZE
+        recovered = space.peek(reg.base + page_offset, PAGE_SIZE)
+        assert recovered == self.golden[region][page_offset:page_offset + PAGE_SIZE]
+        self.oracle_resident -= {
+            addr for addr in self.oracle_resident
+            if reg.base + page_offset <= addr < reg.base + page_offset + PAGE_SIZE
+        }
+
+    @rule(
+        offset=st.integers(min_value=0, max_value=STACK_SIZE - 1),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    def recover_unbacked_escalates(self, offset, bit):
+        fault = fault_at(self.tenant, "stack", offset, bit)
+        result = RecoverFromDiskPolicy().respond(self.tenant, fault)
+        assert result.escalated_from == "recover-from-disk"
+        assert result.action == "retire-page"
+
+    @rule(downtime=st.integers(min_value=1, max_value=5))
+    def restart(self, downtime):
+        cleared = RestartRankPolicy(downtime).respond(
+            self.tenant, fault_at(self.tenant, "heap", 0, 0)
+        )
+        assert cleared.action == "restart-rank"
+        assert cleared.faults_cleared == len(self.oracle_resident)
+        assert cleared.downtime_ticks == downtime
+        self.oracle_resident.clear()
+        # Restart restores the pristine image everywhere.
+        space = self.tenant.space
+        for name, golden in self.golden.items():
+            reg = space.region_named(name)
+            assert bytes(space.peek(reg.base, reg.size)) == golden
+
+    @rule(count=st.integers(min_value=1, max_value=8))
+    def serve(self, count):
+        counts = self.tenant.serve_requests(count)
+        assert sum(counts.values()) == count
+        for name, value in counts.items():
+            self.oracle[name] += value
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def resident_bookkeeping_matches(self):
+        assert self.tenant.resident_fault_count == len(self.oracle_resident)
+
+    @invariant()
+    def oracle_never_sees_shed_or_down(self):
+        # serve_requests never sheds or takes downtime by itself — those
+        # dispositions are the multiplexer's, driven by ledger state.
+        assert self.oracle["shed"] == 0
+        assert self.oracle["down"] == 0
+
+
+ServePolicyMachine.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=30, deadline=None
+)
+TestServePolicyMachine = ServePolicyMachine.TestCase
+
+
+counts_strategy = st.fixed_dictionaries(
+    {name: st.integers(min_value=0, max_value=20) for name in DISPOSITIONS}
+)
+
+
+class TestAvailabilityAccounting:
+    @given(
+        ticks=st.lists(
+            st.tuples(counts_strategy, counts_strategy), min_size=1, max_size=25
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_replay_matches_scalar_oracle(self, ticks):
+        """replay_ledger == a dead-simple fold over the same counts."""
+        tenants = ("alpha", "beta")
+        events = [
+            LedgerEvent(
+                seq=0, tick=-1, kind="serve_start", tenant="",
+                attrs={"tenants": list(tenants)},
+            )
+        ]
+        for tick, per_tenant in enumerate(ticks):
+            for tenant, counts in zip(tenants, per_tenant):
+                events.append(
+                    LedgerEvent(
+                        seq=len(events), tick=tick, kind="requests",
+                        tenant=tenant, attrs=dict(counts),
+                    )
+                )
+        events.append(
+            LedgerEvent(
+                seq=len(events), tick=len(ticks), kind="serve_stop",
+                tenant="", attrs={},
+            )
+        )
+        replay = replay_ledger(events)
+        for position, tenant in enumerate(tenants):
+            oracle = {name: 0 for name in DISPOSITIONS}
+            for per_tenant in ticks:
+                for name, value in per_tenant[position].items():
+                    oracle[name] += value
+            summary = replay.tenants[tenant]
+            assert summary.requests == oracle
+            offered = sum(oracle.values())
+            assert summary.offered == offered
+            expected = oracle["ok"] / offered if offered else 1.0
+            assert summary.availability == expected
+
+    @given(counts=counts_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_event_json_round_trip(self, counts):
+        event = LedgerEvent(
+            seq=3, tick=7, kind="requests", tenant="alpha", attrs=dict(counts)
+        )
+        assert LedgerEvent.from_dict(json.loads(event.to_json())) == event
