@@ -1,74 +1,243 @@
-"""Observability overhead: traced vs untraced campaign wall time.
+#!/usr/bin/env python
+"""Telemetry-plane overhead → ``BENCH_obs.json``.
 
-Runs the same fixed trial budget three ways — untraced (NULL_OBSERVER),
-traced into an in-memory buffer, and traced into a JSONL file with the
-full metrics registry attached — and reports the relative overhead. The
-zero-cost-when-disabled claim is enforced in
-tests/integration/test_obs_campaign.py (byte-identical profiles); this
-bench records the *cost when enabled*, which should stay in the low
-single-digit percent range for simulation-bound campaigns.
+Measures what the live telemetry plane costs when it is on, and proves
+it costs nothing it shouldn't when it is off:
+
+* **serve overhead** — the same seeded serve session run bare (no
+  registry, no server) and fully instrumented (metrics registry,
+  per-request latency histograms, SLO engine, hosted HTTP server with a
+  concurrent scraper hitting ``/metrics`` + ``/status`` every 10 ms).
+  The two ledgers must be byte-identical — telemetry is read-only over
+  session state — and the wall-time overhead is recorded;
+* **/metrics render latency** — time to serialize the populated
+  registry to Prometheus text, and a parse sanity check on the output;
+* **SLO engine cost per tick** — microseconds per ``observe()`` call
+  over a synthetic multi-tenant feed, the marginal cost every serve
+  tick pays.
+
+The ``--smoke`` gates are deliberately lenient (they catch pathological
+slowdowns, not hardware variance); the byte-identical ledger check is a
+hard failure in both modes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --smoke
 """
 
-from __future__ import annotations
-
+import argparse
+import asyncio
 import json
+import statistics
+import sys
 import tempfile
 import time
+import urllib.request
 from pathlib import Path
 
-from _helpers import make_websearch
-from repro.core.campaign import CampaignConfig, CharacterizationCampaign
-from repro.injection import SINGLE_BIT_HARD, SINGLE_BIT_SOFT
-from repro.obs import EventBuffer, JsonlSink, MetricsRegistry, Observer
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
-CONFIG = CampaignConfig(trials_per_cell=20, queries_per_trial=80, seed=41)
-SPECS = (SINGLE_BIT_SOFT, SINGLE_BIT_HARD)
+from repro.obs import (  # noqa: E402
+    MetricsRegistry,
+    ObservabilityServer,
+    SloEngine,
+    assert_scrape_parses,
+)
+from repro.serve import ServeConfig, serve_session  # noqa: E402
+
+SMOKE_GATE_RENDER_MS = 50.0
+SMOKE_GATE_SLO_US_PER_TICK = 1000.0
+
+FULL = dict(duration_ticks=200, error_rate=1.0, seed=20140622)
+SMOKE = dict(duration_ticks=60, error_rate=1.0, seed=20140622)
+SCALE = 0.3
+
+RENDER_REPS = {"full": 200, "smoke": 50}
+SLO_TICKS = {"full": 5000, "smoke": 1000}
 
 
-def _run(observer=None):
-    kwargs = {"observer": observer} if observer is not None else {}
-    campaign = CharacterizationCampaign(make_websearch(), config=CONFIG, **kwargs)
-    campaign.prepare()
+def run_bare(config: ServeConfig, ledger: Path) -> float:
     start = time.perf_counter()
-    profile = campaign.run(specs=SPECS)
+    asyncio.run(serve_session(config, ledger_path=ledger, scale=SCALE))
+    return time.perf_counter() - start
+
+
+def run_instrumented(config: ServeConfig, ledger: Path):
+    """Serve with the full plane on, scraped concurrently over HTTP."""
+
+    async def _run():
+        registry = MetricsRegistry()
+        server = ObservabilityServer(registry, port=0)
+        await server.start()
+        stop = asyncio.Event()
+        try:
+            start = time.perf_counter()
+            session = asyncio.ensure_future(
+                serve_session(
+                    config,
+                    ledger_path=ledger,
+                    registry=registry,
+                    server=server,
+                    scale=SCALE,
+                )
+            )
+            scraper = asyncio.ensure_future(
+                asyncio.to_thread(_sync_scrapes, server.url, stop)
+            )
+            await session
+            elapsed = time.perf_counter() - start
+            stop.set()
+            scrapes = await scraper
+            return elapsed, registry, scrapes
+        finally:
+            await server.stop()
+
+    return asyncio.run(_run())
+
+
+def _sync_scrapes(base_url: str, stop) -> int:
+    """Blocking scrape loop run in a worker thread (a real client)."""
+    scrapes = 0
+    while not stop.is_set():
+        for path in ("/metrics", "/status"):
+            with urllib.request.urlopen(base_url + path, timeout=5) as resp:
+                resp.read()
+        scrapes += 1
+        time.sleep(0.01)
+    return scrapes
+
+
+def bench_render(registry: MetricsRegistry, reps: int):
+    text = registry.render_prometheus()
+    samples = assert_scrape_parses(text)
+    timings = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        registry.render_prometheus()
+        timings.append(time.perf_counter() - start)
+    return {
+        "samples": samples,
+        "bytes": len(text.encode("utf-8")),
+        "reps": reps,
+        "p50_ms": round(statistics.median(timings) * 1e3, 4),
+        "max_ms": round(max(timings) * 1e3, 4),
+    }
+
+
+def bench_slo(ticks: int, tenants: int = 3):
+    engine = SloEngine()
+    names = [f"tenant{i}" for i in range(tenants)]
+    # Alternating good/bad stretches so alerts fire and resolve.
+    start = time.perf_counter()
+    for tick in range(ticks):
+        bad = (tick // 8) % 2 == 1
+        counts = {"failed": 10} if bad else {"ok": 10}
+        for name in names:
+            engine.observe(name, tick, counts)
     elapsed = time.perf_counter() - start
-    return profile, elapsed
+    return {
+        "ticks": ticks,
+        "tenants": tenants,
+        "transitions": len(engine.transitions),
+        "us_per_tick": round(elapsed / ticks * 1e6, 3),
+    }
 
 
-def test_obs_overhead(report):
-    _run()  # warm-up: first run pays one-time import/build costs
-    baseline_profile, baseline_seconds = _run()
-    baseline_json = json.dumps(baseline_profile.to_dict())
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short session with lenient CI gates",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_obs.json",
+        help="report path (default: BENCH_obs.json at the repo root)",
+    )
+    arguments = parser.parse_args()
 
-    buffer = EventBuffer()
-    buffered_profile, buffered_seconds = _run(Observer(sinks=[buffer]))
+    mode = "smoke" if arguments.smoke else "full"
+    config = ServeConfig(**(SMOKE if arguments.smoke else FULL))
+    print(
+        f"obs bench ({mode}): {config.duration_ticks} ticks @ "
+        f"error rate {config.error_rate}/tick, seed {config.seed}"
+    )
 
     with tempfile.TemporaryDirectory() as tmp:
-        trace_path = Path(tmp) / "trace.jsonl"
-        observer = Observer(
-            sinks=[JsonlSink(trace_path)], metrics=MetricsRegistry()
+        bare_ledger = Path(tmp) / "bare.jsonl"
+        instrumented_ledger = Path(tmp) / "instrumented.jsonl"
+        run_bare(config, bare_ledger)  # warm-up pays one-time build costs
+        bare_seconds = run_bare(config, bare_ledger)
+        instrumented_seconds, registry, scrapes = run_instrumented(
+            config, instrumented_ledger
         )
-        full_profile, full_seconds = _run(observer)
-        observer.close()
-        trace_bytes = trace_path.stat().st_size
+        ledgers_identical = (
+            bare_ledger.read_bytes() == instrumented_ledger.read_bytes()
+        )
 
-    # Tracing must never change results, whatever it costs.
-    assert json.dumps(buffered_profile.to_dict()) == baseline_json
-    assert json.dumps(full_profile.to_dict()) == baseline_json
+    overhead_pct = (instrumented_seconds / bare_seconds - 1.0) * 100.0
+    render = bench_render(registry, RENDER_REPS[mode])
+    slo = bench_slo(SLO_TICKS[mode])
 
-    lines = [
-        "Observability overhead — WebSearch, "
-        f"{CONFIG.trials_per_cell} trials/cell, serial",
-        f"{'mode':<24} {'seconds':>9} {'overhead':>9}",
-    ]
-    for mode, seconds in (
-        ("untraced", baseline_seconds),
-        ("buffer sink", buffered_seconds),
-        ("jsonl + metrics", full_seconds),
-    ):
-        overhead = (seconds / baseline_seconds - 1.0) * 100.0
-        lines.append(f"{mode:<24} {seconds:>9.2f} {overhead:>8.1f}%")
-    lines.append(
-        f"trace: {len(buffer.events)} events, {trace_bytes / 1024:.1f} KiB on disk"
+    report = {
+        "mode": mode,
+        "config": {
+            "duration_ticks": config.duration_ticks,
+            "error_rate": config.error_rate,
+            "seed": config.seed,
+            "scale": SCALE,
+        },
+        "serve_overhead": {
+            "bare_seconds": round(bare_seconds, 4),
+            "instrumented_seconds": round(instrumented_seconds, 4),
+            "overhead_pct": round(overhead_pct, 2),
+            "concurrent_scrapes": scrapes,
+            "ledgers_byte_identical": ledgers_identical,
+        },
+        "metrics_render": render,
+        "slo_engine": slo,
+    }
+    arguments.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"  serve: bare {bare_seconds:.2f}s, instrumented "
+        f"{instrumented_seconds:.2f}s ({overhead_pct:+.1f}%) "
+        f"under {scrapes} concurrent scrapes"
     )
-    report("obs_overhead", "\n".join(lines))
+    print(
+        f"  /metrics render: {render['samples']} samples, "
+        f"{render['bytes']} B, p50 {render['p50_ms']} ms"
+    )
+    print(
+        f"  slo engine: {slo['us_per_tick']} us/tick "
+        f"({slo['tenants']} tenants, {slo['transitions']} transitions)"
+    )
+    print(f"  ledgers byte_identical={ledgers_identical}")
+    print(f"  report -> {arguments.out}")
+
+    if not ledgers_identical:
+        print(
+            "FAIL: telemetry perturbed the seeded ledger", file=sys.stderr
+        )
+        return 1
+    if arguments.smoke:
+        if render["p50_ms"] > SMOKE_GATE_RENDER_MS:
+            print(
+                f"FAIL: /metrics render p50 {render['p50_ms']} ms above "
+                f"the {SMOKE_GATE_RENDER_MS} ms smoke gate",
+                file=sys.stderr,
+            )
+            return 1
+        if slo["us_per_tick"] > SMOKE_GATE_SLO_US_PER_TICK:
+            print(
+                f"FAIL: slo engine {slo['us_per_tick']} us/tick above "
+                f"the {SMOKE_GATE_SLO_US_PER_TICK} us/tick smoke gate",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

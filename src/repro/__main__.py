@@ -14,7 +14,10 @@ Thin orchestration over the library for the common reproduction tasks:
   and optionally Monte Carlo-validate the winner;
 * ``recoverability`` — print the Table 5 analysis for a workload;
 * ``ecc`` — regenerate Table 1 from the codec implementations;
-* ``report`` — render a saved ``--trace-out`` JSONL trace.
+* ``report`` — render a saved ``--trace-out`` JSONL trace or a serve
+  ledger (auto-detected by the first event's kind);
+* ``top`` — refreshing terminal dashboard over a live ``repro serve
+  --http-port`` endpoint or a finished ledger file.
 
 Global ``--log-level`` (before the subcommand) configures the
 package-level ``repro`` logger; the library itself only installs a
@@ -24,6 +27,7 @@ package-level ``repro`` logger; the library itself only installs a
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
 import functools
 import json
@@ -48,12 +52,17 @@ from repro.obs import (
     JsonlSink,
     MetricsRegistry,
     Observer,
+    ObservabilityServer,
+    SloConfig,
     load_events,
+    parse_burn_windows,
     render_run_summary,
+    render_serve_report,
     render_trace_report,
     summarize_trace,
 )
 from repro.serve import POLICY_NAMES, ServeConfig, run_serve
+from repro.serve.multiplexer import serve_session
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
 
@@ -310,6 +319,31 @@ def _build_parser() -> argparse.ArgumentParser:
         "--prom-out", type=_out_path, default=None, metavar="PATH",
         help="write the metrics registry as Prometheus text exposition",
     )
+    serve.add_argument(
+        "--http-port", type=int, default=None, metavar="PORT",
+        help="host the live telemetry plane on this port (0 = ephemeral): "
+        "/metrics, /healthz, /readyz, /status, /slo, /ledger/tail",
+    )
+    serve.add_argument(
+        "--http-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for --http-port (default 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--http-linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the telemetry endpoints up this long after the session "
+        "finishes (POST /quitz ends the linger early)",
+    )
+    serve.add_argument(
+        "--slo-target", type=float, default=None, metavar="FRACTION",
+        help="per-tenant availability SLO target in (0, 1) "
+        "(default 0.99); burn rates are computed against 1 - target",
+    )
+    serve.add_argument(
+        "--burn-windows", type=parse_burn_windows, default=None,
+        metavar="SPEC",
+        help="burn-rate alert rules as name:short:long:threshold "
+        "comma-separated (default 'fast:2:8:6,slow:8:32:2')",
+    )
 
     recover = sub.add_parser(
         "recoverability", help="Table 5 recoverability analysis"
@@ -326,12 +360,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     report = sub.add_parser(
-        "report", help="render a saved --trace-out JSONL trace"
+        "report",
+        help="render a saved JSONL trace or serve ledger (auto-detected)",
     )
-    report.add_argument("trace", type=_in_path, help="path to a JSONL trace")
+    report.add_argument(
+        "trace", type=_in_path,
+        help="path to a JSONL trace or serve ledger",
+    )
     report.add_argument(
         "--json", action="store_true",
-        help="emit the trace summary as JSON instead of a table",
+        help="emit the summary as JSON instead of a table",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="terminal dashboard over a live serve endpoint or a ledger",
+    )
+    top.add_argument(
+        "target",
+        help="base URL of a 'repro serve --http-port' session "
+        "(e.g. http://127.0.0.1:9100) or a ledger JSONL path",
+    )
+    top.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between frames when tailing a live endpoint",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="render at most N frames, then exit",
+    )
+    top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="do not clear the screen between frames",
     )
     return parser
 
@@ -550,6 +613,54 @@ def _cmd_explore(arguments) -> int:
     return 0
 
 
+def _serve_slo_config(arguments) -> Optional["SloConfig"]:
+    """Build the SLO config from --slo-target / --burn-windows."""
+    if arguments.slo_target is None and arguments.burn_windows is None:
+        return None
+    kwargs = {}
+    if arguments.slo_target is not None:
+        kwargs["target"] = arguments.slo_target
+    if arguments.burn_windows is not None:
+        kwargs["windows"] = arguments.burn_windows
+    return SloConfig(**kwargs)
+
+
+async def _serve_with_http(arguments, config, observer, slo_config):
+    """Run a serve session hosting the live telemetry plane.
+
+    The server outlives the session by ``--http-linger`` seconds so
+    scrapers can collect the final state; ``POST /quitz`` ends the
+    linger early (CI uses it to get a clean, artifact-complete exit).
+    """
+    server = ObservabilityServer(
+        observer.metrics if observer.metrics is not None else MetricsRegistry(),
+        host=arguments.http_host,
+        port=arguments.http_port,
+    )
+    await server.start()
+    print(f"telemetry: {server.url}", file=sys.stderr)
+    try:
+        result = await serve_session(
+            config,
+            ledger_path=arguments.ledger_out,
+            observer=observer,
+            registry=server.registry,
+            scale=arguments.scale,
+            slo_config=slo_config,
+            server=server,
+        )
+        if arguments.http_linger > 0:
+            try:
+                await asyncio.wait_for(
+                    server.quit_event.wait(), timeout=arguments.http_linger
+                )
+            except asyncio.TimeoutError:
+                pass
+    finally:
+        await server.stop()
+    return result
+
+
 def _cmd_serve(arguments) -> int:
     observer = _build_observer(arguments)
     config = ServeConfig(
@@ -558,6 +669,7 @@ def _cmd_serve(arguments) -> int:
         policy=arguments.policy,
         seed=arguments.seed,
     )
+    slo_config = _serve_slo_config(arguments)
     print(
         f"serving {arguments.duration} ticks at error rate "
         f"{arguments.error_rate:g}/tick "
@@ -565,13 +677,19 @@ def _cmd_serve(arguments) -> int:
         file=sys.stderr,
     )
     try:
-        result = run_serve(
-            config,
-            ledger_path=arguments.ledger_out,
-            observer=observer,
-            registry=observer.metrics,
-            scale=arguments.scale,
-        )
+        if arguments.http_port is not None:
+            result = asyncio.run(
+                _serve_with_http(arguments, config, observer, slo_config)
+            )
+        else:
+            result = run_serve(
+                config,
+                ledger_path=arguments.ledger_out,
+                observer=observer,
+                registry=observer.metrics,
+                scale=arguments.scale,
+                slo_config=slo_config,
+            )
     finally:
         observer.close()
     if arguments.metrics_out is not None:
@@ -628,7 +746,31 @@ def _cmd_recoverability(arguments) -> int:
     return 0
 
 
+def _is_serve_ledger(path: Path) -> bool:
+    """Detect a serve ledger by its first event's kind."""
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                first = json.loads(line)
+            except ValueError:
+                return False
+            return isinstance(first, dict) and first.get("kind") == "serve_start"
+    return False
+
+
 def _cmd_report(arguments) -> int:
+    if _is_serve_ledger(arguments.trace):
+        from repro.serve import load_ledger, replay_ledger
+
+        replay = replay_ledger(load_ledger(arguments.trace))
+        if arguments.json:
+            print(json.dumps(replay.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print(render_serve_report(replay))
+        return 0
     events = load_events(arguments.trace)
     summary = summarize_trace(events)
     if arguments.json:
@@ -636,6 +778,18 @@ def _cmd_report(arguments) -> int:
         return 0
     print(render_trace_report(summary))
     return 0
+
+
+def _cmd_top(arguments) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        arguments.target,
+        refresh=arguments.refresh,
+        frames=arguments.frames,
+        once=arguments.once,
+        clear=not arguments.no_clear,
+    )
 
 
 def _cmd_ecc(arguments) -> int:
@@ -681,6 +835,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "recoverability": _cmd_recoverability,
         "ecc": _cmd_ecc,
         "report": _cmd_report,
+        "top": _cmd_top,
     }
     return handlers[arguments.command](arguments)
 

@@ -66,7 +66,16 @@ from repro.injection.injector import (
     ErrorSpec,
 )
 from repro.kernels.registry import available_kernels, get_kernel
+from repro.obs.live import BackgroundTelemetryServer, ObservabilityServer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    BurnWindow,
+    SloConfig,
+    SloEngine,
+    audit_slo,
+    parse_burn_windows,
+    slo_from_ledger,
+)
 from repro.obs.trace import NULL_OBSERVER, Observer
 from repro.serve import (
     POLICY_NAMES,
@@ -77,6 +86,7 @@ from repro.serve import (
     load_ledger,
     replay_ledger,
     run_serve,
+    serve_session,
 )
 
 __all__ = [
@@ -132,6 +142,16 @@ __all__ = [
     "load_ledger",
     "replay_ledger",
     "run_serve",
+    "serve_session",
+    # live telemetry plane
+    "BackgroundTelemetryServer",
+    "ObservabilityServer",
+    "BurnWindow",
+    "SloConfig",
+    "SloEngine",
+    "audit_slo",
+    "parse_burn_windows",
+    "slo_from_ledger",
     # workloads + telemetry
     "Workload",
     "WebSearch",

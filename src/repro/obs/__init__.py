@@ -15,6 +15,12 @@ reproduction:
 * **sinks/exporters**: a JSONL structured event log, a
   Prometheus-style text exposition, and human-readable summaries
   (:mod:`repro.obs.sinks`, :mod:`repro.obs.report`);
+* the **live telemetry plane**: an embedded HTTP server exposing
+  ``/metrics``, ``/status``, ``/slo``, and ``/ledger/tail``
+  (:mod:`repro.obs.live`), the deterministic multi-window SLO
+  burn-rate engine feeding it (:mod:`repro.obs.slo`), and a minimal
+  exposition-format parser for scrape sanity checks
+  (:mod:`repro.obs.promtext`);
 * the **progress hook** layer (:mod:`repro.obs.progress`), still
   re-exported from :mod:`repro.exec` for backward compatibility.
 
@@ -41,16 +47,25 @@ from repro.obs.events import (
     TraceEvent,
 )
 from repro.obs.instruments import (
+    SERVE_LATENCY_BUCKETS,
     CampaignInstruments,
     ExplorationInstruments,
     ServeInstruments,
 )
+from repro.obs.live import BackgroundTelemetryServer, ObservabilityServer
 from repro.obs.metrics import (
     INJECTION_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.promtext import (
+    PromParseError,
+    PromSample,
+    assert_scrape_parses,
+    parse_prometheus,
+    sample_value,
 )
 from repro.obs.progress import (
     CampaignMetrics,
@@ -62,10 +77,22 @@ from repro.obs.progress import (
 from repro.obs.report import (
     TraceSummary,
     render_run_summary,
+    render_serve_report,
     render_trace_report,
     summarize_trace,
 )
 from repro.obs.sinks import EventBuffer, JsonlSink, load_events
+from repro.obs.slo import (
+    DEFAULT_BURN_WINDOWS,
+    DEFAULT_SLO_TARGET,
+    BurnWindow,
+    SloConfig,
+    SloEngine,
+    SloReplay,
+    audit_slo,
+    parse_burn_windows,
+    slo_from_ledger,
+)
 from repro.obs.trace import NULL_OBSERVER, Observer, Span
 
 __all__ = [
@@ -85,12 +112,29 @@ __all__ = [
     "TraceEvent",
     "CampaignInstruments",
     "ExplorationInstruments",
+    "SERVE_LATENCY_BUCKETS",
     "ServeInstruments",
+    "BackgroundTelemetryServer",
+    "ObservabilityServer",
     "INJECTION_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PromParseError",
+    "PromSample",
+    "assert_scrape_parses",
+    "parse_prometheus",
+    "sample_value",
+    "DEFAULT_BURN_WINDOWS",
+    "DEFAULT_SLO_TARGET",
+    "BurnWindow",
+    "SloConfig",
+    "SloEngine",
+    "SloReplay",
+    "audit_slo",
+    "parse_burn_windows",
+    "slo_from_ledger",
     "CampaignMetrics",
     "ProgressClock",
     "ProgressEvent",
@@ -98,6 +142,7 @@ __all__ = [
     "emit_progress",
     "TraceSummary",
     "render_run_summary",
+    "render_serve_report",
     "render_trace_report",
     "summarize_trace",
     "EventBuffer",

@@ -36,7 +36,20 @@ from repro.obs.metrics import (
 )
 from repro.utils.stats import safe_div
 
-__all__ = ["CampaignInstruments", "ExplorationInstruments", "ServeInstruments"]
+__all__ = [
+    "CampaignInstruments",
+    "ExplorationInstruments",
+    "SERVE_LATENCY_BUCKETS",
+    "ServeInstruments",
+]
+
+#: Fixed bucket upper bounds (seconds) for per-request serve latency.
+#: Simulated request execution runs tens of µs to tens of ms depending
+#: on the workload; a decade ladder keeps quantile interpolation sane
+#: across that range.
+SERVE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 1.0,
+)
 
 
 class ServeInstruments:
@@ -96,6 +109,12 @@ class ServeInstruments:
             "1 while admission control sheds the tenant's load",
             labels=("tenant",),
         )
+        self.request_latency = registry.histogram(
+            "serve_request_latency_seconds",
+            "Wall-clock execution latency of one served request",
+            labels=("tenant",),
+            buckets=SERVE_LATENCY_BUCKETS,
+        )
         # tenant -> (ok, offered) backing the availability gauge.
         self._counts: Dict[str, Tuple[int, int]] = {}
 
@@ -133,6 +152,23 @@ class ServeInstruments:
     def set_shedding(self, tenant: str, shedding: bool) -> None:
         """Publish a tenant's admission-control state."""
         self.shedding.labels(tenant=tenant).set(1.0 if shedding else 0.0)
+
+    def record_latency(self, tenant: str, seconds: float) -> None:
+        """Observe one request's wall-clock execution latency.
+
+        Observational only: latency is wall-clock and therefore lives in
+        the registry (a convenience view), never in the ledger — the
+        determinism invariant covers ledger bytes, not these buckets.
+        """
+        self.request_latency.labels(tenant=tenant).observe(seconds)
+
+    def latency_quantiles(self, tenant: str) -> Dict[str, float]:
+        """p50/p99 request latency for one tenant (0.0 when unobserved)."""
+        histogram = self.request_latency.labels(tenant=tenant)
+        return {
+            "p50": histogram.quantile(0.50),
+            "p99": histogram.quantile(0.99),
+        }
 
     def availability_of(self, tenant: str) -> float:
         """Current availability gauge value for one tenant."""

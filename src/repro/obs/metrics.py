@@ -96,6 +96,34 @@ class Histogram:
         """Average observed value (0 when empty)."""
         return safe_div(self.sum, self.count)
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by bucket linear interpolation.
+
+        The ``histogram_quantile`` estimator: find the bucket holding
+        the ``q``-th observation and interpolate linearly inside it
+        (the first bucket interpolates from 0; ranks landing in the
+        ``+Inf`` bucket clamp to the highest finite boundary). Returns
+        0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for index, bound in enumerate(self.buckets):
+            cumulative = self.bucket_counts[index]
+            if cumulative >= rank:
+                lower = self.buckets[index - 1] if index > 0 else 0.0
+                below = self.bucket_counts[index - 1] if index > 0 else 0
+                in_bucket = cumulative - below
+                if in_bucket == 0:
+                    return bound
+                fraction = (rank - below) / in_bucket
+                return lower + (bound - lower) * fraction
+        # Rank falls in the implicit +Inf bucket: clamp to the highest
+        # finite boundary, as histogram_quantile does.
+        return self.buckets[-1]
+
 
 @dataclass
 class InstrumentFamily:
@@ -265,10 +293,23 @@ def _fmt(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format requires escaping inside quoted label values; anything else
+    passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(names: Sequence[str], values: Sequence[str]) -> str:
     if not names:
         return ""
     body = ",".join(
-        f'{name}="{value}"' for name, value in zip(names, values)
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
     )
     return "{" + body + "}"

@@ -1,0 +1,165 @@
+"""Minimal Prometheus text-exposition parser (scrape sanity checks).
+
+Just enough of the format to validate what
+:meth:`repro.obs.metrics.MetricsRegistry.render_prometheus` (and hence
+the ``/metrics`` endpoint) emits: ``# HELP`` / ``# TYPE`` comments,
+samples with optional label sets, and the escape rules for label values
+(``\\\\``, ``\\"``, ``\\n``). Used by unit tests and the CI serve-smoke
+job to assert a live scrape parses; not a general-purpose client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "PromParseError",
+    "PromSample",
+    "assert_scrape_parses",
+    "parse_prometheus",
+    "sample_value",
+]
+
+
+class PromParseError(ValueError):
+    """A line the exposition format does not allow."""
+
+
+@dataclass
+class PromSample:
+    """One parsed sample line."""
+
+    name: str
+    labels: Dict[str, str] = field(default_factory=dict)
+    value: float = 0.0
+
+
+def parse_prometheus(text: str) -> List[PromSample]:
+    """Parse exposition text into samples, validating as it goes.
+
+    Raises:
+        PromParseError: on malformed sample lines, bad label syntax,
+            unterminated quotes, or non-numeric values — the failure CI
+            uses to catch scrape-breaking output (e.g. unescaped quotes
+            in label values).
+    """
+    samples: List[PromSample] = []
+    typed: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] == "TYPE":
+                typed[parts[2]] = parts[3] if len(parts) > 3 else ""
+            continue
+        name, labels, rest = _split_sample(line, lineno)
+        try:
+            value = float(rest)
+        except ValueError as exc:
+            raise PromParseError(
+                f"line {lineno}: non-numeric sample value {rest!r}"
+            ) from exc
+        samples.append(PromSample(name=name, labels=labels, value=value))
+    return samples
+
+
+def _split_sample(line: str, lineno: int) -> Tuple[str, Dict[str, str], str]:
+    """Split a sample line into (metric name, labels, value text)."""
+    brace = line.find("{")
+    if brace == -1:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            raise PromParseError(f"line {lineno}: no value in {line!r}")
+        _check_name(parts[0], lineno)
+        return parts[0], {}, parts[1]
+    name = line[:brace]
+    _check_name(name, lineno)
+    labels, after = _parse_labels(line, brace, lineno)
+    rest = line[after:].strip()
+    if not rest:
+        raise PromParseError(f"line {lineno}: no value after labels")
+    return name, labels, rest
+
+
+def _check_name(name: str, lineno: int) -> None:
+    if not name or not all(
+        ch.isalnum() or ch in "_:" for ch in name
+    ) or name[0].isdigit():
+        raise PromParseError(f"line {lineno}: bad metric name {name!r}")
+
+
+def _parse_labels(
+    line: str, brace: int, lineno: int
+) -> Tuple[Dict[str, str], int]:
+    """Parse a ``{name="value",...}`` block; returns (labels, end index)."""
+    labels: Dict[str, str] = {}
+    index = brace + 1
+    while True:
+        if index >= len(line):
+            raise PromParseError(f"line {lineno}: unterminated label set")
+        if line[index] == "}":
+            return labels, index + 1
+        equals = line.find("=", index)
+        if equals == -1:
+            raise PromParseError(f"line {lineno}: label without '='")
+        label_name = line[index:equals]
+        if not label_name or not all(
+            ch.isalnum() or ch == "_" for ch in label_name
+        ):
+            raise PromParseError(
+                f"line {lineno}: bad label name {label_name!r}"
+            )
+        if equals + 1 >= len(line) or line[equals + 1] != '"':
+            raise PromParseError(f"line {lineno}: label value not quoted")
+        value, index = _parse_quoted(line, equals + 1, lineno)
+        labels[label_name] = value
+        if index < len(line) and line[index] == ",":
+            index += 1
+
+
+def _parse_quoted(line: str, start: int, lineno: int) -> Tuple[str, int]:
+    """Decode one quoted label value starting at ``line[start] == '"'``."""
+    out: List[str] = []
+    index = start + 1
+    while index < len(line):
+        ch = line[index]
+        if ch == "\\":
+            if index + 1 >= len(line):
+                raise PromParseError(f"line {lineno}: dangling backslash")
+            escape = line[index + 1]
+            if escape == "n":
+                out.append("\n")
+            elif escape in ('"', "\\"):
+                out.append(escape)
+            else:
+                raise PromParseError(
+                    f"line {lineno}: bad escape \\{escape}"
+                )
+            index += 2
+        elif ch == '"':
+            return "".join(out), index + 1
+        else:
+            out.append(ch)
+            index += 1
+    raise PromParseError(f"line {lineno}: unterminated label value")
+
+
+def assert_scrape_parses(text: str) -> int:
+    """Parse or die; returns the sample count (CI convenience)."""
+    samples = parse_prometheus(text)
+    if not samples:
+        raise PromParseError("scrape produced zero samples")
+    return len(samples)
+
+
+def sample_value(
+    samples: List[PromSample], name: str, **labels: str
+) -> Optional[float]:
+    """Find one sample's value by name + exact label match (or None)."""
+    for sample in samples:
+        if sample.name == name and sample.labels == labels:
+            return sample.value
+    return None

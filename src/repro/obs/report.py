@@ -1,10 +1,14 @@
 """Render saved traces and end-of-run summaries for humans.
 
-Two consumers:
+Three consumers:
 
 * ``repro report trace.jsonl`` — loads a JSONL trace written via
   ``--trace-out`` and renders the campaign: per-cell outcome table,
   totals, worker utilization, and injection-latency summary.
+* ``repro report serve_ledger.jsonl`` — renders a replayed serve ledger
+  (per-tenant availability, responses, SLO alert history) via
+  :func:`render_serve_report`. Duck-typed over the replay object so
+  this module stays independent of :mod:`repro.serve`.
 * The ``characterize --metrics`` end-of-run summary table, built from a
   :class:`~repro.obs.progress.CampaignMetrics` aggregate.
 """
@@ -31,6 +35,7 @@ __all__ = [
     "summarize_trace",
     "render_trace_report",
     "render_run_summary",
+    "render_serve_report",
 ]
 
 #: Outcome values counted as masked (mirrors ErrorOutcome.is_masked;
@@ -164,6 +169,49 @@ def render_trace_report(summary: TraceSummary) -> str:
             lines.append(
                 f"  worker {pid}: {summary.worker_busy_seconds[pid]:.2f}s"
             )
+    return "\n".join(lines)
+
+
+def render_serve_report(replay) -> str:
+    """Human-readable report of one replayed serve ledger.
+
+    ``replay`` is duck-typed (``repro.serve.ledger.LedgerReplay``):
+    ``ticks``, ``config``, ``tenants`` (name → summary with
+    ``availability`` / ``requests`` / ``responses`` / ``slo_fraction``),
+    and ``slo_alerts``.
+    """
+    config = getattr(replay, "config", {})
+    lines = [
+        f"serve session: {replay.ticks} ticks, "
+        f"seed {config.get('seed', '?')}, "
+        f"error rate {config.get('error_rate', '?')}/tick, "
+        f"policy {config.get('policy', 'auto')}",
+        "",
+        f"{'tenant':<12} {'avail':>8} {'slo':>7} {'ok':>7} {'bad':>5} "
+        f"{'fail':>5} {'shed':>5} {'down':>5} {'responses':>10}",
+    ]
+    for name in sorted(replay.tenants):
+        summary = replay.tenants[name]
+        requests = summary.requests
+        lines.append(
+            f"{name:<12} {summary.availability:>7.2%} "
+            f"{summary.slo_fraction:>6.1%} {requests['ok']:>7} "
+            f"{requests['incorrect']:>5} {requests['failed']:>5} "
+            f"{requests['shed']:>5} {requests['down']:>5} "
+            f"{sum(summary.responses.values()):>10}"
+        )
+    alerts = getattr(replay, "slo_alerts", [])
+    lines.append("")
+    lines.append(f"slo alert transitions: {len(alerts)}")
+    for alert in alerts:
+        lines.append(
+            f"  tick {alert.get('tick'):>4}  "
+            f"{alert.get('tenant', ''):<12} "
+            f"{alert.get('rule', '?'):<6} -> {alert.get('state', '?'):<8} "
+            f"(burn short {float(alert.get('burn_short', 0.0)):.2f} / "
+            f"long {float(alert.get('burn_long', 0.0)):.2f}, "
+            f"threshold {float(alert.get('threshold', 0.0)):g})"
+        )
     return "\n".join(lines)
 
 

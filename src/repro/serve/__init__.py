@@ -16,6 +16,7 @@ event schema.
 from repro.serve.admission import AdmissionController, AdmissionDecision
 from repro.serve.ledger import (
     DISPOSITIONS,
+    EVENT_SLO,
     LEDGER_VERSION,
     LedgerEvent,
     LedgerReplay,
@@ -56,6 +57,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "DISPOSITIONS",
+    "EVENT_SLO",
     "LEDGER_VERSION",
     "LedgerEvent",
     "LedgerReplay",

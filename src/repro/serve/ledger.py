@@ -30,6 +30,7 @@ __all__ = [
     "EVENT_RESPONSE",
     "EVENT_REQUESTS",
     "EVENT_ADMISSION",
+    "EVENT_SLO",
     "EVENT_STOP",
     "DISPOSITIONS",
     "LedgerEvent",
@@ -40,8 +41,9 @@ __all__ = [
     "replay_ledger",
 ]
 
-#: Schema version stamped into the ``start`` event.
-LEDGER_VERSION = 1
+#: Schema version stamped into the ``start`` event. Version 2 added the
+#: ``slo`` config echo on ``serve_start`` and the ``slo_alert`` event.
+LEDGER_VERSION = 2
 
 #: Event kinds, in the order they can appear within one tick.
 EVENT_START = "serve_start"
@@ -50,6 +52,7 @@ EVENT_POLICY = "policy"
 EVENT_RESPONSE = "response"
 EVENT_REQUESTS = "requests"
 EVENT_ADMISSION = "admission"
+EVENT_SLO = "slo_alert"
 EVENT_STOP = "serve_stop"
 
 #: Request dispositions tracked per tenant. ``ok``/``incorrect``/
@@ -245,6 +248,10 @@ class LedgerReplay:
     ticks: int
     config: Dict[str, object]
     stop_attrs: Dict[str, object]
+    #: Recorded SLO alert transitions ({"tick", "tenant", **attrs}), in
+    #: ledger order. ``repro.obs.slo.audit_slo`` checks these against an
+    #: offline recomputation from the ``requests`` events.
+    slo_alerts: List[dict] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         """JSON-serializable replay result."""
@@ -254,6 +261,7 @@ class LedgerReplay:
             "tenants": {
                 name: summary.to_dict() for name, summary in self.tenants.items()
             },
+            "slo_alerts": [dict(alert) for alert in self.slo_alerts],
         }
 
 
@@ -275,6 +283,7 @@ def replay_ledger(events: List[LedgerEvent]) -> LedgerReplay:
     }
     ticks = 0
     stop_attrs: Dict[str, object] = {}
+    slo_alerts: List[dict] = []
     for event in events[1:]:
         summary = tenants.get(event.tenant)
         if event.kind == EVENT_REQUESTS and summary is not None:
@@ -301,10 +310,18 @@ def replay_ledger(events: List[LedgerEvent]) -> LedgerReplay:
             if action == "restart-rank":
                 summary.restarts += 1
             summary.pages_retired += len(event.attrs.get("pages_retired", ()))
+        elif event.kind == EVENT_SLO:
+            slo_alerts.append(
+                {"tick": event.tick, "tenant": event.tenant, **event.attrs}
+            )
         elif event.kind == EVENT_STOP:
             ticks = event.tick
             stop_attrs = dict(event.attrs)
         ticks = max(ticks, event.tick)
     return LedgerReplay(
-        tenants=tenants, ticks=ticks, config=config, stop_attrs=stop_attrs
+        tenants=tenants,
+        ticks=ticks,
+        config=config,
+        stop_attrs=stop_attrs,
+        slo_alerts=slo_alerts,
     )

@@ -29,6 +29,7 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Awaitable, Callable, Deque, Dict, List, Optional, Tuple, Union
 
@@ -39,14 +40,19 @@ from repro.obs import (
     MetricsRegistry,
     Observer,
     ServeInstruments,
+    SloConfig,
+    SloEngine,
 )
+from repro.obs.live import ObservabilityServer
 from repro.serve.admission import AdmissionController
 from repro.serve.ledger import (
+    DISPOSITIONS,
     EVENT_ADMISSION,
     EVENT_FAULT,
     EVENT_POLICY,
     EVENT_REQUESTS,
     EVENT_RESPONSE,
+    EVENT_SLO,
     EVENT_START,
     EVENT_STOP,
     LEDGER_VERSION,
@@ -133,6 +139,8 @@ class ServeResult:
     replay: LedgerReplay
     instruments: ServeInstruments
     registry: MetricsRegistry
+    #: The live SLO engine after the session (burn rates, transitions).
+    slo: Optional[SloEngine] = None
 
     def availability(self) -> Dict[str, float]:
         """Per-tenant availability as replayed from the ledger."""
@@ -260,6 +268,64 @@ def _drain_backlog(
     return buffer
 
 
+def _build_snapshot(
+    tick: int,
+    config: ServeConfig,
+    tenants: List[ServeTenant],
+    states: Dict[str, "_TenantState"],
+    partition: ServePartition,
+    instruments: ServeInstruments,
+    slo_engine: "SloEngine",
+    req_totals: Dict[str, Dict[str, int]],
+    resp_totals: Dict[str, Dict[str, int]],
+    fault_totals: Dict[str, Dict[str, int]],
+    recent_actions: "Deque[dict]",
+    complete: bool,
+) -> dict:
+    """Build the immutable ``/status`` payload for one tick barrier.
+
+    Availability uses the same integers the ledger replay recomputes
+    (``ok / offered`` via the instruments), so a scraped ``/status``
+    agrees exactly with ``replay_ledger`` over the streamed ledger — the
+    consistency CI asserts.
+    """
+    snapshot_tenants: Dict[str, dict] = {}
+    for tenant in tenants:
+        name = tenant.name
+        state = states[name]
+        snapshot_tenants[name] = {
+            "availability": instruments.availability_of(name),
+            "requests": dict(req_totals[name]),
+            "offered": sum(req_totals[name].values()),
+            "backlog": len(state.backlog),
+            "shedding": not state.accept,
+            "down": tick < state.down_until,
+            "epochs": tenant.epochs,
+            "resident_faults": tenant.resident_fault_count,
+            "responses": dict(resp_totals[name]),
+            "faults": dict(fault_totals[name]),
+            "latency": instruments.latency_quantiles(name),
+            "availability_spark": slo_engine.availability_history(name),
+            "slo_firing": slo_engine.firing(name),
+        }
+    retirement = partition.retirement
+    return {
+        "tick": tick,
+        "duration_ticks": config.duration_ticks,
+        "complete": complete,
+        "seed": config.seed,
+        "error_rate": config.error_rate,
+        "policy": config.policy or "auto",
+        "retirement": {
+            "retired_pages": len(retirement.device.retired_pages),
+            "max_retired_pages": retirement.max_retired_pages,
+            "retired_capacity_fraction": retirement.retired_capacity_fraction,
+        },
+        "tenants": snapshot_tenants,
+        "recent_actions": list(recent_actions),
+    }
+
+
 async def _tenant_tick(
     state: _TenantState,
     tick: int,
@@ -309,8 +375,17 @@ async def serve_session(
     registry: Optional[MetricsRegistry] = None,
     stagger: Optional[StaggerHook] = None,
     scale: float = 0.5,
+    slo_config: Optional[SloConfig] = None,
+    server: Optional[ObservabilityServer] = None,
 ) -> ServeResult:
-    """Run one serve session on the current event loop."""
+    """Run one serve session on the current event loop.
+
+    ``server`` attaches a live telemetry plane: the session starts it
+    (unless the caller already did, to learn the port), publishes a
+    ``/status`` snapshot plus fresh ledger lines at every tick barrier,
+    and marks the ledger complete at stop. The server is read-only over
+    session state, so hosting it never perturbs the seeded ledger.
+    """
     if tenants is None:
         tenants = default_tenants(scale)
     for tenant in tenants:
@@ -321,6 +396,26 @@ async def serve_session(
     instruments = ServeInstruments(registry)
     states = {tenant.name: _TenantState(tenant, config) for tenant in tenants}
     rng = SeedSequenceFactory(config.seed).stream("serve/arrivals")
+
+    slo_engine = SloEngine(slo_config)
+    if server is not None:
+        if not server.started:
+            await server.start()
+        server.slo = slo_engine
+        for tenant in tenants:
+            tenant.latency_sink = partial(
+                instruments.record_latency, tenant.name
+            )
+
+    # Cumulative views backing the /status snapshot (same integers the
+    # ledger replay recomputes, folded as events are appended).
+    req_totals: Dict[str, Dict[str, int]] = {
+        t.name: {name: 0 for name in DISPOSITIONS} for t in tenants
+    }
+    resp_totals: Dict[str, Dict[str, int]] = {t.name: {} for t in tenants}
+    fault_totals: Dict[str, Dict[str, int]] = {t.name: {} for t in tenants}
+    recent_actions: Deque[dict] = deque(maxlen=12)
+    published_seq = 0
 
     writer = LedgerWriter(ledger_path)
     footprints = unmapped = retired = 0
@@ -347,6 +442,7 @@ async def serve_session(
                     t.name: t.requests_per_tick for t in tenants
                 },
                 "placement": partition.placement_summary(),
+                "slo": slo_engine.config.to_dict(),
             },
         )
         for tick in range(config.duration_ticks):
@@ -361,6 +457,9 @@ async def serve_session(
                     attrs=routed.to_attrs(),
                 )
                 instruments.record_fault(routed.tenant, routed.kind.value)
+                kind_name = routed.kind.value
+                totals = fault_totals[routed.tenant]
+                totals[kind_name] = totals.get(kind_name, 0) + 1
                 states[routed.tenant].backlog.extend(routed.detected)
             for tenant in tenants:
                 state = states[tenant.name]
@@ -384,10 +483,17 @@ async def serve_session(
                 ):
                     writer.append(tick, kind, tenant=tenant.name, attrs=attrs)
                     if kind == EVENT_RESPONSE:
+                        action = str(attrs.get("action", "?"))
                         instruments.record_response(
                             tenant.name,
-                            str(attrs.get("action", "?")),
+                            action,
                             pages_retired=len(attrs.get("pages_retired", ())),
+                        )
+                        totals = resp_totals[tenant.name]
+                        totals[action] = totals.get(action, 0) + 1
+                        recent_actions.append(
+                            {"tick": tick, "tenant": tenant.name,
+                             "action": action}
                         )
 
             # Phase 2: concurrent tenant tasks (task-local state only).
@@ -398,20 +504,57 @@ async def serve_session(
                 )
             )
 
-            # Phase 3: barrier — merge in canonical tenant order.
+            # Phase 3: barrier — merge in canonical tenant order. The
+            # SLO engine observes each tenant's request counts right
+            # after they are appended, so its alert transitions land in
+            # the ledger at exactly the position the offline replay
+            # (repro.obs.slo.slo_from_ledger) recomputes them.
             for tenant, buffer in zip(tenants, buffers):
                 for kind, attrs in buffer:
                     writer.append(tick, kind, tenant=tenant.name, attrs=attrs)
                     if kind == EVENT_REQUESTS:
                         instruments.record_requests(tenant.name, attrs)
+                        totals = req_totals[tenant.name]
+                        for name, count in attrs.items():
+                            totals[name] = totals.get(name, 0) + int(count)
+                        for alert in slo_engine.observe(
+                            tenant.name, tick, attrs
+                        ):
+                            writer.append(
+                                tick, EVENT_SLO, tenant=tenant.name,
+                                attrs=alert,
+                            )
                     elif kind == EVENT_RESPONSE:
+                        action = str(attrs.get("action", "?"))
                         instruments.record_response(
                             tenant.name,
-                            str(attrs.get("action", "?")),
+                            action,
                             pages_retired=len(attrs.get("pages_retired", ())),
+                        )
+                        totals = resp_totals[tenant.name]
+                        totals[action] = totals.get(action, 0) + 1
+                        recent_actions.append(
+                            {"tick": tick, "tenant": tenant.name,
+                             "action": action}
                         )
                 instruments.set_backlog(
                     tenant.name, len(states[tenant.name].backlog)
+                )
+
+            if server is not None:
+                new_lines = [
+                    event.to_json()
+                    for event in writer.events[published_seq:]
+                ]
+                published_seq = len(writer.events)
+                server.mark_ready()
+                await server.publish(
+                    snapshot=_build_snapshot(
+                        tick, config, tenants, states, partition,
+                        instruments, slo_engine, req_totals, resp_totals,
+                        fault_totals, recent_actions, complete=False,
+                    ),
+                    ledger_lines=new_lines,
                 )
         writer.append(
             config.duration_ticks,
@@ -432,6 +575,20 @@ async def serve_session(
                 ),
             },
         )
+        if server is not None:
+            await server.publish(
+                snapshot=_build_snapshot(
+                    config.duration_ticks, config, tenants, states,
+                    partition, instruments, slo_engine, req_totals,
+                    resp_totals, fault_totals, recent_actions,
+                    complete=True,
+                ),
+                ledger_lines=[
+                    event.to_json()
+                    for event in writer.events[published_seq:]
+                ],
+            )
+            await server.mark_complete()
     replay = replay_ledger(writer.events)
     return ServeResult(
         config=config,
@@ -440,6 +597,7 @@ async def serve_session(
         replay=replay,
         instruments=instruments,
         registry=registry,
+        slo=slo_engine,
     )
 
 
@@ -451,6 +609,7 @@ def run_serve(
     registry: Optional[MetricsRegistry] = None,
     stagger: Optional[StaggerHook] = None,
     scale: float = 0.5,
+    slo_config: Optional[SloConfig] = None,
 ) -> ServeResult:
     """Run one serve session to completion on a fresh event loop."""
     return asyncio.run(
@@ -462,5 +621,6 @@ def run_serve(
             registry=registry,
             stagger=stagger,
             scale=scale,
+            slo_config=slo_config,
         )
     )

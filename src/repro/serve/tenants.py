@@ -23,6 +23,7 @@ regardless of asyncio interleaving.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.apps.base import Workload, WorkloadError
@@ -68,6 +69,10 @@ class ServeTenant:
         self.pending_downtime = 0
         #: Epochs completed (trace wraps).
         self.epochs = 0
+        #: Optional wall-clock sink called with each request's execution
+        #: latency in seconds. Observational telemetry only — latency
+        #: never reaches the ledger, so the determinism invariant holds.
+        self.latency_sink: Optional[Callable[[float], None]] = None
 
         self._cursor = 0
         self._golden: List[object] = []
@@ -256,15 +261,22 @@ class ServeTenant:
             if self._cursor >= self.workload.query_count:
                 self._epoch_reset()
             index = self._cursor
+            started = time.perf_counter() if self.latency_sink else 0.0
             try:
                 response = self.workload.execute(index)
             except FATAL_ERRORS:
+                if self.latency_sink is not None:
+                    self.latency_sink(time.perf_counter() - started)
                 counts["failed"] += count - attempt
                 self.needs_restart = True
                 return counts
             except WorkloadError:
+                if self.latency_sink is not None:
+                    self.latency_sink(time.perf_counter() - started)
                 counts["failed"] += 1
             else:
+                if self.latency_sink is not None:
+                    self.latency_sink(time.perf_counter() - started)
                 if response == self._golden[index]:
                     counts["ok"] += 1
                 else:

@@ -211,3 +211,87 @@ class TestCampaignMetricsDict:
         assert safe_div(1.0, 0.0) == 0.0
         assert safe_div(1.0, 0.0, default=1.0) == 1.0
         assert safe_div(3.0, 2.0) == 1.5
+
+
+class TestLabelEscaping:
+    """Regression: label values must follow the exposition escape rules."""
+
+    def _render_with_tenant(self, tenant):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("tenant_gauge", "g", labels=("tenant",))
+        gauge.labels(tenant=tenant).set(1.0)
+        return registry.render_prometheus()
+
+    def test_quote_is_escaped(self):
+        text = self._render_with_tenant('evil"tenant')
+        assert 'tenant="evil\\"tenant"' in text
+        assert 'tenant="evil"tenant"' not in text
+
+    def test_backslash_is_escaped(self):
+        text = self._render_with_tenant("back\\slash")
+        assert 'tenant="back\\\\slash"' in text
+
+    def test_newline_is_escaped(self):
+        text = self._render_with_tenant("two\nlines")
+        assert 'tenant="two\\nlines"' in text
+        # The rendered body must stay one sample per line.
+        sample_lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_hostile_tenant_scrape_parses(self):
+        from repro.obs import parse_prometheus
+
+        hostile = 'a"b\\c\nd'
+        samples = parse_prometheus(self._render_with_tenant(hostile))
+        assert len(samples) == 1
+        assert samples[0].labels["tenant"] == hostile
+
+    def test_plain_values_unchanged(self):
+        text = self._render_with_tenant("websearch")
+        assert 'tenant_gauge{tenant="websearch"} 1' in text
+
+
+class TestHistogramQuantile:
+    def test_rejects_out_of_range(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="quantile"):
+            histogram.quantile(1.5)
+
+    def test_empty_returns_zero(self):
+        histogram = Histogram(buckets=(1.0, 2.0))
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_matches_exact_scalar_quantiles(self):
+        """Interpolated estimate within one bucket width of the truth."""
+        import statistics
+
+        boundaries = tuple(0.1 * i for i in range(1, 21))  # 0.1 .. 2.0
+        histogram = Histogram(buckets=boundaries)
+        values = [0.05 + 0.001 * i for i in range(0, 1900, 7)]
+        for value in values:
+            histogram.observe(value)
+        for q in (0.5, 0.9, 0.99):
+            exact = statistics.quantiles(values, n=1000)[int(q * 1000) - 1]
+            estimate = histogram.quantile(q)
+            assert abs(estimate - exact) <= 0.1, (q, estimate, exact)
+
+    def test_uniform_bucket_interpolation(self):
+        histogram = Histogram(buckets=(1.0, 2.0, 3.0, 4.0))
+        for value in (0.5, 1.5, 2.5, 3.5):
+            histogram.observe(value)
+        # Rank 2 of 4 lands at the boundary of the second bucket.
+        assert histogram.quantile(0.5) == pytest.approx(2.0)
+        assert histogram.quantile(0.25) == pytest.approx(1.0)
+
+    def test_overflow_clamps_to_top_boundary(self):
+        histogram = Histogram(buckets=(1.0,))
+        histogram.observe(50.0)
+        assert histogram.quantile(0.99) == 1.0
+
+    def test_median_of_single_bucket_interpolates_from_zero(self):
+        histogram = Histogram(buckets=(10.0,))
+        histogram.observe(1.0)
+        histogram.observe(2.0)
+        assert histogram.quantile(0.5) == pytest.approx(5.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the exposition-format parser (repro.obs.promtext)."""
+
+import pytest
+
+from repro.obs.promtext import (
+    PromParseError,
+    assert_scrape_parses,
+    parse_prometheus,
+    sample_value,
+)
+
+
+class TestParsing:
+    def test_bare_sample(self):
+        (sample,) = parse_prometheus("repro_up 1\n")
+        assert sample.name == "repro_up"
+        assert sample.labels == {}
+        assert sample.value == 1.0
+
+    def test_labeled_sample(self):
+        text = 'repro_serve_backlog_depth{tenant="websearch"} 3\n'
+        (sample,) = parse_prometheus(text)
+        assert sample.labels == {"tenant": "websearch"}
+        assert sample.value == 3.0
+
+    def test_multiple_labels(self):
+        text = 'c{tenant="a",disposition="ok"} 2.5\n'
+        (sample,) = parse_prometheus(text)
+        assert sample.labels == {"tenant": "a", "disposition": "ok"}
+        assert sample.value == 2.5
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# HELP x y\n# TYPE x counter\n\nx 4\n"
+        assert len(parse_prometheus(text)) == 1
+
+    def test_escape_sequences_decoded(self):
+        text = 'g{v="a\\"b\\\\c\\nd"} 1\n'
+        (sample,) = parse_prometheus(text)
+        assert sample.labels["v"] == 'a"b\\c\nd'
+
+    def test_histogram_le_label(self):
+        text = 'h_bucket{le="+Inf"} 7\nh_sum 0.5\nh_count 7\n'
+        samples = parse_prometheus(text)
+        assert sample_value(samples, "h_bucket", le="+Inf") == 7.0
+        assert sample_value(samples, "h_count") == 7.0
+
+
+class TestRejection:
+    def test_rejects_unquoted_label_value(self):
+        with pytest.raises(PromParseError, match="not quoted"):
+            parse_prometheus("m{a=1} 2\n")
+
+    def test_rejects_unterminated_quote(self):
+        with pytest.raises(PromParseError, match="unterminated"):
+            parse_prometheus('m{a="b} 2\n')
+
+    def test_rejects_raw_quote_injection(self):
+        """The exact failure mode the escaping fix prevents: an
+        unescaped quote inside a label value breaks the sample line."""
+        with pytest.raises(PromParseError):
+            parse_prometheus('m{tenant="evil"name"} 1\n')
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(PromParseError, match="non-numeric"):
+            parse_prometheus("m one\n")
+
+    def test_rejects_missing_value(self):
+        with pytest.raises(PromParseError, match="no value"):
+            parse_prometheus("m\n")
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(PromParseError, match="bad metric name"):
+            parse_prometheus("1bad 2\n")
+
+    def test_rejects_bad_escape(self):
+        with pytest.raises(PromParseError, match="bad escape"):
+            parse_prometheus('m{a="\\t"} 1\n')
+
+
+class TestScrapeSanity:
+    def test_registry_roundtrip(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs_total", "requests", labels=("t",))
+        counter.labels(t="a").inc(3)
+        histogram = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        histogram.labels().observe(0.05)
+        text = registry.render_prometheus()
+        count = assert_scrape_parses(text)
+        samples = parse_prometheus(text)
+        assert count == len(samples)
+        assert sample_value(samples, "repro_reqs_total", t="a") == 3.0
+        assert sample_value(samples, "repro_lat_seconds_count") == 1.0
+
+    def test_empty_scrape_rejected(self):
+        with pytest.raises(PromParseError, match="zero samples"):
+            assert_scrape_parses("# TYPE only comments\n")
