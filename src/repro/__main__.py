@@ -12,6 +12,10 @@ Thin orchestration over the library for the common reproduction tasks:
   meeting an availability target (``--backend`` picks the scalar
   reference, the vectorized batch engine, or exact branch-and-bound)
   and optionally Monte Carlo-validate the winner;
+* ``fleet`` — simulate a heterogeneous fleet of HRM servers (Monte
+  Carlo + analytic cross-check) and optionally search fractional
+  design compositions for the cheapest mix meeting an availability
+  target;
 * ``recoverability`` — print the Table 5 analysis for a workload;
 * ``ecc`` — regenerate Table 1 from the codec implementations;
 * ``report`` — render a saved ``--trace-out`` JSONL trace or a serve
@@ -38,7 +42,15 @@ from typing import List, Optional
 
 from repro.apps import GraphMining, KVStoreWorkload, WebSearch
 from repro.core.campaign import BACKENDS, CampaignConfig, CharacterizationCampaign
-from repro.core.mapping import DesignEvaluator, paper_design_points
+from repro.core.mapping import (
+    DesignEvaluator,
+    consumer_pc,
+    detect_and_recover,
+    detect_and_recover_less_tested,
+    less_tested,
+    paper_design_points,
+    typical_server,
+)
 from repro.core.optimizer import MappingOptimizer
 from repro.core.recoverability import (
     analyze_recoverability,
@@ -46,6 +58,16 @@ from repro.core.recoverability import (
 )
 from repro.ecc import UnknownTechniqueError, available_techniques, make_codec
 from repro.explore import EXPLORE_BACKENDS, explore
+from repro.fleet import (
+    FLEET_BACKENDS,
+    AgingConfig,
+    CorrelationConfig,
+    FleetConfig,
+    analyze_fleet,
+    analytic_matches_simulation,
+    optimize_fleet,
+    simulate_fleet,
+)
 from repro.injection import MULTI_BIT_HARD, SINGLE_BIT_HARD, SINGLE_BIT_SOFT
 from repro.obs import (
     CampaignMetrics,
@@ -99,6 +121,78 @@ def _tick_count(value: str) -> int:
             f"--duration must be >= 1 tick, got {count}"
         )
     return count
+
+
+def _server_count(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(
+            f"--servers must be >= 1, got {count}"
+        )
+    return count
+
+
+def _parse_spec(value: str, keys: dict, flag: str) -> dict:
+    """Parse a 'key=value,key=value' flag into typed kwargs."""
+    kwargs = {}
+    for part in value.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        key = key.strip()
+        if not sep or key not in keys:
+            raise argparse.ArgumentTypeError(
+                f"{flag}: expected key=value with keys "
+                f"{sorted(keys)}, got {part!r}"
+            )
+        name, cast = keys[key]
+        try:
+            kwargs[name] = cast(raw.strip())
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag}: bad value for {key!r}: {raw!r}"
+            )
+    return kwargs
+
+
+def _correlation_spec(value: str) -> CorrelationConfig:
+    """'off' or comma-separated key=value (rate, cohort, downtime,
+    bad-batch, bad-multiplier, mode)."""
+    if value == "off":
+        return CorrelationConfig.disabled()
+    keys = {
+        "rate": ("shock_rate_per_month", float),
+        "cohort": ("shock_cohort_fraction", float),
+        "downtime": ("shock_downtime_minutes", float),
+        "bad-batch": ("bad_batch_fraction", float),
+        "bad-multiplier": ("bad_batch_multiplier", float),
+        "mode": ("mode", str),
+    }
+    kwargs = _parse_spec(value, keys, "--correlation")
+    try:
+        return CorrelationConfig(**kwargs)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"--correlation: {exc}")
+
+
+def _aging_spec(value: str) -> AgingConfig:
+    """'flat', 'bathtub', or key=value (infant, tau, onset, slope)."""
+    if value == "flat":
+        return AgingConfig.flat()
+    if value == "bathtub":
+        return AgingConfig()
+    keys = {
+        "infant": ("infant_multiplier", float),
+        "tau": ("infant_tau_months", float),
+        "onset": ("wearout_onset_months", float),
+        "slope": ("wearout_slope_per_month", float),
+    }
+    kwargs = _parse_spec(value, keys, "--aging")
+    try:
+        return AgingConfig(**kwargs)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"--aging: {exc}")
 
 
 def _out_path(value: str) -> Path:
@@ -155,6 +249,15 @@ SPECS = {
     "soft": SINGLE_BIT_SOFT,
     "hard": SINGLE_BIT_HARD,
     "multi": MULTI_BIT_HARD,
+}
+
+#: short key -> Table 6 design factory (regions, recoverable_fractions).
+FLEET_DESIGNS = {
+    "typical": lambda regions, fractions: typical_server(regions),
+    "consumer": lambda regions, fractions: consumer_pc(regions),
+    "recover": detect_and_recover,
+    "less-tested": lambda regions, fractions: less_tested(regions),
+    "recover-l": detect_and_recover_less_tested,
 }
 
 
@@ -276,6 +379,89 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the exploration instrument registry as JSON",
     )
     explore_cmd.add_argument(
+        "--prom-out", type=_out_path, default=None, metavar="PATH",
+        help="write the metrics registry as Prometheus text exposition",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a heterogeneous fleet (MC + analytic cross-check)",
+    )
+    fleet.add_argument("--app", choices=sorted(WORKLOADS), default="websearch")
+    fleet.add_argument("--trials", type=int, default=40)
+    fleet.add_argument("--scale", type=float, default=1.0)
+    fleet.add_argument("--seed", type=int, default=99)
+    fleet.add_argument(
+        "--workers", type=_worker_count, default=1,
+        help="worker processes for the characterization phase",
+    )
+    fleet.add_argument(
+        "--servers", type=_server_count, default=1000,
+        help="fleet size (default 1000)",
+    )
+    fleet.add_argument(
+        "--months", type=_tick_count, default=60, metavar="N",
+        help="simulation horizon in months (default 60)",
+    )
+    fleet.add_argument(
+        "--demand", type=float, default=0.8, metavar="FRACTION",
+        help="traffic demand as a fraction of fleet capacity "
+        "(the rest is failover headroom; default 0.8)",
+    )
+    fleet.add_argument(
+        "--designs", nargs="+", choices=sorted(FLEET_DESIGNS),
+        default=sorted(FLEET_DESIGNS), metavar="NAME",
+        help="Table 6 designs deployed (uniform composition): "
+        f"{', '.join(sorted(FLEET_DESIGNS))}",
+    )
+    fleet.add_argument(
+        "--correlation", type=_correlation_spec,
+        default=CorrelationConfig.disabled(), metavar="SPEC",
+        help="correlated-failure structure: 'off' or key=value pairs "
+        "(rate, cohort, downtime, bad-batch, bad-multiplier, mode), "
+        "e.g. 'rate=1.0,cohort=0.2,downtime=30'",
+    )
+    fleet.add_argument(
+        "--aging", type=_aging_spec, default=AgingConfig.flat(),
+        metavar="SPEC",
+        help="DRAM aging curve: 'flat', 'bathtub', or key=value pairs "
+        "(infant, tau, onset, slope)",
+    )
+    fleet.add_argument(
+        "--backend", choices=FLEET_BACKENDS, default="auto",
+        help="fleet simulation engine ('auto' picks 'vectorized' when "
+        "NumPy is importable)",
+    )
+    fleet.add_argument(
+        "--sim-seed", type=int, default=0,
+        help="root seed for the fleet simulation (results are "
+        "byte-identical across runs and --sim-workers counts)",
+    )
+    fleet.add_argument(
+        "--sim-workers", type=_worker_count, default=1,
+        help="threads simulating month chunks concurrently",
+    )
+    fleet.add_argument(
+        "--target", type=float, default=None, metavar="FRACTION",
+        help="also search fractional compositions for the cheapest "
+        "fleet meeting this availability target",
+    )
+    fleet.add_argument(
+        "--step", type=float, default=0.1,
+        help="composition search granularity (default 0.1)",
+    )
+    fleet.add_argument(
+        "--json", action="store_true", help="emit the result as JSON"
+    )
+    fleet.add_argument(
+        "--trace-out", type=_out_path, default=None, metavar="PATH",
+        help="write fleet/fleet_phase spans as a JSONL trace",
+    )
+    fleet.add_argument(
+        "--metrics-out", type=_out_path, default=None, metavar="PATH",
+        help="write the fleet instrument registry as JSON",
+    )
+    fleet.add_argument(
         "--prom-out", type=_out_path, default=None, metavar="PATH",
         help="write the metrics registry as Prometheus text exposition",
     )
@@ -613,6 +799,131 @@ def _cmd_explore(arguments) -> int:
     return 0
 
 
+def _cmd_fleet(arguments) -> int:
+    workload, factory = _make_workload(arguments)
+    campaign = CharacterizationCampaign(
+        workload,
+        config=CampaignConfig(
+            trials_per_cell=arguments.trials,
+            queries_per_trial=120,
+            seed=arguments.seed,
+        ),
+    )
+    print(f"characterizing {workload.name} (hard errors)...", file=sys.stderr)
+    campaign.prepare()
+    profile = campaign.run(
+        specs=(SINGLE_BIT_HARD,),
+        workers=arguments.workers,
+        workload_factory=factory,
+    )
+    recovery = analyze_recoverability(workload, queries=150)
+    fractions = {name: entry.best_fraction for name, entry in recovery.items()}
+    regions = sorted(profile.region_sizes)
+    designs = [
+        FLEET_DESIGNS[key](regions, fractions) for key in arguments.designs
+    ]
+    config = FleetConfig(
+        servers=arguments.servers,
+        months=arguments.months,
+        demand_fraction=arguments.demand,
+        aging=arguments.aging,
+        correlation=arguments.correlation,
+    )
+    observer = _build_observer(arguments)
+    try:
+        simulated = simulate_fleet(
+            profile,
+            designs=designs,
+            config=config,
+            seed=arguments.sim_seed,
+            workers=arguments.sim_workers,
+            backend=arguments.backend,
+            observer=observer,
+            error_label="single-bit hard",
+        )
+        analytic = analyze_fleet(
+            profile,
+            designs=designs,
+            config=config,
+            observer=observer,
+            error_label="single-bit hard",
+        )
+        optimization = None
+        if arguments.target is not None:
+            optimization = optimize_fleet(
+                profile,
+                designs=designs,
+                config=config,
+                availability_target=arguments.target,
+                step=arguments.step,
+                observer=observer,
+                error_label="single-bit hard",
+            )
+    finally:
+        observer.close()
+    if arguments.metrics_out is not None:
+        arguments.metrics_out.write_text(
+            json.dumps(
+                {"instruments": observer.metrics.to_dict()},
+                indent=2, sort_keys=True,
+            ) + "\n"
+        )
+    if arguments.prom_out is not None:
+        arguments.prom_out.write_text(observer.metrics.render_prometheus())
+    verdicts = analytic_matches_simulation(analytic, simulated)
+    agreement = all(verdicts.values())
+    if arguments.json:
+        payload = {
+            "simulation": simulated.to_dict(),
+            "analytic": analytic.to_dict(),
+            "analytic_within_ci": verdicts,
+        }
+        if optimization is not None:
+            payload["optimization"] = optimization.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if optimization is None or optimization.best else 1
+    print(
+        f"backend={simulated.backend}  servers={simulated.servers}  "
+        f"months={simulated.months}  demand={simulated.demand_fraction:g}"
+    )
+    print(
+        f"fleet availability  {simulated.mean_fleet_availability:>9.4%} "
+        f"(analytic {analytic.mean_fleet_availability:.4%})"
+    )
+    print(
+        f"machine availability{simulated.mean_machine_availability:>9.4%} "
+        f"(analytic {analytic.mean_machine_availability:.4%}, "
+        f"within CI95: {'yes' if agreement else 'NO'})"
+    )
+    print(
+        f"p99 fleet downtime  {simulated.downtime_percentile(99):>10.0f} "
+        "minutes/month"
+    )
+    print(f"\n{'design':<18} {'servers':>8} {'machine avail':>14}")
+    for name, count in sorted(simulated.composition.items()):
+        print(
+            f"{name:<18} {count:>8} "
+            f"{simulated.machine_availability_of(name):>13.4%}"
+        )
+    if optimization is not None:
+        if optimization.best is None:
+            print(
+                f"\nno composition meets {arguments.target:.2%} "
+                f"({optimization.evaluated} evaluated)"
+            )
+            return 1
+        best = optimization.best
+        print(
+            f"\nbest composition for >={arguments.target:.2%}: {best.key} "
+            f"(cost savings {best.cost_savings:.1%}, "
+            f"availability {best.fleet_availability:.4%}; "
+            f"{optimization.evaluated} evaluated, "
+            f"mixed beats singles: "
+            f"{'yes' if optimization.mixed_dominates_singles else 'no'})"
+        )
+    return 0
+
+
 def _serve_slo_config(arguments) -> Optional["SloConfig"]:
     """Build the SLO config from --slo-target / --burn-windows."""
     if arguments.slo_target is None and arguments.burn_windows is None:
@@ -831,6 +1142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "characterize": _cmd_characterize,
         "design": _cmd_design,
         "explore": _cmd_explore,
+        "fleet": _cmd_fleet,
         "serve": _cmd_serve,
         "recoverability": _cmd_recoverability,
         "ecc": _cmd_ecc,

@@ -1,33 +1,52 @@
-"""repro.api — the stable, one-import public surface of the framework.
+"""repro.api — the stable, versioned public surface of the framework.
 
 Everything an application needs to characterize a workload, explore the
-HRM design space, and look up codecs/kernels lives here::
+HRM design space, and scale the result to a datacenter fleet lives
+here::
 
     from repro import api
 
     profile = api.run_campaign(api.WebSearch(), config=api.CampaignConfig(
         trials_per_cell=30), backend="vectorized", workers=4)
     result = api.explore_design_space(profile, availability_target=0.999)
-    codec = api.make_codec("Chipkill")
+    fleet = api.simulate_fleet(profile, config=api.FleetConfig(
+        servers=2000, months=60))
+    mix = api.optimize_fleet(profile, availability_target=0.9995)
+
+The surface is organized into documented **tiers** (see ``API_TIERS``):
+
+* ``entry points`` — one-call functions covering the full pipeline;
+* ``configs`` — keyword-only configuration dataclasses;
+* ``results`` — the value objects entry points return;
+* ``registries`` — codec/kernel/backend lookup helpers;
+* ``workloads`` — bundled applications and the telemetry hooks;
+* ``advanced`` — the stable power-user machinery underneath.
 
 Compatibility policy: names exported from this module are the stable
 API — they keep working across internal refactors (module moves, kernel
-rewrites, cache-format bumps). Deeper imports (``repro.core.campaign``
-etc.) continue to work but may shift between releases; see the
-migration table in README.md.
+rewrites, cache-format bumps). ``API_VERSION`` tracks surface-breaking
+changes only. Deprecated aliases in ``deprecated_names`` still resolve
+(with a :class:`DeprecationWarning`) for one major version; the README
+migration table maps each to its replacement. Deeper imports
+(``repro.core.campaign`` etc.) continue to work but may shift between
+releases.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+import warnings
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.apps.base import Workload
 from repro.apps.graphmining import GraphMining
 from repro.apps.kvstore import KVStoreWorkload
 from repro.apps.websearch import WebSearch
+from repro.cluster.availability_sim import (
+    SIMULATOR_BACKENDS as _SIMULATOR_BACKENDS,
+)
 from repro.core.availability import AvailabilityParams, ErrorRateModel
 from repro.core.campaign import (
-    BACKENDS,
+    BACKENDS as _CAMPAIGN_BACKENDS,
     DEFAULT_SPECS,
     CampaignConfig,
     CharacterizationCampaign,
@@ -39,14 +58,14 @@ from repro.core.cost_model import CostModel
 from repro.core.mapping import DesignEvaluator, DesignMetrics, HRMDesign
 from repro.core.optimizer import (
     DEFAULT_CANDIDATES,
-    SEARCH_BACKENDS,
+    SEARCH_BACKENDS as _SEARCH_BACKENDS,
     MappingOptimizer,
     OptimizationResult,
 )
 from repro.core.taxonomy import ErrorOutcome
 from repro.core.vulnerability import VulnerabilityProfile
 from repro.explore import (
-    EXPLORE_BACKENDS,
+    EXPLORE_BACKENDS as _EXPLORE_BACKENDS,
     ExplorationResult,
     SimulationValidation,
 )
@@ -58,6 +77,21 @@ from repro.ecc.registry import (
     make_codec,
     register_codec,
 )
+from repro.fleet.config import (
+    AgingConfig,
+    CorrelationConfig,
+    FleetConfig,
+    FleetDesign,
+)
+from repro.fleet.engine import (
+    FLEET_BACKENDS as _FLEET_BACKENDS,
+    analyze_fleet,
+    optimize_fleet,
+    simulate_fleet,
+)
+from repro.fleet.analytic import AnalyticFleetResult
+from repro.fleet.optimizer import CompositionMetrics, FleetOptimizationResult
+from repro.fleet.simulator import FleetSimulationResult
 from repro.injection.injector import (
     MULTI_BIT_HARD,
     MULTI_BIT_SOFT,
@@ -89,78 +123,170 @@ from repro.serve import (
     serve_session,
 )
 
-__all__ = [
-    # one-call entry points
-    "run_campaign",
-    "load_or_run_profile",
-    "explore_design_space",
-    # campaign machinery
-    "BACKENDS",
-    "DEFAULT_SPECS",
-    "CampaignConfig",
-    "CharacterizationCampaign",
-    "TrialRecord",
-    "campaign_fingerprint",
-    "VulnerabilityProfile",
-    "ErrorOutcome",
-    # error specs
-    "ErrorSpec",
-    "SINGLE_BIT_SOFT",
-    "SINGLE_BIT_HARD",
-    "MULTI_BIT_SOFT",
-    "MULTI_BIT_HARD",
-    # codec + kernel registries
-    "Codec",
-    "DecodeResult",
-    "DecodeStatus",
-    "UnknownTechniqueError",
-    "available_techniques",
-    "make_codec",
-    "register_codec",
-    "available_kernels",
-    "get_kernel",
-    # design space
-    "DEFAULT_CANDIDATES",
-    "AvailabilityParams",
-    "CostModel",
-    "DesignEvaluator",
-    "DesignMetrics",
-    "ErrorRateModel",
-    "HRMDesign",
-    "MappingOptimizer",
-    "OptimizationResult",
-    "SEARCH_BACKENDS",
-    "EXPLORE_BACKENDS",
-    "ExplorationResult",
-    "SimulationValidation",
-    # serving layer
-    "POLICY_NAMES",
-    "ServeConfig",
-    "ServeResult",
-    "ServeTenant",
-    "default_tenants",
-    "load_ledger",
-    "replay_ledger",
-    "run_serve",
-    "serve_session",
-    # live telemetry plane
-    "BackgroundTelemetryServer",
-    "ObservabilityServer",
-    "BurnWindow",
-    "SloConfig",
-    "SloEngine",
-    "audit_slo",
-    "parse_burn_windows",
-    "slo_from_ledger",
-    # workloads + telemetry
-    "Workload",
-    "WebSearch",
-    "KVStoreWorkload",
-    "GraphMining",
-    "Observer",
-    "NULL_OBSERVER",
-    "MetricsRegistry",
-]
+#: Version of the *surface* (not the package): bumped on breaking
+#: changes to exported names or entry-point signatures.
+API_VERSION = "2.0"
+
+#: The documented tiers. Names within each tier are sorted; ``__all__``
+#: is their concatenation (the API-surface test pins both properties).
+API_TIERS: Dict[str, Tuple[str, ...]] = {
+    "entry points": (
+        "analyze_fleet",
+        "explore_design_space",
+        "load_or_run_profile",
+        "optimize_fleet",
+        "run_campaign",
+        "simulate_fleet",
+    ),
+    "configs": (
+        "AgingConfig",
+        "AvailabilityParams",
+        "BurnWindow",
+        "CampaignConfig",
+        "CorrelationConfig",
+        "CostModel",
+        "ErrorRateModel",
+        "ErrorSpec",
+        "FleetConfig",
+        "FleetDesign",
+        "ServeConfig",
+        "ServeTenant",
+        "SloConfig",
+    ),
+    "results": (
+        "AnalyticFleetResult",
+        "CompositionMetrics",
+        "DesignMetrics",
+        "ErrorOutcome",
+        "ExplorationResult",
+        "FleetOptimizationResult",
+        "FleetSimulationResult",
+        "OptimizationResult",
+        "ServeResult",
+        "SimulationValidation",
+        "TrialRecord",
+        "VulnerabilityProfile",
+    ),
+    "registries": (
+        "UnknownTechniqueError",
+        "available_backends",
+        "available_kernels",
+        "available_techniques",
+        "get_kernel",
+        "make_codec",
+        "register_codec",
+    ),
+    "workloads": (
+        "GraphMining",
+        "KVStoreWorkload",
+        "MetricsRegistry",
+        "NULL_OBSERVER",
+        "Observer",
+        "WebSearch",
+        "Workload",
+    ),
+    "advanced": (
+        "BackgroundTelemetryServer",
+        "CharacterizationCampaign",
+        "Codec",
+        "DEFAULT_CANDIDATES",
+        "DEFAULT_SPECS",
+        "DecodeResult",
+        "DecodeStatus",
+        "DesignEvaluator",
+        "HRMDesign",
+        "MULTI_BIT_HARD",
+        "MULTI_BIT_SOFT",
+        "MappingOptimizer",
+        "ObservabilityServer",
+        "POLICY_NAMES",
+        "SINGLE_BIT_HARD",
+        "SINGLE_BIT_SOFT",
+        "SloEngine",
+        "audit_slo",
+        "campaign_fingerprint",
+        "default_tenants",
+        "load_ledger",
+        "parse_burn_windows",
+        "replay_ledger",
+        "run_serve",
+        "serve_session",
+        "slo_from_ledger",
+    ),
+}
+
+__all__ = [name for tier in API_TIERS.values() for name in tier]
+
+#: Deprecated alias -> (replacement hint, value thunk). Access emits a
+#: DeprecationWarning via module ``__getattr__``; the aliases stay
+#: importable for one major version (see the README migration table).
+deprecated_names: Dict[str, Tuple[str, Callable[[], object]]] = {
+    "BACKENDS": (
+        'available_backends("campaign")',
+        lambda: _CAMPAIGN_BACKENDS,
+    ),
+    "SEARCH_BACKENDS": (
+        'available_backends("search")',
+        lambda: _SEARCH_BACKENDS,
+    ),
+    "EXPLORE_BACKENDS": (
+        'available_backends("explore")',
+        lambda: _EXPLORE_BACKENDS,
+    ),
+    "SIMULATOR_BACKENDS": (
+        'available_backends("simulator")',
+        lambda: _SIMULATOR_BACKENDS,
+    ),
+    "FLEET_BACKENDS": (
+        'available_backends("fleet")',
+        lambda: _FLEET_BACKENDS,
+    ),
+}
+
+
+def __getattr__(name: str):
+    if name in deprecated_names:
+        replacement, thunk = deprecated_names[name]
+        warnings.warn(
+            f"repro.api.{name} is deprecated; use repro.api.{replacement}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return thunk()
+    raise AttributeError(f"module 'repro.api' has no attribute '{name}'")
+
+
+#: Registry of backend tuples behind :func:`available_backends`.
+_BACKEND_KINDS: Dict[str, Tuple[str, ...]] = {
+    "campaign": tuple(_CAMPAIGN_BACKENDS),
+    "search": tuple(_SEARCH_BACKENDS),
+    "explore": tuple(_EXPLORE_BACKENDS),
+    "simulator": tuple(_SIMULATOR_BACKENDS),
+    "fleet": tuple(_FLEET_BACKENDS),
+}
+
+
+def available_backends(kind: str) -> Tuple[str, ...]:
+    """Execution backends accepted by one subsystem's ``backend=``.
+
+    One helper replaces the per-module constants (``BACKENDS``,
+    ``SEARCH_BACKENDS``, ``EXPLORE_BACKENDS``, ``SIMULATOR_BACKENDS``):
+
+    ======================  =============================================
+    ``"campaign"``          :func:`run_campaign`
+    ``"search"``            :class:`MappingOptimizer`
+    ``"explore"``           :func:`explore_design_space`
+    ``"simulator"``         ``cluster.AvailabilitySimulator``
+    ``"fleet"``             :func:`simulate_fleet`
+    ======================  =============================================
+    """
+    try:
+        return _BACKEND_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend kind '{kind}'; "
+            f"expected one of {sorted(_BACKEND_KINDS)}"
+        ) from None
 
 
 def run_campaign(

@@ -28,8 +28,11 @@ from repro.utils.rng import poisson_variate
 #: Simulation execution strategies: ``scalar`` is the per-event Python
 #: loop; ``vectorized`` delegates to the NumPy batched simulator in
 #: :mod:`repro.explore.simulator` (statistically equivalent, different
-#: draw stream).
-SIMULATOR_BACKENDS = ("scalar", "vectorized")
+#: draw stream); ``fleet`` delegates a fleet-of-one to the fleet engine
+#: (:mod:`repro.fleet.simulator`); ``auto`` follows the
+#: ``explore_design_space`` convention — ``vectorized`` when NumPy is
+#: importable, else ``scalar``.
+SIMULATOR_BACKENDS = ("auto", "scalar", "vectorized", "fleet")
 
 
 @dataclass
@@ -130,7 +133,11 @@ class AvailabilitySimulator:
         for region, weight in zip(self._region_names, self._region_weights):
             policy = self.policies[region]
             rate = self.error_model.region_rate(weight, policy.less_tested)
-            count = _poisson(rng, rate)
+            # Exact Knuth/PTRS Poisson sample (returns 0 at rate 0).
+            # Historically a local wrapper used a normal approximation
+            # above mean 500; delegating to the exact sampler changed
+            # the draw sequence but not the statistics.
+            count = poisson_variate(rng, rate)
             outcome.errors += count
             crash_probability = self.profile.region_crash_probability(
                 region, self.error_label
@@ -167,7 +174,12 @@ class AvailabilitySimulator:
         """
         if months <= 0:
             raise ValueError(f"months must be positive, got {months}")
-        if self.backend == "vectorized":
+        backend = self.backend
+        if backend == "auto":
+            from repro.core.optimizer import _numpy_available
+
+            backend = "vectorized" if _numpy_available() else "scalar"
+        if backend == "vectorized":
             from repro.explore.simulator import BatchAvailabilitySimulator
 
             batch = BatchAvailabilitySimulator(
@@ -179,20 +191,53 @@ class AvailabilitySimulator:
                 region_sizes=self.region_sizes,
             )
             return batch.simulate(months, seed=seed).to_summary(0)
+        if backend == "fleet":
+            return self._simulate_fleet_of_one(months, seed)
         rng = random.Random(seed)
         summary = SimulationSummary()
         for _ in range(months):
             summary.months.append(self.simulate_month(rng))
         return summary
 
+    def _simulate_fleet_of_one(self, months: int, seed: int) -> SimulationSummary:
+        """Delegate to the fleet engine: one server, no fleet effects.
 
-def _poisson(rng: random.Random, mean: float) -> int:
-    """Exact Poisson sample (see :func:`repro.utils.rng.poisson_variate`).
+        Aging is flat, correlation disabled, and refurbishment is
+        scheduled past the horizon, so the fleet chain reduces to the
+        same Poisson/binomial month model (different draw stream —
+        statistically, not bitwise, equivalent to ``scalar``).
+        """
+        from repro.core.mapping import HRMDesign
+        from repro.fleet.config import FleetConfig
+        from repro.fleet.layout import FleetLayout
+        from repro.fleet.simulator import FleetSimulator
 
-    Historically this used a normal approximation above mean 500; it now
-    delegates to the exact Knuth/PTRS sampler, which changes the draw
-    sequence (simulation outputs remain statistically identical).
-    """
-    if mean <= 0:
-        return 0
-    return poisson_variate(rng, mean)
+        config = FleetConfig(
+            servers=1,
+            months=months,
+            retirement_age_months=months + 1,
+            repair_downtime_minutes=0.0,
+        )
+        design = HRMDesign("fleet-of-one", self.policies)
+        layout = FleetLayout(
+            self.profile,
+            [design],
+            {"fleet-of-one": 1},
+            config,
+            error_model=self.error_model,
+            error_label=self.error_label,
+            region_sizes=self.region_sizes,
+        )
+        result = FleetSimulator(layout, params=self.params).simulate(seed=seed)
+        summary = SimulationSummary()
+        for month in range(months):
+            summary.months.append(
+                MonthOutcome(
+                    errors=result.errors_by_month[month],
+                    crashes=result.crashes_by_month[month],
+                    recoveries=result.recoveries_by_month[month],
+                    incorrect_responses=result.incorrect_by_month[month],
+                    downtime_minutes=result.downtime_by_month[month],
+                )
+            )
+        return summary

@@ -39,6 +39,8 @@ from repro.obs.events import (
     SPAN_CONSUME,
     SPAN_EXPLORE,
     SPAN_EXPLORE_PHASE,
+    SPAN_FLEET,
+    SPAN_FLEET_PHASE,
     SPAN_INJECTION,
     SPAN_MONITOR,
     SPAN_SERVE,
@@ -50,6 +52,7 @@ from repro.obs.instruments import (
     SERVE_LATENCY_BUCKETS,
     CampaignInstruments,
     ExplorationInstruments,
+    FleetInstruments,
     ServeInstruments,
 )
 from repro.obs.live import BackgroundTelemetryServer, ObservabilityServer
@@ -104,6 +107,8 @@ __all__ = [
     "SPAN_CONSUME",
     "SPAN_EXPLORE",
     "SPAN_EXPLORE_PHASE",
+    "SPAN_FLEET",
+    "SPAN_FLEET_PHASE",
     "SPAN_INJECTION",
     "SPAN_MONITOR",
     "SPAN_SERVE",
@@ -112,6 +117,7 @@ __all__ = [
     "TraceEvent",
     "CampaignInstruments",
     "ExplorationInstruments",
+    "FleetInstruments",
     "SERVE_LATENCY_BUCKETS",
     "ServeInstruments",
     "BackgroundTelemetryServer",

@@ -41,6 +41,10 @@ SPAN_EXPLORE = "explore"
 SPAN_EXPLORE_PHASE = "explore_phase"
 #: Span wrapping one long-lived serve session (``repro serve``).
 SPAN_SERVE = "serve"
+#: Span wrapping one fleet simulation/optimization (``repro fleet``),
+#: and its phases (``layout`` / ``grid`` build, ``simulate``, ``search``).
+SPAN_FLEET = "fleet"
+SPAN_FLEET_PHASE = "fleet_phase"
 #: Point event emitted after every completed shard of campaign work.
 POINT_PROGRESS = "progress"
 

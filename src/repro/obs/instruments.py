@@ -39,6 +39,7 @@ from repro.utils.stats import safe_div
 __all__ = [
     "CampaignInstruments",
     "ExplorationInstruments",
+    "FleetInstruments",
     "SERVE_LATENCY_BUCKETS",
     "ServeInstruments",
 ]
@@ -229,6 +230,71 @@ class ExplorationInstruments:
                 self.designs_pruned.labels(reason=reason).inc(count)
         self.feasible_designs.labels().set(float(feasible))
         self.space_designs.labels().set(float(total_designs))
+
+
+class FleetInstruments:
+    """Instruments for fleet simulation/optimization (``repro.fleet``).
+
+    Updated directly by the fleet engine at run boundaries (the
+    ``record_*`` style of :class:`ExplorationInstruments` — a fleet run
+    emits a handful of spans, not per-server events):
+
+    * ``fleet_server_months_total{backend}`` — simulated server-months;
+    * ``fleet_availability`` — mean routed availability of the last run;
+    * ``fleet_machine_availability`` — mean server uptime of the last
+      run (routing ignored);
+    * ``fleet_downtime_minutes`` — total downtime of the last run;
+    * ``fleet_compositions_evaluated_total`` — candidate compositions
+      scored by the mixed-fleet optimizer;
+    * ``fleet_best_cost_savings`` — server-cost savings of the last
+      optimizer winner (0 when no composition was feasible).
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self.server_months = registry.counter(
+            "fleet_server_months_total",
+            "Server-months simulated by the fleet engine",
+            labels=("backend",),
+        )
+        self.availability = registry.gauge(
+            "fleet_availability",
+            "Mean routed fleet availability of the last simulation",
+        )
+        self.machine_availability = registry.gauge(
+            "fleet_machine_availability",
+            "Mean server uptime fraction of the last simulation",
+        )
+        self.downtime_minutes = registry.gauge(
+            "fleet_downtime_minutes",
+            "Total downtime minutes of the last simulation",
+        )
+        self.compositions_evaluated = registry.counter(
+            "fleet_compositions_evaluated_total",
+            "Candidate compositions scored by the fleet optimizer",
+        )
+        self.best_cost_savings = registry.gauge(
+            "fleet_best_cost_savings",
+            "Cost savings of the last optimizer winner (0 if none)",
+        )
+
+    def record_simulation(self, result) -> None:
+        """Fold one completed fleet simulation into the registry."""
+        self.server_months.labels(backend=result.backend).inc(
+            result.server_months
+        )
+        self.availability.labels().set(result.mean_fleet_availability)
+        self.machine_availability.labels().set(
+            result.mean_machine_availability
+        )
+        self.downtime_minutes.labels().set(sum(result.downtime_by_month))
+
+    def record_optimization(self, result) -> None:
+        """Fold one completed composition search into the registry."""
+        self.compositions_evaluated.labels().inc(result.evaluated)
+        self.best_cost_savings.labels().set(
+            result.best.cost_savings if result.best is not None else 0.0
+        )
 
 
 class CampaignInstruments:

@@ -1,0 +1,44 @@
+"""Dataclass helpers shared across config surfaces.
+
+:func:`kw_only_dataclass` is the facade convention for configuration
+types: a frozen dataclass whose constructor accepts keyword arguments
+only, so adding/reordering fields is never a silent breaking change.
+Python 3.10+ has ``dataclasses.dataclass(kw_only=True)`` natively; on
+3.9 (the package floor) the decorator wraps the generated ``__init__``
+to reject positional arguments and rewrites ``__signature__`` so
+``inspect.signature`` reports ``KEYWORD_ONLY`` parameters on every
+interpreter — which is what the API-surface stability tests pin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import inspect
+import sys
+
+
+def kw_only_dataclass(cls):
+    """``@dataclass(frozen=True, kw_only=True)`` with a py3.9 fallback."""
+    if sys.version_info >= (3, 10):
+        return dataclasses.dataclass(frozen=True, kw_only=True)(cls)
+    cls = dataclasses.dataclass(frozen=True)(cls)
+    generated_init = cls.__init__
+    signature = inspect.signature(generated_init)
+    parameters = [
+        parameter if parameter.name == "self"
+        else parameter.replace(kind=inspect.Parameter.KEYWORD_ONLY)
+        for parameter in signature.parameters.values()
+    ]
+
+    @functools.wraps(generated_init)
+    def __init__(self, *args, **kwargs):
+        if args:
+            raise TypeError(
+                f"{cls.__name__} accepts keyword arguments only"
+            )
+        generated_init(self, **kwargs)
+
+    __init__.__signature__ = signature.replace(parameters=parameters)
+    cls.__init__ = __init__
+    return cls

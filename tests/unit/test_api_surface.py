@@ -1,0 +1,124 @@
+"""API-surface stability tests for :mod:`repro.api` (v2 facade).
+
+These pin the compatibility contract, not behavior: every exported name
+resolves, tiers stay sorted and disjoint, deprecated aliases resolve
+with a warning, and entry-point/config signatures stay keyword-only so
+the surface can grow fields without breaking callers.
+"""
+
+import inspect
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+
+
+class TestSurfaceInventory:
+    def test_every_exported_name_resolves(self):
+        with warnings.catch_warnings():
+            # Resolving the *stable* surface must never warn.
+            warnings.simplefilter("error", DeprecationWarning)
+            for name in api.__all__:
+                assert getattr(api, name) is not None, name
+
+    def test_tiers_are_sorted_and_disjoint(self):
+        seen = set()
+        for tier, names in api.API_TIERS.items():
+            assert list(names) == sorted(names), f"tier '{tier}' not sorted"
+            duplicates = seen & set(names)
+            assert not duplicates, f"tier '{tier}' re-exports {duplicates}"
+            seen |= set(names)
+
+    def test_all_is_the_tier_concatenation(self):
+        assert api.__all__ == [
+            name for tier in api.API_TIERS.values() for name in tier
+        ]
+
+    def test_api_version_tracks_package_major(self):
+        assert api.API_VERSION == "2.0"
+        assert (
+            api.API_VERSION.split(".")[0] == repro.__version__.split(".")[0]
+        )
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            api.definitely_not_exported
+
+
+class TestDeprecatedAliases:
+    #: alias -> backend kind it now routes through.
+    ALIASES = {
+        "BACKENDS": "campaign",
+        "SEARCH_BACKENDS": "search",
+        "EXPLORE_BACKENDS": "explore",
+        "SIMULATOR_BACKENDS": "simulator",
+        "FLEET_BACKENDS": "fleet",
+    }
+
+    def test_registry_matches_expected_aliases(self):
+        assert set(api.deprecated_names) == set(self.ALIASES)
+
+    @pytest.mark.parametrize("alias,kind", sorted(ALIASES.items()))
+    def test_alias_warns_and_matches_available_backends(self, alias, kind):
+        with pytest.warns(DeprecationWarning, match=alias):
+            value = getattr(api, alias)
+        assert tuple(value) == api.available_backends(kind)
+
+    def test_deprecated_names_not_in_all(self):
+        assert not set(api.deprecated_names) & set(api.__all__)
+
+
+class TestAvailableBackends:
+    def test_known_kinds(self):
+        for kind in ("campaign", "search", "explore", "simulator", "fleet"):
+            backends = api.available_backends(kind)
+            assert isinstance(backends, tuple) and backends
+            assert all(isinstance(name, str) for name in backends)
+
+    def test_fleet_backends(self):
+        assert api.available_backends("fleet") == (
+            "auto",
+            "scalar",
+            "vectorized",
+        )
+
+    def test_simulator_kind_includes_fleet_delegation(self):
+        assert "fleet" in api.available_backends("simulator")
+
+    def test_unknown_kind_lists_valid_kinds(self):
+        with pytest.raises(ValueError, match="campaign"):
+            api.available_backends("quantum")
+
+
+class TestKeywordOnlySignatures:
+    ENTRY_POINTS = (
+        "run_campaign",
+        "explore_design_space",
+        "simulate_fleet",
+        "analyze_fleet",
+        "optimize_fleet",
+    )
+
+    @pytest.mark.parametrize("name", ENTRY_POINTS)
+    def test_entry_points_take_one_positional(self, name):
+        signature = inspect.signature(getattr(api, name))
+        parameters = list(signature.parameters.values())
+        assert parameters[0].kind is inspect.Parameter.POSITIONAL_OR_KEYWORD
+        for parameter in parameters[1:]:
+            assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, (
+                f"{name}({parameter.name}) must be keyword-only"
+            )
+
+    @pytest.mark.parametrize(
+        "name",
+        ["AgingConfig", "CorrelationConfig", "FleetConfig", "FleetDesign"],
+    )
+    def test_fleet_configs_are_keyword_only(self, name):
+        config = getattr(api, name)
+        signature = inspect.signature(config)
+        for parameter in signature.parameters.values():
+            assert parameter.kind is inspect.Parameter.KEYWORD_ONLY, (
+                f"{name}({parameter.name}) must be keyword-only"
+            )

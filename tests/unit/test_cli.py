@@ -292,6 +292,96 @@ class TestExploreCommand:
             main(self.BASE + ["--simulate-months", "-1"])
 
 
+class TestFleetCommand:
+    BASE = [
+        "fleet", "--app", "memcached", "--trials", "3", "--scale", "0.3",
+        "--servers", "40", "--months", "12",
+        "--designs", "typical", "less-tested",
+    ]
+
+    def test_table_output(self, capsys):
+        assert main(self.BASE) == 0
+        output = capsys.readouterr().out
+        assert "fleet availability" in output
+        assert "machine availability" in output
+        assert "Typical Server" in output
+        assert "Less-Tested (L)" in output
+
+    def test_json_includes_analytic_cross_check(self, capsys):
+        pytest.importorskip("numpy")
+        assert main(self.BASE + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simulation"]["servers"] == 40
+        assert payload["simulation"]["months"] == 12
+        assert set(payload["analytic_within_ci"]) == {
+            "machine_availability", "fleet_availability",
+        }
+        assert set(payload["simulation"]["composition"]) == {
+            "Typical Server", "Less-Tested (L)",
+        }
+
+    def test_sim_seed_reproducible_across_workers(self, capsys):
+        pytest.importorskip("numpy")
+        base = self.BASE + ["--json", "--sim-seed", "9"]
+        assert main(base + ["--sim-workers", "1"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(base + ["--sim-workers", "3"]) == 0
+        threaded = json.loads(capsys.readouterr().out)
+        serial["simulation"].pop("workers")
+        threaded["simulation"].pop("workers")
+        assert serial["simulation"] == threaded["simulation"]
+
+    def test_optimize_target_prints_composition(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(self.BASE + ["--target", "0.5", "--step", "0.5"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "best composition for >=50.00%" in output
+
+    def test_correlation_and_aging_specs(self, capsys):
+        pytest.importorskip("numpy")
+        code = main(self.BASE + [
+            "--correlation", "rate=0.5,cohort=0.2,downtime=30",
+            "--aging", "bathtub",
+        ])
+        assert code == 0
+        assert "fleet availability" in capsys.readouterr().out
+
+    def test_invalid_correlation_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--correlation", "rate=-1"])
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--correlation", "bogus=1"])
+
+    def test_invalid_aging_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--aging", "slope=-2"])
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--designs", "mainframe"])
+
+    def test_invalid_servers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fleet", "--servers", "0"])
+
+    def test_trace_out_records_fleet_spans(self, capsys, tmp_path):
+        trace = tmp_path / "fleet.jsonl"
+        assert main(self.BASE + ["--trace-out", str(trace)]) == 0
+        capsys.readouterr()
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {event["name"] for event in events}
+        assert {"fleet", "fleet_phase"} <= names
+
+    def test_metrics_out_records_fleet_instruments(self, capsys, tmp_path):
+        metrics = tmp_path / "fleet.json"
+        assert main(self.BASE + ["--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()
+        payload = json.loads(metrics.read_text())
+        totals = payload["instruments"]["fleet_server_months_total"]["values"]
+        assert sum(totals.values()) == 40 * 12
+
+
 class TestParser:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):

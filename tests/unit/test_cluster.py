@@ -249,3 +249,63 @@ class TestVectorizedSimulatorBackend:
             m.errors for m in second.months
         ]
         assert first.mean_availability == second.mean_availability
+
+
+class TestFleetAndAutoBackends:
+    """'fleet' delegates a fleet-of-one to repro.fleet; 'auto' follows
+    the explorer convention (vectorized when NumPy imports)."""
+
+    POLICIES = {
+        "private": RegionPolicy(technique=HardwareTechnique.NONE),
+        "heap": RegionPolicy(technique=HardwareTechnique.NONE),
+    }
+
+    def test_fleet_backend_matches_analytic_model(self, profile):
+        pytest.importorskip("numpy")
+        summary = AvailabilitySimulator(
+            profile, self.POLICIES, backend="fleet"
+        ).simulate(300, seed=1)
+        # Same analytic anchor as the scalar/vectorized tests.
+        assert summary.mean_crashes == pytest.approx(36, rel=0.15)
+        analytic = availability_from_crashes(36)
+        assert summary.mean_availability == pytest.approx(analytic, abs=0.002)
+
+    def test_fleet_backend_seed_reproducible(self, profile):
+        pytest.importorskip("numpy")
+        simulate = AvailabilitySimulator(
+            profile, self.POLICIES, backend="fleet"
+        ).simulate
+        first = simulate(50, seed=9)
+        second = simulate(50, seed=9)
+        assert [m.errors for m in first.months] == [
+            m.errors for m in second.months
+        ]
+        assert [m.downtime_minutes for m in first.months] == [
+            m.downtime_minutes for m in second.months
+        ]
+
+    def test_fleet_backend_month_count_and_no_fleet_effects(self, profile):
+        pytest.importorskip("numpy")
+        summary = AvailabilitySimulator(
+            profile, self.POLICIES, backend="fleet"
+        ).simulate(40, seed=3)
+        assert len(summary.months) == 40
+        # A fleet-of-one has no repair/retirement downtime scheduled
+        # inside the horizon, so every month is pure crash downtime.
+        for month in summary.months:
+            assert month.downtime_minutes == pytest.approx(
+                month.crashes * 10.0
+            )
+
+    def test_auto_backend_matches_vectorized(self, profile):
+        pytest.importorskip("numpy")
+        auto = AvailabilitySimulator(
+            profile, self.POLICIES, backend="auto"
+        ).simulate(60, seed=4)
+        vectorized = AvailabilitySimulator(
+            profile, self.POLICIES, backend="vectorized"
+        ).simulate(60, seed=4)
+        assert [m.errors for m in auto.months] == [
+            m.errors for m in vectorized.months
+        ]
+        assert auto.mean_availability == vectorized.mean_availability

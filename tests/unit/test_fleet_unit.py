@@ -1,0 +1,517 @@
+"""Unit tests for repro.fleet (simulator, analytic model, optimizer).
+
+The acceptance behaviors pinned here:
+
+* seeded ``simulate_fleet`` is byte-identical across runs and
+  ``workers`` counts (only the ``workers`` metadata field may differ);
+* the analytic model's means sit inside the Monte Carlo CI95 on an
+  uncorrelated fleet;
+* correlated shocks provably fatten the p99 fleet-downtime tail versus
+  the independent baseline with matched marginal rates;
+* the optimizer's mixed composition dominates every single-design fleet
+  on a seeded scenario.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.availability import ErrorRateModel
+from repro.core.mapping import less_tested, typical_server
+from repro.core.taxonomy import ErrorOutcome
+from repro.core.vulnerability import VulnerabilityProfile
+from repro.fleet import (
+    AgingConfig,
+    CorrelationConfig,
+    FleetConfig,
+    FleetDesign,
+    analytic_matches_simulation,
+    analyze_fleet,
+    apportion_servers,
+    ci_contains,
+    optimize_fleet,
+    simulate_fleet,
+)
+
+pytest.importorskip("numpy")
+
+#: region -> (size, crash trials, incorrect trials) out of 1000 trials.
+REGIONS = {"private": (4000, 12, 5), "heap": (2500, 8, 9), "stack": (300, 50, 1)}
+
+
+@pytest.fixture(scope="module")
+def profile():
+    prof = VulnerabilityProfile(app="synthetic")
+    prof.region_sizes = {name: spec[0] for name, spec in REGIONS.items()}
+    for name, (_, crash_trials, incorrect_trials) in REGIONS.items():
+        cell = prof.cell(name, "single-bit soft")
+        for _ in range(crash_trials):
+            cell.record(ErrorOutcome.CRASH, 10, 0, 10, 0.5)
+        for _ in range(incorrect_trials):
+            cell.record(ErrorOutcome.INCORRECT, 100, 2, 0, 5.0)
+        for _ in range(1000 - crash_trials - incorrect_trials):
+            cell.record(ErrorOutcome.MASKED_LOGIC, 100, 0, 0, None)
+    return prof
+
+
+@pytest.fixture(scope="module")
+def designs(profile):
+    regions = sorted(profile.region_sizes)
+    return [typical_server(regions), less_tested(regions)]
+
+
+class TestDeterminism:
+    CONFIG = FleetConfig(servers=50, months=40, month_chunk=16)
+
+    def test_same_seed_byte_identical(self, profile, designs):
+        first = simulate_fleet(
+            profile, designs=designs, config=self.CONFIG, seed=5
+        )
+        second = simulate_fleet(
+            profile, designs=designs, config=self.CONFIG, seed=5
+        )
+        assert first.to_dict() == second.to_dict()
+
+    def test_workers_do_not_change_results(self, profile, designs):
+        serial = simulate_fleet(
+            profile, designs=designs, config=self.CONFIG, seed=5, workers=1
+        )
+        threaded = simulate_fleet(
+            profile, designs=designs, config=self.CONFIG, seed=5, workers=3
+        )
+        # Byte-identical per-month series...
+        assert serial.downtime_by_month == threaded.downtime_by_month
+        assert serial.errors_by_month == threaded.errors_by_month
+        assert serial.availability_by_month == threaded.availability_by_month
+        # ...and only the workers metadata field may differ in the dict.
+        serial_dict, threaded_dict = serial.to_dict(), threaded.to_dict()
+        assert serial_dict.pop("workers") == 1
+        assert threaded_dict.pop("workers") == 3
+        assert serial_dict == threaded_dict
+
+    def test_different_seeds_differ(self, profile, designs):
+        first = simulate_fleet(
+            profile, designs=designs, config=self.CONFIG, seed=5
+        )
+        second = simulate_fleet(
+            profile, designs=designs, config=self.CONFIG, seed=6
+        )
+        assert first.downtime_by_month != second.downtime_by_month
+
+
+class TestAnalyticCrossValidation:
+    def test_analytic_within_mc_ci(self, profile, designs):
+        config = FleetConfig(servers=60, months=120, month_chunk=32)
+        simulated = simulate_fleet(
+            profile, designs=designs, config=config, seed=3
+        )
+        analytic = analyze_fleet(profile, designs=designs, config=config)
+        verdicts = analytic_matches_simulation(analytic, simulated)
+        assert verdicts == {
+            "machine_availability": True,
+            "fleet_availability": True,
+        }
+        assert simulated.mean_machine_availability == pytest.approx(
+            analytic.mean_machine_availability, abs=0.002
+        )
+
+    def test_per_design_availability_ordering(self, profile, designs):
+        # Less-tested DRAM (5x error rate, no ECC) must be strictly less
+        # available than the fully corrected typical server.
+        config = FleetConfig(servers=60, months=60, month_chunk=32)
+        simulated = simulate_fleet(
+            profile, designs=designs, config=config, seed=3
+        )
+        analytic = analyze_fleet(profile, designs=designs, config=config)
+        for result in (simulated, analytic):
+            assert result.machine_availability_of(
+                "Typical Server"
+            ) > result.machine_availability_of("Less-Tested (L)")
+
+    def test_ci_contains(self):
+        assert ci_contains((0.4, 0.6), 0.5)
+        assert not ci_contains((0.4, 0.6), 0.7)
+
+
+class TestCorrelatedShocks:
+    def test_correlated_mode_fattens_p99_tail(self, profile, designs):
+        """Same marginal shock rate; only the coupling differs — the
+        correlated fleet's p99 monthly downtime must sit above the
+        independent baseline while the means stay matched."""
+        correlated = CorrelationConfig(
+            shock_rate_per_month=1.0,
+            shock_cohort_fraction=0.4,
+            shock_downtime_minutes=60.0,
+        )
+        base = dict(servers=200, months=120, month_chunk=32)
+        sim_corr = simulate_fleet(
+            profile,
+            designs=designs,
+            config=FleetConfig(correlation=correlated, **base),
+            seed=7,
+        )
+        sim_ind = simulate_fleet(
+            profile,
+            designs=designs,
+            config=FleetConfig(
+                correlation=correlated.as_independent(), **base
+            ),
+            seed=7,
+        )
+        assert sim_corr.downtime_percentile(99) > sim_ind.downtime_percentile(99)
+        mean_corr = sum(sim_corr.downtime_by_month) / len(sim_corr.downtime_by_month)
+        mean_ind = sum(sim_ind.downtime_by_month) / len(sim_ind.downtime_by_month)
+        assert mean_corr == pytest.approx(mean_ind, rel=0.05)
+
+    def test_analytic_variance_reflects_coupling(self, profile, designs):
+        correlated = CorrelationConfig(
+            shock_rate_per_month=1.0,
+            shock_cohort_fraction=0.4,
+            shock_downtime_minutes=60.0,
+        )
+        base = dict(servers=200, months=24)
+        ana_corr = analyze_fleet(
+            profile,
+            designs=designs,
+            config=FleetConfig(correlation=correlated, **base),
+        )
+        ana_ind = analyze_fleet(
+            profile,
+            designs=designs,
+            config=FleetConfig(
+                correlation=correlated.as_independent(), **base
+            ),
+        )
+        assert all(
+            vc > vi
+            for vc, vi in zip(
+                ana_corr.var_downtime_by_month, ana_ind.var_downtime_by_month
+            )
+        )
+        assert list(ana_corr.mean_downtime_by_month) == pytest.approx(
+            list(ana_ind.mean_downtime_by_month)
+        )
+
+    def test_bad_batch_raises_error_volume(self, profile, designs):
+        base = dict(servers=40, months=48, month_chunk=16)
+        clean = simulate_fleet(
+            profile, designs=designs, config=FleetConfig(**base), seed=2
+        )
+        bad = simulate_fleet(
+            profile,
+            designs=designs,
+            config=FleetConfig(
+                correlation=CorrelationConfig(
+                    bad_batch_fraction=0.5, bad_batch_multiplier=4.0
+                ),
+                **base,
+            ),
+            seed=2,
+        )
+        assert sum(bad.errors_by_month) > 1.5 * sum(clean.errors_by_month)
+
+
+class TestAgingAndRepair:
+    def test_bathtub_aging_raises_error_volume(self, profile, designs):
+        base = dict(servers=40, months=48, month_chunk=16)
+        flat = simulate_fleet(
+            profile, designs=designs, config=FleetConfig(**base), seed=2
+        )
+        aged = simulate_fleet(
+            profile,
+            designs=designs,
+            config=FleetConfig(aging=AgingConfig(), **base),
+            seed=2,
+        )
+        assert sum(aged.errors_by_month) > sum(flat.errors_by_month)
+
+    def test_aging_curve_shape(self):
+        curve = AgingConfig()
+        assert curve.multiplier(0.0) > curve.multiplier(12.0)  # infant decay
+        assert curve.multiplier(48.0) > curve.multiplier(36.0)  # wear-out
+        flat = AgingConfig.flat()
+        assert flat.multiplier(0.0) == flat.multiplier(47.0) == 1.0
+
+    def test_rolling_repair_happens_and_costs_downtime(self, profile, designs):
+        config = FleetConfig(
+            servers=40,
+            months=48,
+            month_chunk=16,
+            repair_downtime_minutes=30.0,
+        )
+        result = simulate_fleet(
+            profile, designs=designs, config=config, seed=2
+        )
+        assert sum(result.repairs_by_month) > 0
+        # Staggered deployment: never the whole fleet in one month.
+        assert max(result.repairs_by_month) < config.servers
+
+
+class TestBackends:
+    def test_scalar_matches_vectorized_statistics(self, profile, designs):
+        error_model = ErrorRateModel(errors_per_server_month=40.0)
+        config = FleetConfig(servers=8, months=60, month_chunk=16)
+        scalar = simulate_fleet(
+            profile,
+            designs=designs,
+            config=config,
+            seed=11,
+            backend="scalar",
+            error_model=error_model,
+        )
+        vectorized = simulate_fleet(
+            profile,
+            designs=designs,
+            config=config,
+            seed=11,
+            backend="vectorized",
+            error_model=error_model,
+        )
+        assert scalar.backend == "scalar"
+        assert vectorized.backend == "vectorized"
+        assert sum(scalar.crashes_by_month) == pytest.approx(
+            sum(vectorized.crashes_by_month), rel=0.15
+        )
+        assert scalar.mean_machine_availability == pytest.approx(
+            vectorized.mean_machine_availability, abs=0.002
+        )
+
+    def test_auto_resolves_to_vectorized_with_numpy(self, profile, designs):
+        config = FleetConfig(servers=10, months=12, month_chunk=8)
+        result = simulate_fleet(
+            profile, designs=designs, config=config, backend="auto"
+        )
+        assert result.backend == "vectorized"
+
+    def test_unknown_backend_rejected(self, profile, designs):
+        with pytest.raises(ValueError):
+            simulate_fleet(profile, designs=designs, backend="fpga")
+
+
+class TestOptimizer:
+    def test_mixed_composition_dominates_singles(self, profile, designs):
+        """At 99% demand, the all-less-tested fleet misses the target
+        and the all-typical fleet saves nothing; a mix must win."""
+        config = FleetConfig(servers=1000, months=24, demand_fraction=0.99)
+        result = optimize_fleet(
+            profile,
+            designs=designs,
+            config=config,
+            availability_target=0.9995,
+            step=0.05,
+        )
+        assert result.best is not None
+        assert result.best.mixed
+        assert result.best.cost_savings > 0
+        assert result.mixed_dominates_singles
+        singles = result.singles
+        assert not singles["Less-Tested (L)"].feasible
+        assert singles["Typical Server"].cost_savings == 0.0
+        for single in singles.values():
+            if single.feasible:
+                assert single.cost_savings < result.best.cost_savings
+        assert result.evaluated == 21  # step 0.05 over 2 designs
+
+    def test_pareto_front_is_nondominated(self, profile, designs):
+        config = FleetConfig(servers=200, months=12, demand_fraction=0.99)
+        result = optimize_fleet(
+            profile,
+            designs=designs,
+            config=config,
+            availability_target=0.999,
+            step=0.1,
+        )
+        front = result.pareto
+        assert front
+        for a in front:
+            for b in front:
+                if a is b:
+                    continue
+                assert not (
+                    b.cost_savings >= a.cost_savings
+                    and b.fleet_availability >= a.fleet_availability
+                    and (
+                        b.cost_savings > a.cost_savings
+                        or b.fleet_availability > a.fleet_availability
+                    )
+                )
+
+    def test_impossible_target_reports_no_best(self, profile, designs):
+        config = FleetConfig(servers=50, months=12, demand_fraction=1.0)
+        result = optimize_fleet(
+            profile,
+            designs=designs,
+            config=config,
+            availability_target=1.0,
+            step=0.5,
+        )
+        # All-typical at full demand still hits 1.0 only if no repair
+        # downtime lands; either way the result object stays consistent.
+        assert result.evaluated == 3
+        if result.best is None:
+            assert not result.mixed_dominates_singles
+
+    def test_to_dict_round_trips_json(self, profile, designs):
+        import json
+
+        config = FleetConfig(servers=100, months=12)
+        result = optimize_fleet(
+            profile, designs=designs, config=config, step=0.5
+        )
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["evaluated"] == result.evaluated
+
+
+class TestConfigValidation:
+    def test_fleet_config_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            FleetConfig(servers=0)
+        with pytest.raises(ValueError):
+            FleetConfig(months=0)
+        with pytest.raises(ValueError):
+            FleetConfig(demand_fraction=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(demand_fraction=1.5)
+        with pytest.raises(ValueError):
+            FleetConfig(retirement_age_months=0)
+        with pytest.raises(ValueError):
+            FleetConfig(repair_downtime_minutes=-1)
+        with pytest.raises(ValueError):
+            FleetConfig(month_chunk=0)
+
+    def test_configs_are_keyword_only(self):
+        with pytest.raises(TypeError):
+            FleetConfig(1000)
+        with pytest.raises(TypeError):
+            AgingConfig(1.0)
+        with pytest.raises(TypeError):
+            CorrelationConfig(0.5)
+
+    def test_correlation_validation(self):
+        with pytest.raises(ValueError):
+            CorrelationConfig(shock_rate_per_month=-1)
+        with pytest.raises(ValueError):
+            CorrelationConfig(shock_cohort_fraction=1.5)
+        with pytest.raises(ValueError):
+            CorrelationConfig(bad_batch_multiplier=0.5)
+        with pytest.raises(ValueError):
+            CorrelationConfig(mode="entangled")
+        marginal = CorrelationConfig(
+            shock_rate_per_month=2.0, shock_cohort_fraction=0.25
+        )
+        assert marginal.shock_marginal_rate == pytest.approx(0.5)
+        assert marginal.as_independent().mode == "independent"
+
+    def test_aging_validation(self):
+        with pytest.raises(ValueError):
+            AgingConfig(infant_multiplier=-1)
+        with pytest.raises(ValueError):
+            AgingConfig(infant_tau_months=0)
+        with pytest.raises(ValueError):
+            AgingConfig(wearout_slope_per_month=-0.1)
+
+    def test_fleet_design_validation(self):
+        with pytest.raises(ValueError):
+            FleetDesign(name="", policies={})
+        with pytest.raises(ValueError):
+            FleetDesign(name="x", policies={})
+
+    def test_apportion_servers(self):
+        counts = apportion_servers(
+            10, {"a": 0.35, "b": 0.35, "c": 0.30}
+        )
+        assert sum(counts.values()) == 10
+        assert counts == {"a": 4, "b": 3, "c": 3}  # name-tiebreak on a/b
+        with pytest.raises(ValueError):
+            apportion_servers(10, {"a": 0.7})
+        with pytest.raises(ValueError):
+            apportion_servers(10, {})
+
+
+class TestEngineResolution:
+    def test_default_designs_are_paper_design_points(self, profile):
+        config = FleetConfig(servers=10, months=6, month_chunk=8)
+        result = simulate_fleet(profile, config=config)
+        assert set(result.composition) == {
+            "Typical Server",
+            "Consumer PC",
+            "Detect&Recover",
+            "Less-Tested (L)",
+            "Detect&Recover/L",
+        }
+        assert sum(result.composition.values()) == 10
+
+    def test_explicit_composition_respected(self, profile, designs):
+        config = FleetConfig(servers=10, months=6, month_chunk=8)
+        result = simulate_fleet(
+            profile,
+            designs=designs,
+            composition={"Typical Server": 0.8, "Less-Tested (L)": 0.2},
+            config=config,
+        )
+        assert result.composition == {
+            "Typical Server": 8,
+            "Less-Tested (L)": 2,
+        }
+
+    def test_unknown_composition_name_rejected(self, profile, designs):
+        with pytest.raises(ValueError):
+            simulate_fleet(
+                profile, designs=designs, composition={"Mystery": 1.0}
+            )
+
+    def test_fleet_design_savings_passthrough(self, profile, designs):
+        pinned = [
+            FleetDesign(
+                name=design.name,
+                policies=design.policies,
+                server_cost_savings=0.1 * (index + 1),
+            )
+            for index, design in enumerate(designs)
+        ]
+        config = FleetConfig(servers=100, months=6)
+        result = optimize_fleet(
+            profile, designs=pinned, config=config, step=0.5
+        )
+        assert result.evaluated == 3
+
+    def test_result_dict_is_json_serializable(self, profile, designs):
+        import json
+
+        config = FleetConfig(servers=10, months=6, month_chunk=8)
+        result = simulate_fleet(profile, designs=designs, config=config)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["servers"] == 10
+        assert payload["months"] == 6
+        assert payload["totals"]["errors"] == sum(result.errors_by_month)
+
+    def test_observer_records_spans_and_instruments(self, profile, designs):
+        from repro.obs import EventBuffer, MetricsRegistry, Observer
+
+        buffer = EventBuffer()
+        observer = Observer(sinks=[buffer], metrics=MetricsRegistry())
+        config = FleetConfig(servers=10, months=6, month_chunk=8)
+        simulate_fleet(
+            profile, designs=designs, config=config, observer=observer
+        )
+        observer.close()
+        names = {event.name for event in buffer.events}
+        assert {"fleet", "fleet_phase"} <= names
+        metrics = observer.metrics.to_dict()
+        totals = metrics["fleet_server_months_total"]["values"]
+        assert sum(totals.values()) == 60
+
+
+class TestResultStatistics:
+    def test_percentiles_and_ci(self, profile, designs):
+        config = FleetConfig(servers=20, months=50, month_chunk=16)
+        result = simulate_fleet(
+            profile, designs=designs, config=config, seed=1
+        )
+        assert result.downtime_percentile(5) <= result.downtime_percentile(95)
+        low, high = result.confidence_interval("machine_availability")
+        assert low <= result.mean_machine_availability <= high
+        with pytest.raises(ValueError):
+            result.downtime_percentile(200)
+        with pytest.raises(ValueError):
+            result.confidence_interval("vibes")
