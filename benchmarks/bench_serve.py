@@ -1,21 +1,22 @@
 #!/usr/bin/env python
-"""Serving-layer throughput + determinism → ``BENCH_serve.json``.
+"""Serve data-plane throughput + determinism → ``BENCH_serve.json``.
 
-Times a seeded ``repro serve`` session at a nonzero error rate: the
-asyncio multiplexer drives the three tenant workloads over a live
-HRM-partitioned address space while faults arrive, Table 2 policies
-respond, and every event lands in the JSONL ledger. Reported numbers:
+Times the same seeded ``repro serve`` session under both data planes —
+the scalar per-request loop and the span-fused batched plane — at a
+high offered load (so serving work, not per-tick coordination,
+dominates) and a nonzero error rate. Reported numbers, per plane:
 
 * sustained requests/second and ticks/second over the session;
-* per-tenant availability as replayed from the ledger;
 * a determinism check — the session runs twice and the two ledgers
   must be byte-identical (recorded, and a hard failure here);
 * a replay audit — availability recomputed from the ledger alone must
   equal the live instruments.
 
-The headline number is ``requests_per_sec``, which gates CI at
-50 req/s in ``--smoke`` mode (a deliberately low bar — the gate exists
-to catch pathological slowdowns, not to race hardware).
+Across planes, the scalar and batched ledgers must be byte-identical
+(asserted before any timing is reported — a speedup over a divergent
+execution would be meaningless). The headline number is ``speedup``
+(batched req/s over scalar req/s), which gates CI at 2x in ``--smoke``
+mode; the committed full run targets 5x.
 
 Usage::
 
@@ -34,30 +35,65 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.serve import (  # noqa: E402
     ServeConfig,
+    default_tenants,
     load_ledger,
     replay_ledger,
     run_serve,
 )
 
-SMOKE_GATE_REQUESTS_PER_SEC = 50.0
+SMOKE_GATE_SPEEDUP = 2.0
+FULL_TARGET_SPEEDUP = 5.0
+PLANES = ("scalar", "batched")
 
-FULL = dict(duration_ticks=400, error_rate=1.0, seed=20140622)
-SMOKE = dict(duration_ticks=60, error_rate=1.0, seed=20140622)
+FULL = dict(duration_ticks=400, error_rate=0.25, seed=20140622)
+SMOKE = dict(duration_ticks=60, error_rate=0.25, seed=20140622)
 SCALE = {"full": 0.5, "smoke": 0.3}
+LOAD = {"full": 16.0, "smoke": 16.0}
 
 
-def run_session(config: ServeConfig, ledger: Path, scale: float):
+def run_session(base: dict, plane: str, ledger: Path, scale: float, load: float):
+    """One seeded session under ``plane``; tenants are built fresh."""
+    config = ServeConfig(**base, data_plane=plane)
+    tenants = default_tenants(scale=scale, load=load)
     start = time.perf_counter()
-    result = run_serve(config, ledger_path=ledger, scale=scale)
+    result = run_serve(config, tenants=tenants, ledger_path=ledger)
     elapsed = time.perf_counter() - start
     return result, elapsed
+
+
+def bench_plane(base: dict, plane: str, ledger: Path, scale: float, load: float):
+    """Timed run + determinism twin + replay audit for one plane."""
+    result, elapsed = run_session(base, plane, ledger, scale, load)
+
+    twin_path = ledger.with_suffix(".twin.jsonl")
+    run_session(base, plane, twin_path, scale, load)
+    byte_identical = ledger.read_bytes() == twin_path.read_bytes()
+    twin_path.unlink()
+
+    replay = replay_ledger(load_ledger(ledger))
+    audit_exact = all(
+        summary.availability == result.instruments.availability_of(name)
+        for name, summary in replay.tenants.items()
+    )
+
+    requests_total = result.total_requests()
+    return {
+        "wall_seconds": round(elapsed, 4),
+        "ticks_per_sec": round(base["duration_ticks"] / elapsed, 2),
+        "requests_per_sec": round(requests_total / elapsed, 2),
+        "requests_total": requests_total,
+        "ledger_events": len(result.events),
+        "availability": result.availability(),
+        "determinism": {"byte_identical": byte_identical},
+        "replay_audit": {"exact": audit_exact},
+    }
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
-        help="short session with the CI throughput gate",
+        help="short session with the CI speedup gate",
     )
     parser.add_argument(
         "--out", type=Path, default=REPO_ROOT / "BENCH_serve.json",
@@ -65,88 +101,89 @@ def main() -> int:
     )
     parser.add_argument(
         "--ledger-out", type=Path, default=REPO_ROOT / "serve_ledger.jsonl",
-        help="ledger path for the timed run",
+        help="ledger path stem for the timed runs",
     )
     arguments = parser.parse_args()
 
     mode = "smoke" if arguments.smoke else "full"
-    config = ServeConfig(**(SMOKE if arguments.smoke else FULL))
+    base = SMOKE if arguments.smoke else FULL
     scale = SCALE[mode]
+    load = LOAD[mode]
 
     print(
-        f"serve bench ({mode}): {config.duration_ticks} ticks @ "
-        f"error rate {config.error_rate}/tick, seed {config.seed}"
-    )
-    result, elapsed = run_session(config, arguments.ledger_out, scale)
-
-    # Determinism: a second run must reproduce the ledger byte for byte.
-    twin_path = arguments.ledger_out.with_suffix(".twin.jsonl")
-    twin, _ = run_session(config, twin_path, scale)
-    byte_identical = (
-        arguments.ledger_out.read_bytes() == twin_path.read_bytes()
-    )
-    twin_path.unlink()
-
-    # Replay audit: the ledger alone reproduces the live gauges.
-    replay = replay_ledger(load_ledger(arguments.ledger_out))
-    audit_exact = all(
-        summary.availability == result.instruments.availability_of(name)
-        for name, summary in replay.tenants.items()
+        f"serve bench ({mode}): {base['duration_ticks']} ticks @ "
+        f"error rate {base['error_rate']}/tick, seed {base['seed']}, "
+        f"load x{load:g}, planes {', '.join(PLANES)}"
     )
 
-    requests_total = result.total_requests()
-    faults_total = sum(
-        sum(summary.faults.values()) for summary in replay.tenants.values()
+    ledgers = {
+        plane: arguments.ledger_out.with_suffix(f".{plane}.jsonl")
+        for plane in PLANES
+    }
+    planes = {}
+    for plane in PLANES:
+        planes[plane] = bench_plane(base, plane, ledgers[plane], scale, load)
+        report = planes[plane]
+        print(
+            f"  {plane:8s} {report['requests_total']} requests in "
+            f"{report['wall_seconds']:.2f}s -> {report['requests_per_sec']} "
+            f"req/s, byte_identical="
+            f"{report['determinism']['byte_identical']} "
+            f"replay_audit={report['replay_audit']['exact']}"
+        )
+
+    # The speedup is only meaningful over identical executions: the two
+    # planes must have written byte-identical ledgers.
+    ledger_identical = (
+        ledgers["scalar"].read_bytes() == ledgers["batched"].read_bytes()
     )
-    responses_total = sum(
-        sum(summary.responses.values()) for summary in replay.tenants.values()
+    speedup = round(
+        planes["batched"]["requests_per_sec"]
+        / planes["scalar"]["requests_per_sec"],
+        2,
     )
+    ledgers["batched"].unlink()
+    ledgers["scalar"].rename(arguments.ledger_out)
+
     report = {
         "mode": mode,
         "config": {
-            "duration_ticks": config.duration_ticks,
-            "error_rate": config.error_rate,
-            "seed": config.seed,
+            "duration_ticks": base["duration_ticks"],
+            "error_rate": base["error_rate"],
+            "seed": base["seed"],
             "scale": scale,
+            "load": load,
         },
-        "wall_seconds": round(elapsed, 4),
-        "ticks_per_sec": round(config.duration_ticks / elapsed, 2),
-        "requests_per_sec": round(requests_total / elapsed, 2),
-        "requests_total": requests_total,
-        "faults_total": faults_total,
-        "responses_total": responses_total,
-        "ledger_events": len(result.events),
-        "availability": result.availability(),
-        "slo_fraction": {
-            name: summary.slo_fraction
-            for name, summary in replay.tenants.items()
+        "planes": planes,
+        "cross_plane": {"ledger_identical": ledger_identical},
+        "speedup": speedup,
+        "determinism": {
+            "byte_identical": all(
+                planes[p]["determinism"]["byte_identical"] for p in PLANES
+            )
         },
-        "determinism": {"byte_identical": byte_identical},
-        "replay_audit": {"exact": audit_exact},
+        "replay_audit": {
+            "exact": all(planes[p]["replay_audit"]["exact"] for p in PLANES)
+        },
     }
     arguments.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
-    print(
-        f"  {requests_total} requests in {elapsed:.2f}s -> "
-        f"{report['requests_per_sec']} req/s "
-        f"({report['ticks_per_sec']} ticks/s), "
-        f"{faults_total} faults, {responses_total} responses"
-    )
-    for name, availability in sorted(report["availability"].items()):
-        print(f"  {name:<12} availability {availability:.4f}")
-    print(
-        f"  determinism: byte_identical={byte_identical} "
-        f"replay_audit={audit_exact}"
-    )
+    print(f"  cross-plane ledgers identical: {ledger_identical}")
+    print(f"  speedup (batched/scalar): {speedup}x")
     print(f"  report -> {arguments.out}")
 
-    if not byte_identical or not audit_exact:
-        print("FAIL: determinism or replay audit broken", file=sys.stderr)
+    if not ledger_identical:
+        print("FAIL: scalar and batched ledgers diverge", file=sys.stderr)
         return 1
-    if arguments.smoke and report["requests_per_sec"] < SMOKE_GATE_REQUESTS_PER_SEC:
+    if not report["determinism"]["byte_identical"]:
+        print("FAIL: a plane is not seed-deterministic", file=sys.stderr)
+        return 1
+    if not report["replay_audit"]["exact"]:
+        print("FAIL: replay audit broken", file=sys.stderr)
+        return 1
+    if arguments.smoke and speedup < SMOKE_GATE_SPEEDUP:
         print(
-            f"FAIL: {report['requests_per_sec']} req/s below the "
-            f"{SMOKE_GATE_REQUESTS_PER_SEC} req/s smoke gate",
+            f"FAIL: {speedup}x below the {SMOKE_GATE_SPEEDUP}x smoke gate",
             file=sys.stderr,
         )
         return 1

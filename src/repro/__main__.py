@@ -83,7 +83,13 @@ from repro.obs import (
     render_trace_report,
     summarize_trace,
 )
-from repro.serve import POLICY_NAMES, ServeConfig, run_serve
+from repro.serve import (
+    DATA_PLANES,
+    POLICY_NAMES,
+    ServeConfig,
+    UnknownDataPlaneError,
+    run_serve,
+)
 from repro.serve.multiplexer import serve_session
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
@@ -121,6 +127,13 @@ def _tick_count(value: str) -> int:
             f"--duration must be >= 1 tick, got {count}"
         )
     return count
+
+
+def _data_plane(value: str) -> str:
+    """Validate ``--data-plane`` with the registry's did-you-mean text."""
+    if value not in DATA_PLANES:
+        raise argparse.ArgumentTypeError(str(UnknownDataPlaneError(value)))
+    return value
 
 
 def _server_count(value: str) -> int:
@@ -487,6 +500,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--ledger-out", type=_out_path, default=None, metavar="PATH",
         help="append every fault/policy/response event to this JSONL "
         "ledger (availability is recomputed from it on shutdown)",
+    )
+    serve.add_argument(
+        "--data-plane", type=_data_plane, default="auto", metavar="PLANE",
+        help="request-execution strategy: scalar (per-request loop), "
+        "batched (span-fused pristine runs), or auto (batched when the "
+        "memory fast path is on); the seeded ledger is byte-identical "
+        "either way (default auto)",
     )
     serve.add_argument("--seed", type=int, default=2014)
     serve.add_argument("--scale", type=float, default=0.5)
@@ -979,6 +999,7 @@ def _cmd_serve(arguments) -> int:
         error_rate=arguments.error_rate,
         policy=arguments.policy,
         seed=arguments.seed,
+        data_plane=arguments.data_plane,
     )
     slo_config = _serve_slo_config(arguments)
     print(

@@ -112,6 +112,7 @@ from repro.obs.slo import (
 )
 from repro.obs.trace import NULL_OBSERVER, Observer
 from repro.serve import (
+    DATA_PLANES as _DATA_PLANES,
     POLICY_NAMES,
     ServeConfig,
     ServeResult,
@@ -263,6 +264,7 @@ _BACKEND_KINDS: Dict[str, Tuple[str, ...]] = {
     "explore": tuple(_EXPLORE_BACKENDS),
     "simulator": tuple(_SIMULATOR_BACKENDS),
     "fleet": tuple(_FLEET_BACKENDS),
+    "serve": tuple(_DATA_PLANES),
 }
 
 
@@ -278,6 +280,7 @@ def available_backends(kind: str) -> Tuple[str, ...]:
     ``"explore"``           :func:`explore_design_space`
     ``"simulator"``         ``cluster.AvailabilitySimulator``
     ``"fleet"``             :func:`simulate_fleet`
+    ``"serve"``             :class:`ServeConfig` ``data_plane=``
     ======================  =============================================
     """
     try:

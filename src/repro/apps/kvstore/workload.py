@@ -160,6 +160,36 @@ class KVStoreWorkload(Workload):
         self._allocator.restore_state(self._alloc_state)
         self.store.item_count = self._item_count
 
+    def progress_state(self):
+        """Allocator bookkeeping plus item count, by value.
+
+        DELETEs free and SETs re-malloc mid-trace, so two cursors with
+        identical memory bytes can still differ in Python-side heap
+        state — a ``free`` issues no store. The batched serve data plane
+        compares this against the golden replay before fusing a run.
+        """
+        state = self._allocator.state()
+        return (
+            tuple(state["free"]),
+            tuple(sorted(state["live"].items())),
+            state["allocated_bytes"],
+            state["peak_bytes"],
+            self.store.item_count,
+        )
+
+    def restore_progress(self, state) -> None:
+        """Adopt the allocator bookkeeping recorded at a fused run's end."""
+        free, live, allocated_bytes, peak_bytes, item_count = state
+        self._allocator.restore_state(
+            {
+                "free": list(free),
+                "live": dict(live),
+                "allocated_bytes": allocated_bytes,
+                "peak_bytes": peak_bytes,
+            }
+        )
+        self.store.item_count = item_count
+
     @property
     def query_count(self) -> int:
         """Number of operations in the trace."""

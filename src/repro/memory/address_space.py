@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import struct
 from bisect import bisect_left
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -505,6 +505,215 @@ class AddressSpace:
         self._load_ops[index] += ops
         self._load_bytes[index] += nbytes
         self._fast_hits += ops
+
+    @property
+    def guard_interval_empty(self) -> bool:
+        """True when no address needs per-access hook dispatch.
+
+        An empty guard interval means no stuck-at overlay, tracked
+        fault, watchpoint, or disturbance aggressor exists anywhere in
+        the space — every access everywhere behaves as plain memory.
+        The batched serve data plane uses this as its cheapest
+        admission check before the version-keyed content comparison.
+        """
+        return self._guard_hi < self._guard_lo
+
+    def region_versions(self) -> Tuple[int, ...]:
+        """Current content version of every region, in region order.
+
+        The whole-space analogue of :meth:`version_at`: an unchanged
+        tuple proves stored bytes did not mutate since it was captured
+        (overlay installs excepted, which never touch stored bytes), so
+        callers can memoize whole-space comparisons on it.
+        """
+        return tuple(self._region_versions)
+
+    def stored_bytes_equal(self, image) -> bool:
+        """Whole-space comparison of stored bytes against ``image``.
+
+        One NumPy memcmp over the raw storage (overlay *not* applied —
+        pair with :attr:`guard_interval_empty` when observed bytes must
+        match too). This is the batched data plane's pristine-run
+        verification; key it on :meth:`region_versions` to skip re-runs.
+        """
+        if len(image) != self._size:
+            return False
+        return bool(
+            np.array_equal(
+                np.frombuffer(self._mem, dtype=np.uint8),
+                np.frombuffer(image, dtype=np.uint8),
+            )
+        )
+
+    def charge_recorded(
+        self, time_units: int, per_region: Sequence[Sequence[int]]
+    ) -> None:
+        """Settle the exact clock/counter debt of a fused request run.
+
+        ``per_region`` is aligned with :attr:`regions` order; each entry
+        is ``(load_ops, load_bytes, store_ops, store_bytes)``. The
+        batched data plane records these deltas during the golden
+        replay and applies them here when a pristine run is served
+        without execution, so clock and per-region counters end up
+        byte-for-byte where live execution would have left them.
+        """
+        self._time += int(time_units)
+        ops = 0
+        for index, (lops, lbytes, sops, sbytes) in enumerate(per_region):
+            if lops or lbytes:
+                self._load_ops[index] += int(lops)
+                self._load_bytes[index] += int(lbytes)
+            if sops or sbytes:
+                self._store_ops[index] += int(sops)
+                self._store_bytes[index] += int(sbytes)
+            ops += int(lops) + int(sops)
+        self._fast_hits += ops
+
+    def drain_dirty_pages(self) -> List[int]:
+        """Return and clear the pages dirtied since the last drain.
+
+        Recording hook for the batched data plane's golden replay: the
+        caller drains after every query to learn which pages that query
+        wrote, then hands the union back via :meth:`mark_pages_dirty`
+        before restoring, so incremental restore still copies everything
+        that diverged from the baseline. Only meaningful on the fast
+        path (the slow path does not track dirty pages).
+        """
+        pages = sorted(self._dirty_pages)
+        self._dirty_pages.clear()
+        return pages
+
+    def mark_pages_dirty(self, pages: Iterable[int]) -> None:
+        """Re-add drained pages to the dirty set (see :meth:`drain_dirty_pages`)."""
+        self._dirty_pages.update(pages)
+
+    def guarded_addresses(self) -> Tuple[int, ...]:
+        """Sorted addresses that need per-access hook dispatch.
+
+        The union of stuck-at overlay bytes, tracked soft faults,
+        watchpoints, and disturbance aggressors — exactly the bytes
+        where an access can observe or cause something other than
+        plain stored memory. The batched serve data plane fuses only
+        requests whose recorded golden footprint avoids every page
+        containing one of these addresses, and excuses only these
+        addresses in :meth:`stored_bytes_equal_except`.
+        """
+        addrs = set(self._overlay.masks)
+        addrs.update(self._tracked_faults)
+        addrs.update(self._watchpoints)
+        addrs.update(self._disturbances)
+        return tuple(sorted(addrs))
+
+    def soft_guard_addresses(self) -> Tuple[int, ...]:
+        """Sorted tracked-fault, watchpoint, and disturbance addresses.
+
+        The guarded addresses whose pages the batched data plane must
+        always avoid: tracked soft flips corrupt reads, watchpoints
+        have arbitrary callbacks, and disturbance aggressors flip
+        victim bytes when touched. Stuck-at overlays are reported
+        separately by :meth:`hard_fault_silence` because a *silent*
+        overlay (masks that fix the current stored byte) is
+        observationally absent for reads.
+        """
+        addrs = set(self._tracked_faults)
+        addrs.update(self._watchpoints)
+        addrs.update(self._disturbances)
+        return tuple(sorted(addrs))
+
+    def tracked_addresses(self) -> Tuple[int, ...]:
+        """Sorted tracked soft-fault addresses — the only bytes whose
+        *stored* value legitimately differs from a pristine image (a
+        soft flip XORs storage in place; overlays, watchpoints, and
+        disturbance aggressors never mutate stored bytes)."""
+        return tuple(sorted(self._tracked_faults))
+
+    def hard_fault_silence(self) -> Tuple[Tuple[int, bool], ...]:
+        """Per stuck-at overlay byte: ``(addr, silent)``, sorted.
+
+        ``silent`` means applying the overlay masks to the *current*
+        stored byte returns it unchanged — every read of that byte
+        observes plain memory. The batched data plane may fuse reads
+        of a silent overlay byte provided nothing writes the page (a
+        store could change the stored byte and wake the fault).
+        """
+        out = []
+        for addr in sorted(self._overlay.masks):
+            and_mask, or_mask = self._overlay.masks[addr]
+            byte = self._mem[addr]
+            out.append((addr, ((byte & and_mask) | or_mask) == byte))
+        return tuple(out)
+
+    def stored_bytes_equal_except(self, image, allowed: Sequence[int]) -> bool:
+        """Whole-space comparison of stored bytes, excusing ``allowed``.
+
+        True when stored memory matches ``image`` at every address not
+        in ``allowed`` (a sorted sequence). Used by the batched data
+        plane with ``allowed = guarded_addresses()``: stuck-at overlays
+        never mutate stored bytes and tracked soft flips mutate only
+        their own byte, so memory that matches the golden image outside
+        those addresses behaves identically to golden for any access
+        that stays off the guarded pages.
+        """
+        if len(image) != self._size:
+            return False
+        mine = np.frombuffer(self._mem, dtype=np.uint8)
+        theirs = np.frombuffer(image, dtype=np.uint8)
+        diff = np.flatnonzero(mine != theirs)
+        if diff.size == 0:
+            return True
+        if not allowed:
+            return False
+        allowed_arr = np.asarray(allowed, dtype=np.int64)
+        slots = np.searchsorted(allowed_arr, diff)
+        in_bounds = slots < allowed_arr.size
+        return bool(
+            np.all(in_bounds)
+            and np.all(allowed_arr[slots[in_bounds]] == diff[in_bounds])
+        )
+
+    def begin_access_capture(self) -> None:
+        """Start recording the page footprint of every validated access.
+
+        Shadows the two admission chokepoints (:meth:`_fast_index` and
+        :meth:`_region_index_for`) with wrappers that note the touched
+        pages — every load and store, typed or raw, fast or guarded,
+        validates through one of them — and forces
+        :meth:`span_is_clean` to False so drivers take their live path
+        and their reads are observed. Instance-attribute shadowing
+        keeps the production hot path completely untouched outside
+        recording. Not reentrant; pair with :meth:`end_access_capture`.
+        """
+        pages: set = set()
+        self._capture_pages = pages
+        fast_index = type(self)._fast_index.__get__(self)
+        region_index_for = type(self)._region_index_for.__get__(self)
+
+        def capturing_fast_index(addr: int, n: int) -> int:
+            if n > 0:
+                pages.update(
+                    range(addr >> _PAGE_SHIFT, ((addr + n - 1) >> _PAGE_SHIFT) + 1)
+                )
+            return fast_index(addr, n)
+
+        def capturing_region_index_for(addr: int, n: int) -> int:
+            index = region_index_for(addr, n)
+            pages.update(
+                range(addr >> _PAGE_SHIFT, ((addr + n - 1) >> _PAGE_SHIFT) + 1)
+            )
+            return index
+
+        self._fast_index = capturing_fast_index  # type: ignore[method-assign]
+        self._region_index_for = capturing_region_index_for  # type: ignore[method-assign]
+        self.span_is_clean = lambda addr, n: False  # type: ignore[method-assign]
+
+    def end_access_capture(self) -> List[int]:
+        """Stop recording and return the sorted pages touched since begin."""
+        del self._fast_index
+        del self._region_index_for
+        del self.span_is_clean
+        pages = sorted(self._capture_pages)
+        del self._capture_pages
+        return pages
 
     # ------------------------------------------------------------------
     # Typed accessors

@@ -20,7 +20,7 @@ the paper-relevant aggregates current:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.obs.events import (
     KIND_POINT,
@@ -162,6 +162,19 @@ class ServeInstruments:
         determinism invariant covers ledger bytes, not these buckets.
         """
         self.request_latency.labels(tenant=tenant).observe(seconds)
+
+    def record_latency_many(
+        self, tenant: str, seconds: Sequence[float]
+    ) -> None:
+        """Observe a whole quantum's request latencies in one fold.
+
+        The batched data plane serves fused request runs without a
+        per-request Python loop, so it reports latency once per run via
+        :meth:`Histogram.observe_many` — identical histogram state to
+        per-request :meth:`record_latency` calls, one bucket pass.
+        """
+        if seconds:
+            self.request_latency.labels(tenant=tenant).observe_many(seconds)
 
     def latency_quantiles(self, tenant: str) -> Dict[str, float]:
         """p50/p99 request latency for one tenant (0.0 when unobserved)."""

@@ -45,6 +45,7 @@ from repro.obs import (
 )
 from repro.obs.live import ObservabilityServer
 from repro.serve.admission import AdmissionController
+from repro.serve.dataplane import DATA_PLANES, UnknownDataPlaneError, make_data_plane
 from repro.serve.ledger import (
     DISPOSITIONS,
     EVENT_ADMISSION,
@@ -103,6 +104,12 @@ class ServeConfig:
         restart_downtime_ticks: Downtime charged by a restart response.
         admission_high_water: Backlog depth that starts load shedding.
         admission_low_water: Backlog depth that stops it.
+        data_plane: Request-execution strategy: ``"scalar"`` (the
+            per-request Python loop), ``"batched"`` (span-fused pristine
+            runs with live fallback), or ``"auto"`` (batched when the
+            memory fast path is enabled). Both planes write
+            byte-identical ledgers for the same seed, so the choice is
+            pure throughput and never appears in ledger attrs.
     """
 
     duration_ticks: int = 60
@@ -113,6 +120,7 @@ class ServeConfig:
     restart_downtime_ticks: int = 3
     admission_high_water: int = 8
     admission_low_water: int = 2
+    data_plane: str = "auto"
 
     def __post_init__(self) -> None:
         if self.duration_ticks < 1:
@@ -127,6 +135,8 @@ class ServeConfig:
             )
         if self.policy is not None:
             make_policy(self.policy)  # validates the name
+        if self.data_plane not in DATA_PLANES:
+            raise UnknownDataPlaneError(self.data_plane)
 
 
 @dataclass
@@ -190,20 +200,25 @@ class _TenantState:
         return policy
 
 
-def default_tenants(scale: float = 0.5) -> List[ServeTenant]:
+def default_tenants(scale: float = 0.5, load: float = 1.0) -> List[ServeTenant]:
     """The three-workload tenancy of the paper's evaluation, scaled.
 
     Request rates reflect each workload's query weight: graphmining jobs
     are whole analytics passes (one per tick), websearch queries are
-    mid-weight, key-value operations are cheap and frequent.
+    mid-weight, key-value operations are cheap and frequent. ``load``
+    multiplies every tenant's per-tick request quantum without touching
+    workload sizes — throughput benchmarks raise it so serving work,
+    not per-tick coordination, dominates the measurement.
     """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
+    if load <= 0:
+        raise ValueError(f"load must be positive, got {load}")
     return [
         ServeTenant(
             "graphmining",
             GraphMining(vertex_count=max(60, int(300 * scale)), edges_per_vertex=8),
-            requests_per_tick=1,
+            requests_per_tick=max(1, int(1 * load)),
         ),
         ServeTenant(
             "kvstore",
@@ -211,7 +226,7 @@ def default_tenants(scale: float = 0.5) -> List[ServeTenant]:
                 key_count=max(100, int(1000 * scale)),
                 op_count=max(60, int(300 * scale)),
             ),
-            requests_per_tick=8,
+            requests_per_tick=max(1, int(8 * load)),
         ),
         ServeTenant(
             "websearch",
@@ -220,7 +235,7 @@ def default_tenants(scale: float = 0.5) -> List[ServeTenant]:
                 doc_count=max(80, int(400 * scale)),
                 query_count=max(40, int(200 * scale)),
             ),
-            requests_per_tick=4,
+            requests_per_tick=max(1, int(4 * load)),
         ),
     ]
 
@@ -331,6 +346,7 @@ async def _tenant_tick(
     tick: int,
     config: ServeConfig,
     stagger: Optional[StaggerHook],
+    plane,
 ) -> List[Tuple[str, dict]]:
     """One tenant's request serving for one tick; returns its events."""
     if stagger is not None:
@@ -345,7 +361,7 @@ async def _tenant_tick(
         counts = ServeCounts()
         counts["shed"] = tenant.requests_per_tick
     else:
-        counts = tenant.serve_requests(tenant.requests_per_tick)
+        counts = plane.serve_requests(tenant, tenant.requests_per_tick)
         if tenant.needs_restart:
             # A request died fatally: the process is gone, and the only
             # possible response is a restart, whatever the policy says.
@@ -392,6 +408,9 @@ async def serve_session(
         tenant.build()
     tenants = sorted(tenants, key=lambda t: t.name)
     partition = ServePartition(tenants)
+    # Build the data plane while every tenant is pristine at its
+    # checkpoint — the batched plane records its golden traces here.
+    plane = make_data_plane(config.data_plane, tenants)
     registry = registry if registry is not None else MetricsRegistry()
     instruments = ServeInstruments(registry)
     states = {tenant.name: _TenantState(tenant, config) for tenant in tenants}
@@ -405,6 +424,9 @@ async def serve_session(
         for tenant in tenants:
             tenant.latency_sink = partial(
                 instruments.record_latency, tenant.name
+            )
+            tenant.latency_batch_sink = partial(
+                instruments.record_latency_many, tenant.name
             )
 
     # Cumulative views backing the /status snapshot (same integers the
@@ -499,7 +521,9 @@ async def serve_session(
             # Phase 2: concurrent tenant tasks (task-local state only).
             buffers = await asyncio.gather(
                 *(
-                    _tenant_tick(states[tenant.name], tick, config, stagger)
+                    _tenant_tick(
+                        states[tenant.name], tick, config, stagger, plane
+                    )
                     for tenant in tenants
                 )
             )

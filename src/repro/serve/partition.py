@@ -28,6 +28,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.design_space import HardwareTechnique
 from repro.dram.device import DramDevice
 from repro.dram.fault_models import DramFaultModel, FailureMode
@@ -144,6 +146,13 @@ class ServePartition:
         # allocation id -> (tenant, region); mirrors self.memory.allocations.
         self._owners: Dict[int, Tuple[ServeTenant, object]] = {}
         self._place_regions()
+        self._build_interval_map()
+        # Sorted retired-page array for vectorized filtering, cached by
+        # the (monotonically growing) retired-page count.
+        self._retired_cache: Tuple[int, np.ndarray] = (
+            0,
+            np.empty(0, dtype=np.int64),
+        )
 
     # ------------------------------------------------------------------
     # Placement
@@ -207,6 +216,53 @@ class ServePartition:
                 allocation = self.memory.allocate(region.size, technique)
                 self._owners[id(allocation)] = (tenant, region)
             tenant.attach_retirement(self.retirement, self.host_addr_of(tenant))
+
+    def _build_interval_map(self) -> None:
+        """Flatten allocations into one sorted interval map.
+
+        Keyed on the global coordinate ``channel * channel_size +
+        channel_addr``: per-channel allocations are disjoint, so the
+        global intervals are too, and one ``np.searchsorted`` resolves a
+        whole footprint's owners at once where the scalar router walked
+        ``allocation_at``'s linear scan per erroneous byte.
+        """
+        channel_size = self.geometry.channel_size
+        entries = []
+        for allocation in self.memory.allocations:
+            tenant, region = self._owners[id(allocation)]
+            start = allocation.channel * channel_size + allocation.offset
+            entries.append((start, allocation, tenant, region))
+        entries.sort(key=lambda e: e[0])
+        self._alloc_starts = np.asarray(
+            [start for start, _, _, _ in entries], dtype=np.int64
+        )
+        self._alloc_ends = self._alloc_starts + np.asarray(
+            [alloc.size for _, alloc, _, _ in entries], dtype=np.int64
+        )
+        self._alloc_offsets = np.asarray(
+            [alloc.offset for _, alloc, _, _ in entries], dtype=np.int64
+        )
+        self._alloc_bases = np.asarray(
+            [region.base for _, _, _, region in entries], dtype=np.int64
+        )
+        self._alloc_corrects = np.asarray(
+            [alloc.technique.corrects_single_bit for _, alloc, _, _ in entries],
+            dtype=bool,
+        )
+        self._alloc_owner = [
+            (tenant, region, alloc.technique)
+            for _, alloc, tenant, region in entries
+        ]
+
+    def _retired_pages_array(self) -> np.ndarray:
+        """Sorted retired pages; refreshed only when retirement grew."""
+        pages = self.device.retired_pages
+        if self._retired_cache[0] != len(pages):
+            self._retired_cache = (
+                len(pages),
+                np.asarray(sorted(pages), dtype=np.int64),
+            )
+        return self._retired_cache[1]
 
     def host_addr_of(self, tenant: ServeTenant):
         """Mapping from a tenant address to its host physical address."""
@@ -272,23 +328,52 @@ class ServePartition:
         if error_rate <= 0:
             return batch
         count = poisson_variate(rng, error_rate)
+        channels = self.geometry.channels
+        channel_size = self.geometry.channel_size
         for footprint in self.fault_model.draw_batch(rng, count):
             batch.footprints += 1
+            addrs = np.asarray(footprint.addresses, dtype=np.int64)
+            if addrs.size == 0:
+                continue
+            # Vectorized routing: page filter, channel interleave, and
+            # allocation lookup for the whole footprint at once.
+            retired_pages = self._retired_pages_array()
+            if retired_pages.size:
+                pages = addrs // 4096
+                found = np.minimum(
+                    np.searchsorted(retired_pages, pages),
+                    retired_pages.size - 1,
+                )
+                retired_mask = retired_pages[found] == pages
+            else:
+                retired_mask = np.zeros(addrs.size, dtype=bool)
+            lines, offsets = np.divmod(addrs, CACHE_LINE_SIZE)
+            byte_channels = lines % channels
+            channel_addrs = (lines // channels) * CACHE_LINE_SIZE + offsets
+            keys = byte_channels * channel_size + channel_addrs
+            slots = np.searchsorted(self._alloc_starts, keys, side="right") - 1
+            clipped = np.clip(slots, 0, None)
+            mapped_mask = (
+                ~retired_mask
+                & (slots >= 0)
+                & (keys < self._alloc_ends[clipped])
+            )
+            batch.retired_bytes += int(retired_mask.sum())
+            batch.unmapped_bytes += int((~retired_mask & ~mapped_mask).sum())
+            # Batched hardware filter: SEC-DED absorbs single-bit bytes
+            # on correcting channels; everything else reaches software.
+            if footprint.mode is FailureMode.SINGLE_BIT:
+                corrected_mask = mapped_mask & self._alloc_corrects[clipped]
+            else:
+                corrected_mask = np.zeros(addrs.size, dtype=bool)
+            tenant_addrs = self._alloc_bases[clipped] + (
+                channel_addrs - self._alloc_offsets[clipped]
+            )
             routed_by_owner: Dict[Tuple[str, str], RoutedFault] = {}
-            for addr, bit in zip(footprint.addresses, footprint.bits):
-                if addr // 4096 in self.device.retired_pages:
-                    batch.retired_bytes += 1
-                    continue
-                channel = self.geometry.channel_of(addr)
-                line, offset = divmod(addr, CACHE_LINE_SIZE)
-                channel_addr = (line // self.geometry.channels) * CACHE_LINE_SIZE + offset
-                allocation = self.memory.allocation_at(channel, channel_addr)
-                if allocation is None:
-                    batch.unmapped_bytes += 1
-                    continue
-                tenant, region = self._owners[id(allocation)]
-                tenant_addr = region.base + (channel_addr - allocation.offset)
-                technique = allocation.technique
+            # Scalar tail in original byte order: fault application and
+            # FaultEvent emission must match the draw order exactly.
+            for index in np.flatnonzero(mapped_mask):
+                tenant, region, technique = self._alloc_owner[slots[index]]
                 key = (tenant.name, region.name)
                 routed = routed_by_owner.get(key)
                 if routed is None:
@@ -296,29 +381,27 @@ class ServePartition:
                         tenant=tenant.name,
                         mode=footprint.mode.value,
                         kind=footprint.kind,
-                        channel=channel,
+                        channel=int(byte_channels[index]),
                         technique=technique.value,
                         region=region.name,
                     )
                     routed_by_owner[key] = routed
-                if (
-                    technique.corrects_single_bit
-                    and footprint.mode is FailureMode.SINGLE_BIT
-                ):
+                if corrected_mask[index]:
                     # Corrected in hardware; software never sees it.
                     routed.corrected += 1
                     continue
+                tenant_addr = int(tenant_addrs[index])
+                bit = footprint.bits[index]
                 tenant.apply_fault(tenant_addr, bit, footprint.kind)
                 routed.injected += 1
-                detected = technique is not HardwareTechnique.NONE
-                if detected:
+                if technique is not HardwareTechnique.NONE:
                     routed.detected.append(
                         FaultEvent(
                             addr=tenant_addr,
                             bit=bit,
                             kind=footprint.kind,
                             mode=footprint.mode.value,
-                            channel=channel,
+                            channel=int(byte_channels[index]),
                             technique=technique.value,
                             region=region.name,
                             detected=True,

@@ -73,6 +73,12 @@ class ServeTenant:
         #: latency in seconds. Observational telemetry only — latency
         #: never reaches the ledger, so the determinism invariant holds.
         self.latency_sink: Optional[Callable[[float], None]] = None
+        #: Optional batch variant: called once per fused run with the
+        #: per-request latencies, folding telemetry off the hot path.
+        self.latency_batch_sink: Optional[Callable[[List[float]], None]] = None
+        #: Bumped on every checkpoint restore (restart or epoch wrap);
+        #: the batched data plane keys its rolling golden image on this.
+        self.generation = 0
 
         self._cursor = 0
         self._golden: List[object] = []
@@ -181,6 +187,7 @@ class ServeTenant:
         self._resident.clear()
         self.workload.reset()  # restore() clears all faults
         self._cursor = 0
+        self.generation += 1
         self.needs_restart = False
         self.pending_downtime = downtime_ticks
         return cleared
@@ -284,6 +291,26 @@ class ServeTenant:
             self._cursor += 1
         return counts
 
+    def wrap_epoch(self) -> None:
+        """Perform the epoch reset the scalar loop does implicitly.
+
+        The batched data plane checks the wrap condition before fusing
+        a run; calling this keeps the reset mechanics (and their
+        observable effects: generation bump, resident re-injection,
+        backing flushes) in one place.
+        """
+        if self._cursor >= self.workload.query_count:
+            self._epoch_reset()
+
+    def fused_advance(self, count: int) -> None:
+        """Advance the cursor past ``count`` requests served by fusion.
+
+        The batched data plane has already applied the requests' memory
+        effects and counted their dispositions; only the trace position
+        moves here.
+        """
+        self._cursor += count
+
     def _epoch_reset(self) -> None:
         """Wrap the trace: restore the checkpoint, keep resident faults.
 
@@ -297,6 +324,7 @@ class ServeTenant:
         self.workload.reset()
         self._cursor = 0
         self.epochs += 1
+        self.generation += 1
         for addr, (bit, stuck_value) in self._resident.items():
             self.space.inject_hard_fault(addr, bit, stuck_value)
         for backing in self._backings.values():

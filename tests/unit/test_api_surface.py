@@ -72,7 +72,7 @@ class TestDeprecatedAliases:
 
 class TestAvailableBackends:
     def test_known_kinds(self):
-        for kind in ("campaign", "search", "explore", "simulator", "fleet"):
+        for kind in ("campaign", "search", "explore", "simulator", "fleet", "serve"):
             backends = api.available_backends(kind)
             assert isinstance(backends, tuple) and backends
             assert all(isinstance(name, str) for name in backends)
@@ -82,6 +82,13 @@ class TestAvailableBackends:
             "auto",
             "scalar",
             "vectorized",
+        )
+
+    def test_serve_backends_are_the_data_planes(self):
+        assert api.available_backends("serve") == (
+            "auto",
+            "batched",
+            "scalar",
         )
 
     def test_simulator_kind_includes_fleet_delegation(self):

@@ -390,3 +390,29 @@ class TestParser:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["characterize", "--app", "nope"])
+
+
+class TestServeDataPlaneFlag:
+    def test_unknown_plane_suggests_and_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--data-plane", "bacthed"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "valid planes" in err
+        assert "did you mean 'batched'?" in err
+
+    def test_far_off_plane_still_lists_valid_names(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--data-plane", "quantum"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "auto, batched, scalar" in err
+
+    @pytest.mark.parametrize("plane", ["auto", "batched", "scalar"])
+    def test_valid_planes_serve_identical_summaries(self, plane, capsys):
+        assert main([
+            "serve", "--duration", "4", "--seed", "7",
+            "--data-plane", plane, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["duration_ticks"] == 4

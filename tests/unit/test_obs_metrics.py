@@ -295,3 +295,42 @@ class TestHistogramQuantile:
         histogram.observe(1.0)
         histogram.observe(2.0)
         assert histogram.quantile(0.5) == pytest.approx(5.0)
+
+
+class TestHistogramObserveMany:
+    def test_matches_repeated_observe(self):
+        values = [0.5, 5.0, 50.0, 500.0, 1.0, 10.0, 0.25]
+        one_by_one = Histogram(buckets=(1.0, 10.0, 100.0))
+        for value in values:
+            one_by_one.observe(value)
+        batched = Histogram(buckets=(1.0, 10.0, 100.0))
+        batched.observe_many(values)
+        assert batched.bucket_counts == one_by_one.bucket_counts
+        assert batched.count == one_by_one.count
+        assert batched.sum == pytest.approx(one_by_one.sum)
+        for q in (0.25, 0.5, 0.9, 0.99):
+            assert batched.quantile(q) == pytest.approx(one_by_one.quantile(q))
+
+    def test_empty_batch_is_a_no_op(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        histogram.observe(5.0)
+        histogram.observe_many([])
+        assert histogram.count == 1
+        assert histogram.sum == 5.0
+        assert histogram.bucket_counts == [0, 1]
+
+    def test_unsorted_input_and_boundary_values(self):
+        histogram = Histogram(buckets=(1.0, 10.0, 100.0))
+        histogram.observe_many([100.0, 1.0, 10.0, 0.0])
+        # Boundaries are inclusive (le semantics), matching observe().
+        assert histogram.bucket_counts == [2, 3, 4]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(111.0)
+
+    def test_accumulates_across_batches(self):
+        histogram = Histogram(buckets=(1.0, 10.0))
+        histogram.observe_many([0.5, 5.0])
+        histogram.observe_many([50.0])
+        assert histogram.count == 3
+        assert histogram.bucket_counts == [1, 2]
+        assert histogram.sum == pytest.approx(55.5)
