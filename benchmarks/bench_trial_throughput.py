@@ -1,18 +1,30 @@
 #!/usr/bin/env python
-"""Oracle-vs-fast-path trial throughput → ``BENCH_trials.json``.
+"""Oracle vs fast path vs pruned-backend trial throughput → ``BENCH_trials.json``.
 
 Runs full characterization campaigns (restart → inject → drive →
-classify, Figure 2) for all three paper workloads with the memory fast
-path disabled (the scalar oracle: every access walks the full guard
-cascade, every restore copies the whole space) versus enabled
-(dirty-page snapshot restore, fused accessors, batched workload
-drivers, pristine-replay fusion). Before any timing, both modes'
-vulnerability profiles are asserted byte-identical — the fast path is
-an optimization, never a semantics change.
+classify, Figure 2) for all three paper workloads in three modes:
 
-The headline number is the aggregate trials/second speedup across the
-three apps, which gates CI at 2× (smoke) and the acceptance bar at 5×
-(full).
+* ``oracle``  — backend="vectorized", memory fast path disabled: every
+  access walks the full guard cascade, every restore copies the whole
+  space. The scalar-equivalent ground truth.
+* ``fast``    — backend="vectorized", fast path enabled (dirty-page
+  snapshot restore, fused accessors, batched drivers, pristine-replay
+  fusion).
+* ``pruned``  — backend="pruned", fast path enabled: a golden access
+  trace pre-classifies whole trial batches and analytically resolves
+  trials whose flips land only in never-read, dead-window, or
+  SEC-DED-corrected bytes; only trials touching live-read vulnerable
+  data execute. Timing includes golden-trace recording.
+
+Each app runs under two protection configs: ``none`` (unprotected) and
+``secded`` (every region SEC-DED, so single-bit trials are fully
+correctable and pruning approaches 100%). Before any timing is
+reported, all three modes' vulnerability profiles are asserted
+byte-identical — pruning is an optimization, never a semantics change.
+
+The headline numbers are aggregate trials/second ratios: oracle→fast
+(the PR 5 data plane, CI-gated at 2× smoke) and fast→pruned (this PR,
+CI-gated at 2× smoke, acceptance bar 2.5× full).
 
 Usage::
 
@@ -48,18 +60,34 @@ APPS = {
     "graphmining": GraphMining,
 }
 
+PROTECTIONS = ("none", "secded")
+
+MODES = ("oracle", "fast", "pruned")
+
 
 def _profile_json(profile):
     return json.dumps(profile.to_dict(), sort_keys=True)
 
 
-def _run_campaign(app_factory, config, fast):
-    """One full campaign in the given memory mode; returns (json, stats)."""
-    previous = set_fastpath(fast)
+def _region_codecs(app_factory, protection):
+    """``None`` for unprotected; every region mapped to SEC-DED otherwise."""
+    if protection == "none":
+        return None
+    workload = app_factory()
+    workload.build()
+    return {region.name: "SEC-DED" for region in workload.space.regions}
+
+
+def _run_campaign(app_factory, config, mode, region_codecs):
+    """One full campaign in the given mode; returns timing + profile JSON."""
+    previous = set_fastpath(mode != "oracle")
     try:
         workload = app_factory()
         campaign = CharacterizationCampaign(
-            workload, config=config, backend="vectorized"
+            workload,
+            config=config,
+            backend="pruned" if mode == "pruned" else "vectorized",
+            region_codecs=region_codecs,
         )
         campaign.prepare()
         region_count = len(workload.space.regions)
@@ -71,33 +99,37 @@ def _run_campaign(app_factory, config, fast):
             "seconds": elapsed,
             "regions": region_count,
             "memory_stats": workload.space.fast_path_stats(),
+            "campaign": campaign,
         }
     finally:
         set_fastpath(previous)
 
 
-def bench_app(name, app_factory, config):
-    oracle = _run_campaign(app_factory, config, fast=False)
-    fast = _run_campaign(app_factory, config, fast=True)
-    # Correctness gate before any throughput claim: the fast path must
+def bench_app(name, app_factory, config, protection):
+    codecs = _region_codecs(app_factory, protection)
+    runs = {
+        mode: _run_campaign(app_factory, config, mode, codecs)
+        for mode in MODES
+    }
+    # Correctness gate before any throughput claim: every mode must
     # reproduce the oracle's vulnerability profile byte for byte.
-    assert oracle["profile_json"] == fast["profile_json"], (
-        f"{name}: fast-path profile diverges from the oracle profile"
-    )
-    cells = len(SPECS) * fast["regions"]
+    for mode in MODES[1:]:
+        assert runs[mode]["profile_json"] == runs["oracle"]["profile_json"], (
+            f"{name}/{protection}: {mode} profile diverges from the oracle"
+        )
+    cells = len(SPECS) * runs["oracle"]["regions"]
     trials = config.trials_per_cell * cells
-    stats = fast["memory_stats"]
+    stats = runs["fast"]["memory_stats"]
     checked = stats["checked_accesses"]
     fast_accesses = stats["fast_accesses"]
-    return {
+    pruning = runs["pruned"]["campaign"].pruning_stats
+    row = {
         "app": name,
+        "protection": protection,
         "trials": trials,
-        "oracle_seconds": oracle["seconds"],
-        "fast_seconds": fast["seconds"],
-        "oracle_trials_per_sec": trials / oracle["seconds"],
-        "fast_trials_per_sec": trials / fast["seconds"],
-        "speedup": oracle["seconds"] / fast["seconds"],
         "profiles_identical": True,
+        "pruning": pruning.to_dict(),
+        "pruning_rate": pruning.pruning_rate,
         "fastpath": {
             "fast_accesses": fast_accesses,
             "checked_accesses": checked,
@@ -112,10 +144,19 @@ def bench_app(name, app_factory, config):
             "restore_bytes_saved": stats["restore_bytes_saved"],
         },
     }
+    for mode in MODES:
+        row[f"{mode}_seconds"] = runs[mode]["seconds"]
+        row[f"{mode}_trials_per_sec"] = trials / runs[mode]["seconds"]
+    row["speedup"] = runs["oracle"]["seconds"] / runs["fast"]["seconds"]
+    row["pruned_vs_fast"] = runs["fast"]["seconds"] / runs["pruned"]["seconds"]
+    row["pruned_vs_oracle"] = (
+        runs["oracle"]["seconds"] / runs["pruned"]["seconds"]
+    )
+    return row
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[1])
     parser.add_argument(
         "--smoke", action="store_true",
         help="smaller trial budget for CI (same JSON schema)",
@@ -128,27 +169,30 @@ def main(argv=None):
     arguments = parser.parse_args(argv)
 
     config = CampaignConfig(
-        trials_per_cell=3 if arguments.smoke else 6,
+        trials_per_cell=12 if arguments.smoke else 24,
         queries_per_trial=20 if arguments.smoke else 40,
         seed=arguments.seed,
     )
 
     rows = []
-    total_oracle = 0.0
-    total_fast = 0.0
+    totals = {mode: 0.0 for mode in MODES}
     total_trials = 0
     for name, app_factory in APPS.items():
-        row = bench_app(name, app_factory, config)
-        rows.append(row)
-        total_oracle += row["oracle_seconds"]
-        total_fast += row["fast_seconds"]
-        total_trials += row["trials"]
-        print(
-            f"{name:<12} {row['speedup']:>5.1f}x  "
-            f"oracle {row['oracle_trials_per_sec']:>7.1f} trials/s  "
-            f"fast {row['fast_trials_per_sec']:>8.1f} trials/s  "
-            f"hit rate {row['fastpath']['hit_rate']:.3f}"
-        )
+        for protection in PROTECTIONS:
+            row = bench_app(name, app_factory, config, protection)
+            rows.append(row)
+            for mode in MODES:
+                totals[mode] += row[f"{mode}_seconds"]
+            total_trials += row["trials"]
+            stats = row["pruning"]
+            budget = stats["pruned"] + stats["executed"] + stats["fallback"]
+            print(
+                f"{name:<12} {protection:<7} "
+                f"fast {row['speedup']:>5.1f}x  "
+                f"pruned/fast {row['pruned_vs_fast']:>5.1f}x  "
+                f"pruned {stats['pruned']}/{budget} "
+                f"({row['pruning_rate']:.0%})"
+            )
 
     report = {
         "mode": "smoke" if arguments.smoke else "full",
@@ -156,18 +200,26 @@ def main(argv=None):
         "queries_per_trial": config.queries_per_trial,
         "seed": arguments.seed,
         "specs": [spec.label for spec in SPECS],
+        "protections": list(PROTECTIONS),
         "apps": rows,
         "total_trials": total_trials,
-        "oracle_trials_per_sec": total_trials / total_oracle,
-        "fast_trials_per_sec": total_trials / total_fast,
-        "aggregate_speedup": total_oracle / total_fast,
+        "oracle_trials_per_sec": total_trials / totals["oracle"],
+        "fast_trials_per_sec": total_trials / totals["fast"],
+        "pruned_trials_per_sec": total_trials / totals["pruned"],
+        "aggregate_speedup": totals["oracle"] / totals["fast"],
+        "pruned_vs_fast": totals["fast"] / totals["pruned"],
+        "pruned_vs_oracle": totals["oracle"] / totals["pruned"],
+        "profiles_identical": all(row["profiles_identical"] for row in rows),
     }
     arguments.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {arguments.out}")
     print(
-        f"aggregate {report['aggregate_speedup']:.2f}x "
+        f"aggregate oracle->fast {report['aggregate_speedup']:.2f}x  "
+        f"fast->pruned {report['pruned_vs_fast']:.2f}x  "
+        f"oracle->pruned {report['pruned_vs_oracle']:.2f}x  "
         f"({report['oracle_trials_per_sec']:.1f} -> "
-        f"{report['fast_trials_per_sec']:.1f} trials/s)"
+        f"{report['fast_trials_per_sec']:.1f} -> "
+        f"{report['pruned_trials_per_sec']:.1f} trials/s)"
     )
     return 0
 

@@ -96,12 +96,28 @@ LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def _worker_count(value: str) -> int:
-    count = int(value)
-    if count < 1:
+    from repro.exec.workers import resolve_workers
+
+    try:
+        resolved = resolve_workers(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return resolved if resolved is not None else 1
+
+
+def _region_codec(value: str):
+    name, sep, codec = value.partition("=")
+    if not sep or not name or not codec:
         raise argparse.ArgumentTypeError(
-            f"worker count must be >= 1, got {count}"
+            f"expected REGION=CODEC (e.g. heap=SEC-DED), got {value!r}"
         )
-    return count
+    from repro.core.campaign import _parse_technique
+
+    try:
+        technique = _parse_technique(codec)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return name, technique.value
 
 
 def _top_k(value: str) -> int:
@@ -298,13 +314,22 @@ def _build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--seed", type=int, default=99)
     characterize.add_argument(
         "--workers", type=_worker_count, default=1,
-        help="worker processes for the campaign (result is identical "
-        "for any worker count)",
+        help="worker processes for the campaign, or 'auto'/0 for the "
+        "usable CPU count (result is identical for any worker count)",
     )
     characterize.add_argument(
         "--backend", choices=BACKENDS, default="scalar",
         help="trial execution engine; 'vectorized' batches injection "
-        "planning through the NumPy kernels (bit-identical profile)",
+        "planning through the NumPy kernels, 'pruned' additionally "
+        "resolves footprint-decidable trials from one golden trace "
+        "(bit-identical profile either way)",
+    )
+    characterize.add_argument(
+        "--region-codec", type=_region_codec, action="append", default=None,
+        metavar="REGION=CODEC", dest="region_codecs",
+        help="protect a region with a hardware codec (e.g. heap=SEC-DED); "
+        "repeatable; corrected single-bit trials are tracked virtually "
+        "instead of corrupting memory",
     )
     characterize.add_argument(
         "--json", action="store_true", help="emit the profile as JSON"
@@ -634,6 +659,9 @@ def _cmd_characterize(arguments) -> int:
         ),
         observer=observer,
         backend=arguments.backend,
+        region_codecs=(
+            dict(arguments.region_codecs) if arguments.region_codecs else None
+        ),
     )
     workers = arguments.workers
     suffix = f" ({workers} workers)" if workers > 1 else ""

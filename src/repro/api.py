@@ -89,6 +89,7 @@ from repro.fleet.engine import (
     optimize_fleet,
     simulate_fleet,
 )
+from repro.exec.workers import resolve_workers
 from repro.fleet.analytic import AnalyticFleetResult
 from repro.fleet.optimizer import CompositionMetrics, FleetOptimizationResult
 from repro.fleet.simulator import FleetSimulationResult
@@ -210,6 +211,7 @@ API_TIERS: Dict[str, Tuple[str, ...]] = {
         "load_ledger",
         "parse_burn_windows",
         "replay_ledger",
+        "resolve_workers",
         "run_serve",
         "serve_session",
         "slo_from_ledger",
@@ -301,27 +303,35 @@ def run_campaign(
     regions: Optional[Sequence[str]] = None,
     specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
     trials_per_cell: Optional[int] = None,
-    workers: Optional[int] = None,
+    workers: Optional[object] = None,
     workload_factory: Optional[Callable[[], Workload]] = None,
     progress: Optional[Callable] = None,
+    region_codecs: Optional[Dict[str, str]] = None,
 ) -> VulnerabilityProfile:
     """Characterize ``workload`` in one call and return its profile.
 
     Wraps construct → :meth:`~CharacterizationCampaign.prepare` →
     :meth:`~CharacterizationCampaign.run`. The profile is bit-identical
-    for any ``workers`` count and either ``backend``; use
+    for any ``workers`` count and any ``backend``; use
     ``backend="vectorized"`` (batched injection planning, batched
-    instrument updates) for large trial budgets.
+    instrument updates) for large trial budgets, or ``backend="pruned"``
+    to additionally resolve footprint-decidable trials analytically from
+    one golden trace. ``workers`` accepts a count, ``"auto"``, or ``0``
+    (both resolve to the usable CPU count with a deterministic fallback
+    to 1). ``region_codecs`` maps region names to hardware codecs
+    (e.g. ``{"heap": "SEC-DED"}``); corrected single-bit trials are
+    tracked virtually instead of corrupting memory, on every backend.
     """
     campaign = CharacterizationCampaign(
-        workload, config=config, observer=observer, backend=backend
+        workload, config=config, observer=observer, backend=backend,
+        region_codecs=region_codecs,
     )
     campaign.prepare()
     return campaign.run(
         regions=regions,
         specs=specs,
         trials_per_cell=trials_per_cell,
-        workers=workers,
+        workers=resolve_workers(workers),
         workload_factory=workload_factory,
         progress=progress,
     )

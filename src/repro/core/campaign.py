@@ -38,10 +38,11 @@ import random
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.apps.base import Workload
 from repro.apps.clients import ClientDriver
+from repro.core.design_space import HardwareTechnique
 from repro.core.taxonomy import ErrorOutcome, classify_outcome
 from repro.core.vulnerability import VulnerabilityProfile
 from repro.exec.cells import CampaignCell
@@ -74,12 +75,14 @@ CACHE_FORMAT_VERSION = 3
 #: Fingerprint schema version: bumped whenever the *shape* of the
 #: fingerprint payload changes (new fields, renamed keys), so caches
 #: written before a redesign can never alias caches written after it.
-FINGERPRINT_SCHEMA_VERSION = 2
+FINGERPRINT_SCHEMA_VERSION = 3
 
 #: Trial-execution backends accepted by the campaign: the scalar
-#: reference loop, and the vectorized path that pre-plans whole trial
-#: shards through :mod:`repro.kernels` (bit-identical profiles).
-BACKENDS = ("scalar", "vectorized")
+#: reference loop, the vectorized path that pre-plans whole trial
+#: shards through :mod:`repro.kernels`, and the pruned path that
+#: additionally resolves footprint-decidable trials analytically from
+#: one golden trace (:mod:`repro.exec.pruning`) — all bit-identical.
+BACKENDS = ("scalar", "vectorized", "pruned")
 
 
 @dataclass(frozen=True)
@@ -123,6 +126,42 @@ def _normalize_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def _parse_technique(codec: Union[str, HardwareTechnique]) -> HardwareTechnique:
+    """Resolve a codec given as enum, enum value, or enum name."""
+    if isinstance(codec, HardwareTechnique):
+        return codec
+    try:
+        return HardwareTechnique(codec)
+    except ValueError:
+        pass
+    key = str(codec).strip().upper().replace("-", "_").replace(" ", "_")
+    try:
+        return HardwareTechnique[key]
+    except KeyError:
+        pass
+    # Separator-free spellings ("secded", "DECTED") still resolve.
+    squashed = key.replace("_", "")
+    for technique in HardwareTechnique:
+        if technique.name.replace("_", "") == squashed:
+            return technique
+    expected = ", ".join(technique.value for technique in HardwareTechnique)
+    raise ValueError(
+        f"unknown memory codec {codec!r}; expected one of: {expected}"
+    ) from None
+
+
+def _normalize_region_codecs(
+    region_codecs: Optional[Mapping[str, Union[str, HardwareTechnique]]],
+) -> Optional[Dict[str, str]]:
+    """Canonicalize a {region: codec} mapping to enum-value strings."""
+    if not region_codecs:
+        return None
+    return {
+        str(name): _parse_technique(codec).value
+        for name, codec in region_codecs.items()
+    }
+
+
 class CharacterizationCampaign:
     """Runs the Figure 2 loop for one workload.
 
@@ -139,7 +178,16 @@ class CharacterizationCampaign:
             ``"vectorized"`` pre-plans whole trial shards through
             :class:`~repro.kernels.planner.BatchInjectionPlanner` and
             batches instrument updates, returning a bit-identical
-            profile faster.
+            profile faster; ``"pruned"`` composes with the vectorized
+            path and additionally resolves footprint-decidable trials
+            analytically from one golden trace
+            (:mod:`repro.exec.pruning`) without executing the workload.
+        region_codecs: Optional {region name: hardware codec} mapping
+            (:class:`~repro.core.design_space.HardwareTechnique` or its
+            value/name string). Regions whose codec corrects single-bit
+            errors have single-bit trials injected as *virtual* faults —
+            consumption is tracked but memory never corrupted — across
+            every backend, so profiles stay backend-identical.
     """
 
     def __init__(
@@ -149,6 +197,7 @@ class CharacterizationCampaign:
         config: Optional[CampaignConfig] = None,
         observer: Observer = NULL_OBSERVER,
         backend: str = "scalar",
+        region_codecs: Optional[Mapping[str, Union[str, HardwareTechnique]]] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise ValueError(
@@ -158,10 +207,17 @@ class CharacterizationCampaign:
         self.config = config if config is not None else CampaignConfig()
         self.observer = observer
         self.backend = backend
+        self.region_codecs = _normalize_region_codecs(region_codecs)
+        self._corrected_regions: frozenset = frozenset()
         self._driver: Optional[ClientDriver] = None
         self._rng: Optional[random.Random] = None
         self._seed_factory: Optional[SeedSequenceFactory] = None
+        self._golden_trace = None
+        self._corrected_mask = None
         self.trials: List[TrialRecord] = []
+        from repro.exec.pruning import PruningStats
+
+        self.pruning_stats = PruningStats()
 
     def prepare(self) -> None:
         """Build the workload, checkpoint it, and record golden outputs.
@@ -181,6 +237,18 @@ class CharacterizationCampaign:
         )
         self._seed_factory = SeedSequenceFactory(self.config.seed)
         self._rng = self._seed_factory.stream(f"campaign:{self.workload.name}")
+        if self.region_codecs:
+            known = {region.name for region in self.workload.space.regions}
+            unknown = sorted(set(self.region_codecs) - known)
+            if unknown:
+                raise ValueError(
+                    f"region_codecs names unknown regions: {unknown}"
+                )
+        self._corrected_regions = frozenset(
+            name
+            for name, value in (self.region_codecs or {}).items()
+            if HardwareTechnique(value).corrects_single_bit
+        )
 
     # ------------------------------------------------------------------
     # Trial seeding
@@ -222,10 +290,20 @@ class CharacterizationCampaign:
         workload = self.workload
         space = workload.space
         if positions is not None:
-            injector = ErrorInjector(space, random.Random(0), observer=self.observer)
+            injector = ErrorInjector(
+                space,
+                random.Random(0),
+                observer=self.observer,
+                corrected_regions=self._corrected_regions,
+            )
             record = injector.inject_planned(spec, positions)
         else:
-            injector = ErrorInjector(space, rng, observer=self.observer)
+            injector = ErrorInjector(
+                space,
+                rng,
+                observer=self.observer,
+                corrected_regions=self._corrected_regions,
+            )
             record = injector.inject(spec, ranges=spans)
         injected_at = space.time
 
@@ -362,6 +440,107 @@ class CharacterizationCampaign:
             trial_indices,
         )
 
+    # ------------------------------------------------------------------
+    # Trial pruning (backend="pruned")
+    # ------------------------------------------------------------------
+    def golden_trace(self):
+        """Record (once) and return the campaign's golden access trace.
+
+        One trace serves every cell: the query budget is a config
+        constant and the fault-free replay is injection-independent.
+        """
+        if self._golden_trace is None:
+            from repro.exec.pruning import record_golden_trace
+
+            if self._driver is None:
+                self.prepare()
+            query_budget = min(
+                self.config.queries_per_trial, self.workload.query_count
+            )
+            self._golden_trace = record_golden_trace(
+                self.workload, self._driver, query_budget
+            )
+        return self._golden_trace
+
+    def corrected_mask(self):
+        """Per-byte corrected-region mask (None when nothing is protected)."""
+        if not self._corrected_regions:
+            return None
+        if self._corrected_mask is None:
+            from repro.exec.pruning import corrected_byte_mask
+
+            self._corrected_mask = corrected_byte_mask(
+                self.workload.space, self._corrected_regions
+            )
+        return self._corrected_mask
+
+    def classify_plan_trials(self, plan):
+        """Pre-classify one planned batch against the golden trace.
+
+        Returns a :class:`~repro.exec.pruning.PlanClassification`, or
+        ``None`` when the spec's fault kind has no analytic model (the
+        whole cell falls back to execution).
+        """
+        from repro.exec.pruning import classify_plan
+
+        return classify_plan(plan, self.golden_trace(), self.corrected_mask())
+
+    def classify_cell_trials(self, cell: CampaignCell, trial_indices: Sequence[int]):
+        """Plan + pre-classify one cell's trials in a single call.
+
+        The parent-process entry point used by the parallel runner:
+        planning and classification both happen before any shard is
+        dispatched, so only undecidable trials are shipped to workers.
+        """
+        plan = self.plan_cell_trials(cell, trial_indices)
+        return plan, self.classify_plan_trials(plan)
+
+    def synthesize_pruned_trial(
+        self, cell: CampaignCell, plan, local: int, outcome: ErrorOutcome
+    ) -> TrialRecord:
+        """Materialize one analytically decided trial without execution.
+
+        Emits a ``trial`` span (tagged ``pruned=True``) with the exact
+        attributes an executed golden-identical trial would carry, and
+        settles the golden replay's clock/counter deltas on the address
+        space so campaign accounting matches an executed run.
+        """
+        trace = self.golden_trace()
+        trial_index = int(plan.trial_indices[local])
+        anchor_addr = int(plan.anchor_addrs[local])
+        query_budget = min(self.config.queries_per_trial, self.workload.query_count)
+        cell_key = f"{cell.name}|{cell.spec.label}"
+        with self.observer.span(
+            SPAN_TRIAL,
+            key=str(trial_index),
+            attrs={"cell": cell_key, "trial_index": trial_index, "pruned": True},
+        ) as span:
+            self.workload.space.settle_recorded_trial(
+                trace.end_time, trace.per_region
+            )
+            span.set(
+                outcome=outcome.value,
+                masked=outcome.is_masked,
+                anchor_addr=anchor_addr,
+                responded=query_budget,
+                incorrect=0,
+                failed=0,
+                effect_delay_minutes=None,
+            )
+        trial = TrialRecord(
+            region=cell.name,
+            error_label=cell.spec.label,
+            anchor_addr=anchor_addr,
+            outcome=outcome,
+            responded=query_budget,
+            incorrect=0,
+            failed=0,
+            effect_delay_minutes=None,
+        )
+        if cell.spans is None:
+            self.trials.append(trial)
+        return trial
+
     def measure_planned_trial(
         self,
         cell: CampaignCell,
@@ -423,7 +602,9 @@ class CharacterizationCampaign:
                 )
             )
 
-    def _run_planned_cell(self, cell_def: CampaignCell, plan) -> List[TrialRecord]:
+    def _run_planned_cell(
+        self, cell_def: CampaignCell, plan, classification=None
+    ) -> List[TrialRecord]:
         """Execute one cell's pre-planned trials with batched telemetry.
 
         When tracing is enabled the trials emit into an in-memory buffer
@@ -431,6 +612,11 @@ class CharacterizationCampaign:
         into the real observer in one call — sinks see identical events
         while the metrics instruments take one batched update per cell
         instead of one per trial.
+
+        With a ``classification`` (the pruned backend), decidable trials
+        are synthesized analytically in place; only the rest execute.
+        Trials stay in canonical index order either way, so the profile
+        fold is byte-identical to the unpruned run.
         """
         observer = self.observer
         buffer = None
@@ -442,12 +628,25 @@ class CharacterizationCampaign:
                 sinks=[buffer], root_path=observer.current_path()
             )
         try:
-            trials = [
-                self.measure_planned_trial(
-                    cell_def, int(trial_index), plan.flips_for(local)
+            trials = []
+            for local, trial_index in enumerate(plan.trial_indices):
+                outcome = (
+                    classification.outcomes[local]
+                    if classification is not None
+                    else None
                 )
-                for local, trial_index in enumerate(plan.trial_indices)
-            ]
+                if outcome is not None:
+                    trials.append(
+                        self.synthesize_pruned_trial(
+                            cell_def, plan, local, outcome
+                        )
+                    )
+                else:
+                    trials.append(
+                        self.measure_planned_trial(
+                            cell_def, int(trial_index), plan.flips_for(local)
+                        )
+                    )
         finally:
             self.observer = observer
         if buffer is not None:
@@ -506,7 +705,8 @@ class CharacterizationCampaign:
             profile.region_sizes = dict(region_sizes)
             clock = ProgressClock()
             trials_done = 0
-            vectorized = self.backend == "vectorized"
+            vectorized = self.backend in ("vectorized", "pruned")
+            pruning = self.backend == "pruned"
             for cell_def in cells:
                 cell = profile.cell(cell_def.name, cell_def.spec.label)
                 cell_key = f"{cell_def.name}|{cell_def.spec.label}"
@@ -516,6 +716,9 @@ class CharacterizationCampaign:
                     self.plan_cell_trials(cell_def, range(budget))
                     if vectorized
                     else None
+                )
+                classification = (
+                    self.classify_plan_trials(plan) if pruning else None
                 )
                 with observer.span(
                     SPAN_CELL,
@@ -527,7 +730,9 @@ class CharacterizationCampaign:
                     },
                 ):
                     if plan is not None:
-                        cell_trials = self._run_planned_cell(cell_def, plan)
+                        cell_trials = self._run_planned_cell(
+                            cell_def, plan, classification
+                        )
                     else:
                         cell_trials = [
                             self.measure_trial(cell_def, trial_index)
@@ -542,6 +747,26 @@ class CharacterizationCampaign:
                             effect_delay_minutes=trial.effect_delay_minutes,
                         )
                 instruments = observer.instruments
+                if pruning:
+                    cell_pruned = (
+                        classification.pruned_count
+                        if classification is not None
+                        else 0
+                    )
+                    cell_fallback = budget if classification is None else 0
+                    self.pruning_stats.add(
+                        pruned=cell_pruned,
+                        executed=budget - cell_pruned,
+                        fallback=cell_fallback,
+                    )
+                    if instruments is not None:
+                        instruments.record_pruning(
+                            {
+                                "pruned": cell_pruned,
+                                "executed": budget - cell_pruned,
+                                "fallback": cell_fallback,
+                            }
+                        )
                 if instruments is not None:
                     memory_after = self.workload.space.fast_path_stats()
                     instruments.record_memory(
@@ -678,6 +903,7 @@ def campaign_fingerprint(
     specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
     regions: Optional[Sequence[str]] = None,
     backend: str = "scalar",
+    region_codecs: Optional[Mapping[str, Union[str, HardwareTechnique]]] = None,
 ) -> str:
     """Stable digest of every knob that shapes a measured profile.
 
@@ -697,6 +923,7 @@ def campaign_fingerprint(
         raise ValueError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    codecs = _normalize_region_codecs(region_codecs)
     payload = {
         "format": CACHE_FORMAT_VERSION,
         "schema": FINGERPRINT_SCHEMA_VERSION,
@@ -707,6 +934,7 @@ def campaign_fingerprint(
         "failure_fraction": config.failure_fraction,
         "specs": [{"kind": spec.kind.value, "bits": spec.bits} for spec in specs],
         "regions": list(regions) if regions is not None else None,
+        "region_codecs": sorted(codecs.items()) if codecs else None,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -718,9 +946,10 @@ def load_or_run_profile(
     cache_path: Optional[Path] = None,
     specs: Sequence[ErrorSpec] = DEFAULT_SPECS,
     regions: Optional[Sequence[str]] = None,
-    workers: Optional[int] = None,
+    workers: Optional[Union[int, str]] = None,
     progress: Optional[Callable] = None,
     backend: str = "scalar",
+    region_codecs: Optional[Mapping[str, Union[str, HardwareTechnique]]] = None,
 ) -> VulnerabilityProfile:
     """Return a (possibly cached) vulnerability profile.
 
@@ -728,10 +957,17 @@ def load_or_run_profile(
     fingerprint does not match the requested knobs — including legacy
     caches written before fingerprinting existed — is re-measured and
     rewritten. Corrupt cache files are likewise ignored. ``workers``
-    parallelizes and ``backend="vectorized"`` accelerates the
+    parallelizes (``"auto"`` / ``0`` resolve to the usable CPU count via
+    :func:`repro.exec.workers.resolve_workers`) and
+    ``backend="vectorized"``/``"pruned"`` accelerate the
     (re-)measurement without affecting the result.
     """
-    fingerprint = campaign_fingerprint(config, specs, regions, backend=backend)
+    from repro.exec.workers import resolve_workers
+
+    workers = resolve_workers(workers)
+    fingerprint = campaign_fingerprint(
+        config, specs, regions, backend=backend, region_codecs=region_codecs
+    )
     if cache_path is not None and cache_path.exists():
         try:
             data = json.loads(cache_path.read_text())
@@ -740,7 +976,8 @@ def load_or_run_profile(
         except (ValueError, KeyError, AttributeError):
             pass  # fall through to a fresh run
     campaign = CharacterizationCampaign(
-        workload_factory(), config=config, backend=backend
+        workload_factory(), config=config, backend=backend,
+        region_codecs=region_codecs,
     )
     campaign.prepare()
     profile = campaign.run(

@@ -39,15 +39,25 @@ class CampaignCell:
 
 @dataclass(frozen=True)
 class CellShard:
-    """A contiguous trial range of one cell, the unit of worker dispatch."""
+    """A trial subset of one cell, the unit of worker dispatch.
+
+    Plain shards cover the contiguous range ``[trial_start,
+    trial_start + trial_count)``; cost-aware shards (the pruned
+    backend, where decidable trials were removed up front) carry an
+    explicit ``indices`` tuple instead — still sorted, but not
+    necessarily contiguous.
+    """
 
     cell_index: int
     cell: CampaignCell
     trial_start: int
     trial_count: int
+    indices: Optional[Tuple[int, ...]] = None
 
-    def trial_indices(self) -> range:
+    def trial_indices(self) -> Sequence[int]:
         """Global trial indices covered by this shard."""
+        if self.indices is not None:
+            return self.indices
         return range(self.trial_start, self.trial_start + self.trial_count)
 
 
@@ -80,4 +90,49 @@ def plan_shards(
             count = min(chunk, trials_per_cell - start)
             shards.append(CellShard(cell_index, cell, start, count))
             start += count
+    return shards
+
+
+def plan_shards_indexed(
+    cells: Sequence[CampaignCell],
+    indices_by_cell: Sequence[Sequence[int]],
+    workers: int,
+    shards_per_worker: int = 4,
+) -> List[CellShard]:
+    """Cost-aware shard cut over explicit per-cell trial index lists.
+
+    The pruned backend resolves most trials analytically in the parent
+    process, leaving each cell a (possibly empty, possibly sparse) list
+    of trial indices that still cost a workload execution. Only those
+    are sharded here — so the pool is balanced by *executed* trials, not
+    nominal budget — using the same deterministic chunking rule as
+    :func:`plan_shards`. Canonical (cell, index) order is preserved;
+    pruned trials are folded back at merge time in that same order,
+    which is what keeps ``workers=N`` byte-identical to serial.
+    """
+    if workers <= 0:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if len(cells) != len(indices_by_cell):
+        raise ValueError(
+            f"got {len(cells)} cells but {len(indices_by_cell)} index lists"
+        )
+    total_trials = sum(len(indices) for indices in indices_by_cell)
+    if total_trials == 0:
+        return []
+    target_shards = max(1, workers * shards_per_worker)
+    chunk = max(1, -(-total_trials // target_shards))  # ceil division
+    shards: List[CellShard] = []
+    for cell_index, (cell, indices) in enumerate(zip(cells, indices_by_cell)):
+        ordered = sorted(int(index) for index in indices)
+        for offset in range(0, len(ordered), chunk):
+            part = tuple(ordered[offset : offset + chunk])
+            shards.append(
+                CellShard(
+                    cell_index,
+                    cell,
+                    trial_start=part[0],
+                    trial_count=len(part),
+                    indices=part,
+                )
+            )
     return shards

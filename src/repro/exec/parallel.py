@@ -43,8 +43,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.taxonomy import ErrorOutcome
 from repro.core.vulnerability import VulnerabilityProfile
-from repro.exec.cells import CampaignCell, CellShard, plan_shards
-from repro.obs.events import SPAN_CELL, TraceEvent
+from repro.exec.cells import (
+    CampaignCell,
+    CellShard,
+    plan_shards,
+    plan_shards_indexed,
+)
+from repro.obs.events import SPAN_CELL, SPAN_TRIAL, TraceEvent
 from repro.obs.progress import ProgressClock, emit_progress
 from repro.obs.sinks import EventBuffer
 from repro.obs.trace import NULL_OBSERVER, Observer
@@ -105,7 +110,8 @@ class ShardResult:
 
 
 def _worker_initializer(
-    workload_factory, config, trace_enabled=False, backend="scalar"
+    workload_factory, config, trace_enabled=False, backend="scalar",
+    region_codecs=None,
 ) -> None:
     """Build and prepare a fresh campaign in a spawned worker.
 
@@ -117,7 +123,8 @@ def _worker_initializer(
     _WORKER_TRACE = trace_enabled
     try:
         campaign = CharacterizationCampaign(
-            workload_factory(), config=config, backend=backend
+            workload_factory(), config=config, backend=backend,
+            region_codecs=region_codecs,
         )
         campaign.prepare()
     except BaseException as exc:  # surfaced by _execute_shard
@@ -139,9 +146,11 @@ def run_shard_on(
     canonical-order replay by the parent.
     """
     plan = None
-    if getattr(campaign, "backend", "scalar") == "vectorized":
+    if getattr(campaign, "backend", "scalar") in ("vectorized", "pruned"):
         # Pre-draw the whole shard's injections before the trial loop
-        # (positions identical to what the scalar loop would draw).
+        # (positions identical to what the scalar loop would draw). The
+        # pruned backend dispatches only undecidable trials to workers,
+        # so shards execute their plan unconditionally here.
         plan = campaign.plan_cell_trials(shard.cell, list(shard.trial_indices()))
     buffer: Optional[EventBuffer] = None
     original_observer = campaign.observer
@@ -212,6 +221,7 @@ def merge_shard_results(
     cells: Sequence[CampaignCell],
     shard_results: Iterable[ShardResult],
     observer: Optional[Observer] = None,
+    synthesized: Optional[Dict[int, Sequence[TrialResult]]] = None,
 ) -> List[TrialResult]:
     """Fold shard results into ``profile`` in canonical campaign order.
 
@@ -220,10 +230,17 @@ def merge_shard_results(
     merged profile independent of pool scheduling — the property pinned
     by the determinism test harness.
 
+    ``synthesized`` carries the pruned backend's analytically resolved
+    trials, keyed by cell index; they are folded into the same canonical
+    (cell, trial index) order as the executed results, which is what
+    keeps ``workers=N`` byte-identical to the serial pruned run.
+
     With an ``observer``, each cell's merge is wrapped in a ``cell``
-    tracing span and the worker-captured events are replayed into the
-    parent's sinks in the same canonical order, so a parallel run's
-    trace has the same span paths as a serial run's.
+    tracing span; worker-captured events are replayed into the parent's
+    sinks when their shard is first reached in canonical order, and each
+    synthesized trial emits the same ``pruned=True`` trial span the
+    serial path does — so a parallel run's trace has the same span paths
+    as a serial run's.
 
     Returns the flattened trial results in that canonical order.
     """
@@ -231,6 +248,7 @@ def merge_shard_results(
     by_cell: Dict[int, List[ShardResult]] = {}
     for shard_result in shard_results:
         by_cell.setdefault(shard_result.cell_index, []).append(shard_result)
+    synth_by_cell = synthesized or {}
     ordered: List[TrialResult] = []
     for cell_index, cell_def in enumerate(cells):
         cell = profile.cell(cell_def.name, cell_def.spec.label)
@@ -240,22 +258,48 @@ def merge_shard_results(
             key=cell_key,
             attrs={"region": cell_def.name, "error_label": cell_def.spec.label},
         ):
-            for shard_result in sorted(
-                by_cell.get(cell_index, []), key=lambda r: r.trial_start
-            ):
-                obs.replay(shard_result.events)
-                instruments = getattr(obs, "instruments", None)
-                if instruments is not None and shard_result.memory_stats:
-                    instruments.record_memory(shard_result.memory_stats)
+            entries: List[Tuple[int, Optional[ShardResult], TrialResult]] = []
+            for shard_result in by_cell.get(cell_index, []):
                 for result in shard_result.results:
-                    cell.record(
-                        outcome=ErrorOutcome(result.outcome),
-                        responded=result.responded,
-                        incorrect=result.incorrect,
-                        failed=result.failed,
-                        effect_delay_minutes=result.effect_delay_minutes,
-                    )
-                    ordered.append(result)
+                    entries.append((result.trial_index, shard_result, result))
+            for result in synth_by_cell.get(cell_index, ()):
+                entries.append((result.trial_index, None, result))
+            entries.sort(key=lambda entry: entry[0])
+            replayed: set = set()
+            for trial_index, shard_result, result in entries:
+                if shard_result is None:
+                    with obs.span(
+                        SPAN_TRIAL,
+                        key=str(trial_index),
+                        attrs={
+                            "cell": cell_key,
+                            "trial_index": trial_index,
+                            "pruned": True,
+                        },
+                    ) as span:
+                        span.set(
+                            outcome=result.outcome,
+                            masked=ErrorOutcome(result.outcome).is_masked,
+                            anchor_addr=result.anchor_addr,
+                            responded=result.responded,
+                            incorrect=result.incorrect,
+                            failed=result.failed,
+                            effect_delay_minutes=result.effect_delay_minutes,
+                        )
+                elif id(shard_result) not in replayed:
+                    replayed.add(id(shard_result))
+                    obs.replay(shard_result.events)
+                    instruments = getattr(obs, "instruments", None)
+                    if instruments is not None and shard_result.memory_stats:
+                        instruments.record_memory(shard_result.memory_stats)
+                cell.record(
+                    outcome=ErrorOutcome(result.outcome),
+                    responded=result.responded,
+                    incorrect=result.incorrect,
+                    failed=result.failed,
+                    effect_delay_minutes=result.effect_delay_minutes,
+                )
+                ordered.append(result)
     return ordered
 
 
@@ -305,66 +349,152 @@ class ParallelCampaignRunner:
         """
         global _WORKER_CAMPAIGN, _WORKER_TRACE
         observer = campaign.observer
-        shards = plan_shards(
-            cells, trials_per_cell, self.workers, self.shards_per_worker
-        )
+        backend = getattr(campaign, "backend", "scalar")
+        synthesized: Dict[int, List[TrialResult]] = {}
+        if backend == "pruned":
+            shards = self._plan_pruned_shards(
+                campaign, cells, trials_per_cell, synthesized
+            )
+        else:
+            shards = plan_shards(
+                cells, trials_per_cell, self.workers, self.shards_per_worker
+            )
         profile = VulnerabilityProfile(app=campaign.workload.name)
         profile.region_sizes = dict(region_sizes)
-        if not shards:
+        if not shards and not synthesized:
             return profile
 
-        context = multiprocessing.get_context(self.start_method)
-        if self.start_method == "fork":
-            initializer, initargs = None, ()
-            _WORKER_CAMPAIGN = campaign  # inherited by forked workers
-            _WORKER_TRACE = observer.enabled
-        else:
-            if self.workload_factory is None:
-                raise RuntimeError(
-                    f"start method {self.start_method!r} cannot inherit the "
-                    "prepared campaign; pass a picklable workload_factory"
-                )
-            initializer = _worker_initializer
-            initargs = (
-                self.workload_factory,
-                campaign.config,
-                observer.enabled,
-                getattr(campaign, "backend", "scalar"),
-            )
-
-        trials_total = len(cells) * trials_per_cell
+        trials_total = (
+            sum(shard.trial_count for shard in shards)
+            if backend == "pruned"
+            else len(cells) * trials_per_cell
+        )
         trials_done = 0
         clock = ProgressClock()
         shard_results: List[ShardResult] = []
-        pool_size = min(self.workers, len(shards))
-        logger.info(
-            "pool: %d workers (%s), %d shards, %d trials",
-            pool_size, self.start_method, len(shards), trials_total,
-        )
-        try:
-            with context.Pool(
-                processes=pool_size, initializer=initializer, initargs=initargs
-            ) as pool:
-                for shard_result in pool.imap_unordered(_execute_shard, shards):
-                    shard_results.append(shard_result)
-                    trials_done += len(shard_result.results)
-                    emit_progress(
-                        self.progress,
-                        clock,
-                        trials_done=trials_done,
-                        trials_total=trials_total,
-                        worker_pid=shard_result.worker_pid,
-                        shard_trials=len(shard_result.results),
-                        shard_seconds=shard_result.seconds,
-                        cell_name=shard_result.cell_name,
-                        error_label=shard_result.error_label,
-                        observer=observer,
-                    )
-        finally:
+        if shards:
+            context = multiprocessing.get_context(self.start_method)
             if self.start_method == "fork":
-                _WORKER_CAMPAIGN = None
-                _WORKER_TRACE = False
+                initializer, initargs = None, ()
+                _WORKER_CAMPAIGN = campaign  # inherited by forked workers
+                _WORKER_TRACE = observer.enabled
+            else:
+                if self.workload_factory is None:
+                    raise RuntimeError(
+                        f"start method {self.start_method!r} cannot inherit the "
+                        "prepared campaign; pass a picklable workload_factory"
+                    )
+                initializer = _worker_initializer
+                initargs = (
+                    self.workload_factory,
+                    campaign.config,
+                    observer.enabled,
+                    backend,
+                    getattr(campaign, "region_codecs", None),
+                )
 
-        ordered = merge_shard_results(profile, cells, shard_results, observer)
+            pool_size = min(self.workers, len(shards))
+            logger.info(
+                "pool: %d workers (%s), %d shards, %d trials",
+                pool_size, self.start_method, len(shards), trials_total,
+            )
+            try:
+                with context.Pool(
+                    processes=pool_size, initializer=initializer, initargs=initargs
+                ) as pool:
+                    for shard_result in pool.imap_unordered(_execute_shard, shards):
+                        shard_results.append(shard_result)
+                        trials_done += len(shard_result.results)
+                        emit_progress(
+                            self.progress,
+                            clock,
+                            trials_done=trials_done,
+                            trials_total=trials_total,
+                            worker_pid=shard_result.worker_pid,
+                            shard_trials=len(shard_result.results),
+                            shard_seconds=shard_result.seconds,
+                            cell_name=shard_result.cell_name,
+                            error_label=shard_result.error_label,
+                            observer=observer,
+                        )
+            finally:
+                if self.start_method == "fork":
+                    _WORKER_CAMPAIGN = None
+                    _WORKER_TRACE = False
+
+        ordered = merge_shard_results(
+            profile, cells, shard_results, observer, synthesized or None
+        )
         campaign.note_parallel_trials(cells, ordered)
         return profile
+
+    def _plan_pruned_shards(
+        self,
+        campaign,
+        cells: Sequence[CampaignCell],
+        trials_per_cell: int,
+        synthesized: Dict[int, List[TrialResult]],
+    ) -> List[CellShard]:
+        """Pre-classify every cell and shard only the executed residue.
+
+        Runs in the parent process before the pool exists: the golden
+        trace is recorded once, each cell's plan is classified, decidable
+        trials become picklable :class:`TrialResult` entries in
+        ``synthesized`` (folded back at merge time), and the remaining
+        trial indices are cut into cost-aware shards so the pool is
+        balanced by actual execution work.
+        """
+        query_budget = min(
+            campaign.config.queries_per_trial, campaign.workload.query_count
+        )
+        indices_by_cell: List[List[int]] = []
+        run_pruned = run_executed = run_fallback = 0
+        for cell_index, cell_def in enumerate(cells):
+            plan, classification = campaign.classify_cell_trials(
+                cell_def, range(trials_per_cell)
+            )
+            if classification is None:
+                indices_by_cell.append(list(range(trials_per_cell)))
+                run_executed += trials_per_cell
+                run_fallback += trials_per_cell
+                continue
+            executed: List[int] = []
+            for local, trial_index in enumerate(plan.trial_indices):
+                outcome = classification.outcomes[local]
+                if outcome is None:
+                    executed.append(int(trial_index))
+                    continue
+                synthesized.setdefault(cell_index, []).append(
+                    TrialResult(
+                        cell_index=cell_index,
+                        trial_index=int(trial_index),
+                        anchor_addr=int(plan.anchor_addrs[local]),
+                        outcome=outcome.value,
+                        responded=query_budget,
+                        incorrect=0,
+                        failed=0,
+                        effect_delay_minutes=None,
+                    )
+                )
+            indices_by_cell.append(executed)
+            run_pruned += trials_per_cell - len(executed)
+            run_executed += len(executed)
+        campaign.pruning_stats.add(
+            pruned=run_pruned, executed=run_executed, fallback=run_fallback
+        )
+        instruments = campaign.observer.instruments
+        if instruments is not None:
+            instruments.record_pruning(
+                {
+                    "pruned": run_pruned,
+                    "executed": run_executed,
+                    "fallback": run_fallback,
+                }
+            )
+        logger.info(
+            "pruning: %d/%d trials resolved analytically (%d fallback)",
+            run_pruned, run_pruned + run_executed, run_fallback,
+        )
+        return plan_shards_indexed(
+            cells, indices_by_cell, self.workers, self.shards_per_worker
+        )

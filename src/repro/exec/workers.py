@@ -1,0 +1,59 @@
+"""Worker-count resolution for campaign entry points.
+
+One shared rule for the CLI, :mod:`repro.api`, and
+:func:`repro.core.campaign.load_or_run_profile`: ``"auto"`` (or ``0``)
+means "use every CPU this process may schedule on", resolved through
+``os.process_cpu_count`` where available (Python ≥ 3.13) with a
+deterministic fallback chain ending at 1. The campaign core itself stays
+strict — ``CharacterizationCampaign.run(workers=0)`` is still an error —
+so resolution happens exactly once, at the entry point.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional, Union
+
+__all__ = ["resolve_workers"]
+
+
+def _default_cpu_count() -> Optional[int]:
+    """Usable CPU count: scheduling-aware where the platform exposes it."""
+    probe = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return probe()
+
+
+def resolve_workers(
+    workers: Optional[Union[int, str]],
+    cpu_count: Optional[Callable[[], Optional[int]]] = None,
+) -> Optional[int]:
+    """Resolve a user-facing worker request to a concrete count.
+
+    * ``None`` stays ``None`` (serial, the campaign default);
+    * ``"auto"`` or ``0`` (or ``"0"``) resolve to the usable CPU count,
+      falling back to 1 when the platform reports none;
+    * positive ints (or digit strings) pass through;
+    * anything else raises ``ValueError``.
+
+    ``cpu_count`` overrides the probe (for deterministic tests).
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text == "auto":
+            workers = 0
+        else:
+            try:
+                workers = int(text)
+            except ValueError:
+                raise ValueError(
+                    f"workers must be a positive integer, 0, or 'auto'; got {workers!r}"
+                ) from None
+    if workers == 0:
+        probe = cpu_count if cpu_count is not None else _default_cpu_count
+        resolved = probe()
+        return resolved if resolved and resolved >= 1 else 1
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0 (0 means auto), got {workers}")
+    return int(workers)

@@ -128,10 +128,12 @@ class ErrorInjector:
         space: AddressSpace,
         rng: random.Random,
         observer: Observer = NULL_OBSERVER,
+        corrected_regions: Optional[frozenset] = None,
     ) -> None:
         self._space = space
         self._rng = rng
         self._observer = observer
+        self._corrected_regions = frozenset(corrected_regions or ())
         self.sampler = AddressSampler(space, rng)
 
     def inject(
@@ -193,9 +195,29 @@ class ErrorInjector:
         from this injector's own sampling (:meth:`inject`) or from a
         :class:`~repro.kernels.planner.InjectionPlan` computed ahead of
         the whole trial shard.
+
+        Single-bit errors landing in a region whose codec corrects them
+        (``corrected_regions``) are installed as *virtual* faults: the
+        event is tracked and consumption counted, but memory is never
+        corrupted — modelling in-line correction exactly. Multi-bit
+        errors exceed single-bit codecs' correction capability and are
+        installed raw.
         """
         record = InjectionRecord(spec=spec)
+        corrected = (
+            self._corrected_regions
+            and len(positions) == 1
+            and spec.kind in (FaultKind.SOFT, FaultKind.HARD)
+        )
         for byte_addr, bit in positions:
+            if corrected:
+                region = self._space.region_at(byte_addr)
+                if region is not None and region.name in self._corrected_regions:
+                    fault = self._space.track_virtual_fault(
+                        byte_addr, bit, spec.kind
+                    )
+                    record.faults.append(fault)
+                    continue
             if spec.kind is FaultKind.SOFT:
                 fault = self._space.inject_soft_flip(byte_addr, bit)
             else:

@@ -716,6 +716,133 @@ class AddressSpace:
         return pages
 
     # ------------------------------------------------------------------
+    # Byte-granular access tracing (trial-pruning golden replay)
+    # ------------------------------------------------------------------
+    def begin_access_trace(self) -> None:
+        """Start recording the byte-granular read/write footprint.
+
+        The trial-pruning pre-classifier needs, for every byte, whether
+        its *first* access was a load or a store and whether it was ever
+        loaded at all. Tracing therefore requires the oracle path: with
+        the fast path pinned off, every load and store — typed, raw, or
+        bulk (which decomposes per element in oracle mode) — funnels
+        through :meth:`_read_guarded` / :meth:`_write_guarded`, and
+        ``span_is_clean`` is always False so drivers take their live
+        path. Both chokepoints are shadowed with recording wrappers via
+        the same instance-attribute pattern as
+        :meth:`begin_access_capture`. Not reentrant; pair with
+        :meth:`end_access_trace`, which also rolls the clock and
+        per-region counters back so the traced replay is invisible to
+        accounting.
+        """
+        if self._fast:
+            raise RuntimeError(
+                "access tracing requires the oracle path; "
+                "call set_fast_path(False) first"
+            )
+        first = bytearray(self._size)  # 0 never, 1 read-first, 2 write-first
+        read_seen = bytearray(self._size)
+        self._trace_first = first
+        self._trace_read_seen = read_seen
+        self._trace_saved = (
+            self._time,
+            list(self._load_ops),
+            list(self._load_bytes),
+            list(self._store_ops),
+            list(self._store_bytes),
+        )
+        read_guarded = type(self)._read_guarded.__get__(self)
+        write_guarded = type(self)._write_guarded.__get__(self)
+
+        def tracing_read_guarded(addr: int, n: int) -> bytes:
+            data = read_guarded(addr, n)
+            for a in range(addr, addr + n):
+                if not first[a]:
+                    first[a] = 1
+                read_seen[a] = 1
+            return data
+
+        def tracing_write_guarded(addr: int, data: bytes) -> None:
+            write_guarded(addr, data)
+            for a in range(addr, addr + len(data)):
+                if not first[a]:
+                    first[a] = 2
+
+        self._read_guarded = tracing_read_guarded  # type: ignore[method-assign]
+        self._write_guarded = tracing_write_guarded  # type: ignore[method-assign]
+
+    def end_access_trace(self) -> Dict[str, object]:
+        """Stop tracing; return the footprint and undo the accounting.
+
+        Returns a dict with ``first_access`` / ``read_seen`` (uint8
+        arrays, one slot per byte of the space), ``end_time`` (the
+        absolute logical time the traced run finished at), and
+        ``per_region`` — ``(load_ops, load_bytes, store_ops,
+        store_bytes)`` deltas in region order. The clock and per-region
+        counters are rolled back to their values at
+        :meth:`begin_access_trace`, so recording a golden replay leaves
+        ``access_stats()`` untouched (memory contents are the caller's
+        to restore, typically via a workload reset).
+        """
+        del self._read_guarded
+        del self._write_guarded
+        first = self._trace_first
+        read_seen = self._trace_read_seen
+        del self._trace_first
+        del self._trace_read_seen
+        saved_time, lops, lbytes, sops, sbytes = self._trace_saved
+        del self._trace_saved
+        end_time = self._time
+        per_region = tuple(
+            (
+                self._load_ops[i] - lops[i],
+                self._load_bytes[i] - lbytes[i],
+                self._store_ops[i] - sops[i],
+                self._store_bytes[i] - sbytes[i],
+            )
+            for i in range(len(self.regions))
+        )
+        self._time = saved_time
+        self._load_ops = lops
+        self._load_bytes = lbytes
+        self._store_ops = sops
+        self._store_bytes = sbytes
+        return {
+            "first_access": np.frombuffer(bytes(first), dtype=np.uint8),
+            "read_seen": np.frombuffer(bytes(read_seen), dtype=np.uint8),
+            "end_time": end_time,
+            "per_region": per_region,
+        }
+
+    def settle_recorded_trial(
+        self, end_time: int, per_region: Sequence[Sequence[int]]
+    ) -> None:
+        """Settle the exact accounting of one analytically resolved trial.
+
+        A pruned trial's execution is provably byte-identical to the
+        golden replay, so its clock and counter effects are known without
+        running it: the per-region deltas recorded by the golden trace
+        are added and the clock is *set* to the replay's absolute end
+        time (every trial starts from the same snapshot restore, so the
+        end time is an absolute, idempotent fact — correct after any
+        interleaving of pruned and executed trials). The skipped
+        accesses are credited to the fast path, like
+        :meth:`charge_recorded`.
+        """
+        ops = 0
+        for index, (lops, lbytes, sops, sbytes) in enumerate(per_region):
+            if lops or lbytes:
+                self._load_ops[index] += int(lops)
+                self._load_bytes[index] += int(lbytes)
+            if sops or sbytes:
+                self._store_ops[index] += int(sops)
+                self._store_bytes[index] += int(sbytes)
+            ops += int(lops) + int(sops)
+        self._fast_hits += ops
+        self._time = int(end_time)
+        self._fast_hits += ops
+
+    # ------------------------------------------------------------------
     # Typed accessors
     # ------------------------------------------------------------------
     def read_u8(self, addr: int) -> int:
@@ -1008,6 +1135,35 @@ class AddressSpace:
             bit=bit,
             kind=FaultKind.HARD,
             stuck_value=stuck_value,
+            injected_at=self._time,
+        )
+        self.fault_log.record(fault)
+        self._tracked_faults.setdefault(addr, [0, 0])
+        self._refresh_guards()
+        return fault
+
+    def track_virtual_fault(self, addr: int, bit: int, kind: FaultKind) -> InjectedFault:
+        """Track a hardware-corrected fault without corrupting memory.
+
+        Models an error landing in a word whose region codec transparently
+        corrects it (SEC-DED and stronger): stored bytes and the overlay
+        are untouched, so every read observes golden data, but the fault
+        is logged and its consumption tracked exactly like a real one —
+        a read before the first overwrite classifies as corrected-consume
+        (masked by logic), an overwrite first as masked-by-overwrite.
+        Cleared by :meth:`restore` / :meth:`clear_faults` like any fault.
+        """
+        if not 0 <= bit < 8:
+            raise ValueError(f"bit index must be in [0, 8), got {bit}")
+        if self.region_at(addr) is None:
+            raise SegmentationFault(
+                addr, 1, "virtual-fault tracking at unmapped address"
+            )
+        fault = InjectedFault(
+            addr=addr,
+            bit=bit,
+            kind=kind,
+            stuck_value=(self._mem[addr] >> bit) & 1,
             injected_at=self._time,
         )
         self.fault_log.record(fault)

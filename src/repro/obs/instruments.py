@@ -369,6 +369,15 @@ class CampaignInstruments:
             "memory_fastpath_hit_ratio",
             "Fraction of simulated-memory accesses served by the fast path",
         )
+        self.pruning_trials = registry.counter(
+            "campaign_pruning_trials_total",
+            "Trials by pruning disposition (pruned backend only)",
+            labels=("disposition",),
+        )
+        self.pruning_rate = registry.gauge(
+            "campaign_pruning_rate",
+            "Running fraction of trials resolved analytically",
+        )
         self.trials_done = registry.gauge(
             "campaign_trials_done", "Trials completed so far"
         )
@@ -499,6 +508,27 @@ class CampaignInstruments:
         checked_total = self.memory_fastpath.labels(path="checked").value
         self.memory_fastpath_hit_ratio.labels().set(
             safe_div(fast_total, fast_total + checked_total)
+        )
+
+    def record_pruning(self, stats: Dict[str, int]) -> None:
+        """Fold one pruning tally into the registry.
+
+        Updated directly (like :meth:`record_memory`): the campaign's
+        pre-classifier counts dispositions itself and folds them at
+        cell (serial) or run (parallel) boundaries. Keys match
+        ``PruningStats.to_dict()`` — ``pruned`` trials were resolved
+        analytically, ``executed`` ran the workload, and ``fallback``
+        (a subset of executed) had no analytic model for their fault
+        kind.
+        """
+        for disposition in ("pruned", "executed", "fallback"):
+            count = int(stats.get(disposition, 0))
+            if count:
+                self.pruning_trials.labels(disposition=disposition).inc(count)
+        pruned_total = self.pruning_trials.labels(disposition="pruned").value
+        executed_total = self.pruning_trials.labels(disposition="executed").value
+        self.pruning_rate.labels().set(
+            safe_div(pruned_total, pruned_total + executed_total)
         )
 
     def _update_progress(self, event: TraceEvent) -> None:

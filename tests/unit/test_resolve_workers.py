@@ -1,0 +1,96 @@
+"""Unit tests for worker-count resolution (``--workers auto`` / 0)."""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.exec.workers import resolve_workers
+
+
+class TestResolveWorkers:
+    def test_none_stays_none(self):
+        assert resolve_workers(None) is None
+
+    def test_positive_int_passes_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(7) == 7
+
+    def test_digit_string_parses(self):
+        assert resolve_workers("3") == 3
+
+    def test_auto_resolves_to_cpu_count(self):
+        assert resolve_workers("auto", cpu_count=lambda: 6) == 6
+        assert resolve_workers(0, cpu_count=lambda: 6) == 6
+        assert resolve_workers("0", cpu_count=lambda: 6) == 6
+        assert resolve_workers("AUTO", cpu_count=lambda: 6) == 6
+
+    def test_auto_falls_back_to_one_deterministically(self):
+        assert resolve_workers("auto", cpu_count=lambda: None) == 1
+        assert resolve_workers(0, cpu_count=lambda: 0) == 1
+
+    def test_default_probe_returns_at_least_one(self):
+        assert resolve_workers("auto") >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+        with pytest.raises(ValueError):
+            resolve_workers("-2")
+
+    def test_junk_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+
+
+class TestEntryPointIntegration:
+    def test_campaign_core_stays_strict(self, websearch_small):
+        """Resolution happens at entry points only: the core still rejects 0."""
+        from repro.core.campaign import CharacterizationCampaign
+
+        campaign = CharacterizationCampaign(websearch_small)
+        campaign.prepare()
+        with pytest.raises(ValueError):
+            campaign.run(workers=0)
+
+    def test_cli_worker_count_accepts_auto(self):
+        from repro.__main__ import _worker_count
+
+        assert _worker_count("auto") >= 1
+        assert _worker_count("0") >= 1
+        assert _worker_count("2") == 2
+        with pytest.raises(argparse.ArgumentTypeError):
+            _worker_count("-1")
+        with pytest.raises(argparse.ArgumentTypeError):
+            _worker_count("bogus")
+
+    def test_api_run_campaign_accepts_auto(self, monkeypatch):
+        """api.run_campaign('auto') resolves before reaching the core."""
+        import repro.exec.workers as workers_mod
+
+        seen = {}
+        real = workers_mod.resolve_workers
+
+        def spy(value, cpu_count=None):
+            resolved = real(value, cpu_count=lambda: 1)
+            seen["resolved"] = resolved
+            return resolved
+
+        monkeypatch.setattr(workers_mod, "resolve_workers", spy)
+        import repro.api as api
+
+        monkeypatch.setattr(api, "resolve_workers", spy)
+        from repro.apps.websearch import WebSearch
+        from repro.core.campaign import CampaignConfig
+
+        profile = api.run_campaign(
+            WebSearch(
+                vocabulary_size=200, doc_count=120, query_count=20,
+                heap_size=65536,
+            ),
+            config=CampaignConfig(trials_per_cell=1, queries_per_trial=5),
+            workers="auto",
+        )
+        assert seen["resolved"] == 1
+        assert profile.cells

@@ -1,0 +1,488 @@
+"""Unit tests for the trial-pruning engine (``backend="pruned"``).
+
+Covers the vectorized decidability rules in isolation (handcrafted
+plans against handcrafted traces), the memory-layer hooks (access
+tracing, recorded-trial settlement, virtual faults), the cost-aware
+shard planner, the codec plumbing, and the pruning instruments.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.clients import ClientDriver
+from repro.apps.websearch import WebSearch
+from repro.core.campaign import (
+    BACKENDS,
+    CampaignConfig,
+    CharacterizationCampaign,
+    FINGERPRINT_SCHEMA_VERSION,
+    campaign_fingerprint,
+)
+from repro.core.taxonomy import ErrorOutcome
+from repro.exec.cells import CampaignCell, plan_shards_indexed
+from repro.exec.pruning import (
+    GoldenTrace,
+    PruningStats,
+    classify_plan,
+    corrected_byte_mask,
+    record_golden_trace,
+)
+from repro.injection.injector import (
+    SINGLE_BIT_HARD,
+    SINGLE_BIT_SOFT,
+    ErrorSpec,
+    ErrorInjector,
+)
+from repro.kernels.planner import InjectionPlan
+from repro.memory import AddressSpace, standard_layout
+from repro.memory.faults import FaultKind
+from repro.obs.instruments import CampaignInstruments
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_trace(size=64, read_first=(), write_first=(), read_ever=None):
+    """Handcraft a golden trace: byte classes given as address tuples."""
+    first = np.zeros(size, dtype=np.uint8)
+    read_seen = np.zeros(size, dtype=np.uint8)
+    for addr in write_first:
+        first[addr] = 2
+    for addr in read_first:
+        first[addr] = 1
+        read_seen[addr] = 1
+    for addr in read_ever if read_ever is not None else read_first:
+        read_seen[addr] = 1
+    return GoldenTrace(
+        query_budget=4,
+        first_access=first,
+        read_seen=read_seen,
+        end_time=100,
+        per_region=((1, 8, 1, 8),),
+    )
+
+
+def make_plan(spec, flips_by_trial):
+    """Handcraft an InjectionPlan from [(addr, bit), ...] per trial."""
+    flip_addrs = []
+    flip_bits = []
+    offsets = [0]
+    anchors = []
+    for flips in flips_by_trial:
+        anchors.append(flips[0][0])
+        for addr, bit in flips:
+            flip_addrs.append(addr)
+            flip_bits.append(bit)
+        offsets.append(len(flip_addrs))
+    return InjectionPlan(
+        spec=spec,
+        trial_indices=np.arange(len(flips_by_trial), dtype=np.int64),
+        anchor_addrs=np.asarray(anchors, dtype=np.int64),
+        flip_addrs=np.asarray(flip_addrs, dtype=np.int64),
+        flip_bits=np.asarray(flip_bits, dtype=np.int64),
+        flip_offsets=np.asarray(offsets, dtype=np.int64),
+    )
+
+
+class TestClassifyPlan:
+    def test_soft_never_accessed_is_masked_never(self):
+        trace = make_trace()
+        plan = make_plan(SINGLE_BIT_SOFT, [[(10, 3)]])
+        cls = classify_plan(plan, trace)
+        assert cls.decidable.tolist() == [True]
+        assert cls.outcomes == (ErrorOutcome.MASKED_NEVER_ACCESSED,)
+
+    def test_soft_write_first_is_masked_overwrite(self):
+        trace = make_trace(write_first=[10])
+        cls = classify_plan(make_plan(SINGLE_BIT_SOFT, [[(10, 0)]]), trace)
+        assert cls.outcomes == (ErrorOutcome.MASKED_OVERWRITE,)
+
+    def test_soft_read_first_is_undecidable(self):
+        trace = make_trace(read_first=[10])
+        cls = classify_plan(make_plan(SINGLE_BIT_SOFT, [[(10, 0)]]), trace)
+        assert cls.decidable.tolist() == [False]
+        assert cls.outcomes == (None,)
+        assert cls.pruned_count == 0
+        assert cls.executed_count == 1
+
+    def test_hard_write_first_but_read_later_is_undecidable(self):
+        # A stuck-at fault reasserts itself on reads after the
+        # overwrite, so write-first is NOT sufficient for hard faults.
+        trace = make_trace(write_first=[10], read_ever=[10])
+        cls = classify_plan(make_plan(SINGLE_BIT_HARD, [[(10, 0)]]), trace)
+        assert cls.outcomes == (None,)
+
+    def test_hard_never_read_is_decidable(self):
+        trace = make_trace(write_first=[10])  # written, never read
+        cls = classify_plan(make_plan(SINGLE_BIT_HARD, [[(10, 0)]]), trace)
+        assert cls.outcomes == (ErrorOutcome.MASKED_OVERWRITE,)
+
+    def test_multi_flip_outcome_folds_by_precedence(self):
+        # never-accessed + write-first flips fold to MASKED_OVERWRITE.
+        trace = make_trace(write_first=[11])
+        plan = make_plan(ErrorSpec(FaultKind.SOFT, 2), [[(10, 0), (11, 1)]])
+        cls = classify_plan(plan, trace)
+        assert cls.outcomes == (ErrorOutcome.MASKED_OVERWRITE,)
+
+    def test_multi_flip_any_undecidable_flip_blocks_trial(self):
+        trace = make_trace(read_first=[11])
+        plan = make_plan(ErrorSpec(FaultKind.SOFT, 2), [[(10, 0), (11, 1)]])
+        cls = classify_plan(plan, trace)
+        assert cls.outcomes == (None,)
+
+    def test_corrected_single_flip_read_first_is_masked_logic(self):
+        trace = make_trace(read_first=[10])
+        corrected = np.zeros(64, dtype=bool)
+        corrected[10] = True
+        cls = classify_plan(
+            make_plan(SINGLE_BIT_SOFT, [[(10, 0)]]), trace, corrected
+        )
+        assert cls.outcomes == (ErrorOutcome.MASKED_LOGIC,)
+
+    def test_corrected_does_not_cover_multi_flip_trials(self):
+        trace = make_trace(read_first=[10, 11])
+        corrected = np.ones(64, dtype=bool)
+        plan = make_plan(ErrorSpec(FaultKind.SOFT, 2), [[(10, 0), (11, 1)]])
+        cls = classify_plan(plan, trace, corrected)
+        assert cls.outcomes == (None,)
+
+    def test_unsupported_kind_returns_none(self):
+        trace = make_trace()
+        plan = make_plan(ErrorSpec(FaultKind.DISTURBANCE, 1), [[(10, 0)]])
+        assert classify_plan(plan, trace) is None
+
+    def test_empty_plan(self):
+        cls = classify_plan(make_plan(SINGLE_BIT_SOFT, []), make_trace())
+        assert cls.outcomes == ()
+        assert cls.pruned_count == 0
+
+    def test_mixed_batch_classifies_per_trial(self):
+        trace = make_trace(read_first=[20], write_first=[30])
+        plan = make_plan(
+            SINGLE_BIT_SOFT, [[(10, 0)], [(20, 1)], [(30, 2)]]
+        )
+        cls = classify_plan(plan, trace)
+        assert cls.outcomes == (
+            ErrorOutcome.MASKED_NEVER_ACCESSED,
+            None,
+            ErrorOutcome.MASKED_OVERWRITE,
+        )
+        assert cls.pruned_count == 2
+
+
+class TestAccessTrace:
+    def make_space(self):
+        return AddressSpace(
+            standard_layout(private_size=4096, heap_size=4096, stack_size=4096)
+        )
+
+    def test_trace_classifies_first_access_direction(self):
+        space = self.make_space()
+        space.set_fast_path(False)
+        heap = space.region_named("heap")
+        space.begin_access_trace()
+        space.write(heap.base, b"xy")          # write-first bytes
+        space.read(heap.base + 8, 2)           # read-first bytes
+        space.read(heap.base, 1)               # read after write: stays 2
+        raw = space.end_access_trace()
+        first, read_seen = raw["first_access"], raw["read_seen"]
+        assert first[heap.base] == 2 and first[heap.base + 1] == 2
+        assert first[heap.base + 8] == 1 and first[heap.base + 9] == 1
+        assert first[heap.base + 16] == 0
+        assert read_seen[heap.base] == 1       # read later
+        assert read_seen[heap.base + 1] == 0
+        assert read_seen[heap.base + 8] == 1
+
+    def test_trace_rolls_back_clock_and_counters(self):
+        space = self.make_space()
+        space.set_fast_path(False)
+        heap = space.region_named("heap")
+        before_time = space.time
+        before_stats = space.access_stats()
+        space.begin_access_trace()
+        space.write(heap.base, b"abcd")
+        space.read(heap.base, 4)
+        raw = space.end_access_trace()
+        assert space.time == before_time
+        assert space.access_stats() == before_stats
+        assert raw["end_time"] > before_time
+        # The recorded deltas are what the replay cost.
+        deltas = raw["per_region"]
+        assert sum(entry[1] for entry in deltas) == 4   # load bytes
+        assert sum(entry[3] for entry in deltas) == 4   # store bytes
+
+    def test_trace_requires_oracle_path(self):
+        space = self.make_space()
+        with pytest.raises(RuntimeError):
+            space.begin_access_trace()
+
+    def test_settle_recorded_trial_matches_executed_accounting(self):
+        space = self.make_space()
+        space.set_fast_path(False)
+        heap = space.region_named("heap")
+        space.begin_access_trace()
+        space.write(heap.base, b"abcd")
+        space.read(heap.base, 4)
+        raw = space.end_access_trace()
+        executed_stats = None
+        # Execute the same ops for real to get the reference accounting.
+        space.write(heap.base, b"abcd")
+        space.read(heap.base, 4)
+        executed_time = space.time
+        executed_stats = space.access_stats()
+        # A fresh identical space settled from the trace must agree on
+        # the clock and per-region op/byte counters.
+        other = self.make_space()
+        other.set_fast_path(False)
+        other.settle_recorded_trial(raw["end_time"], raw["per_region"])
+        assert other.time == executed_time
+        other_stats = other.access_stats()
+        for region in ("private", "heap", "stack"):
+            for key in ("load_ops", "load_bytes", "store_ops", "store_bytes"):
+                assert other_stats[region][key] == executed_stats[region][key]
+
+
+class TestVirtualFault:
+    def test_virtual_fault_tracks_without_corrupting(self):
+        space = AddressSpace(
+            standard_layout(private_size=4096, heap_size=4096, stack_size=4096)
+        )
+        heap = space.region_named("heap")
+        space.write(heap.base, b"\x5a")
+        space.track_virtual_fault(heap.base, 3, FaultKind.SOFT)
+        assert space.read(heap.base, 1) == b"\x5a"     # data uncorrupted
+        reads, overwritten = space.fault_consumption(heap.base)
+        assert reads == 1 and not overwritten          # consumption tracked
+        space.write(heap.base, b"\x00")
+        _, overwritten = space.fault_consumption(heap.base)
+        assert overwritten
+
+    def test_injector_applies_virtual_faults_in_corrected_regions(self):
+        space = AddressSpace(
+            standard_layout(private_size=4096, heap_size=4096, stack_size=4096)
+        )
+        heap = space.region_named("heap")
+        space.write(heap.base, bytes(range(16)))
+        golden = space.read(heap.base, 16)
+        injector = ErrorInjector(
+            space, random.Random(3), corrected_regions=frozenset({"heap"})
+        )
+        record = injector.inject(SINGLE_BIT_SOFT, addr=heap.base + 2)
+        assert space.read(heap.base, 16) == golden     # corrected: no flip
+        assert record.anchor_addr == heap.base + 2
+        # Multi-bit exceeds single-bit correction: injected raw.
+        injector.inject(ErrorSpec(FaultKind.SOFT, 2), addr=heap.base + 8)
+        assert space.read(heap.base, 16) != golden
+
+
+class TestGoldenTraceRecording:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        w = WebSearch(
+            vocabulary_size=200, doc_count=120, query_count=40, heap_size=65536
+        )
+        w.build()
+        w.checkpoint()
+        return w
+
+    def test_recording_is_invisible_and_reusable(self, workload):
+        workload.reset()
+        golden = workload.golden_responses()
+        workload.reset()
+        driver = ClientDriver(workload, golden)
+        budget = min(20, workload.query_count)
+        trace = record_golden_trace(workload, driver, budget)
+        assert trace.query_budget == budget
+        assert trace.first_access.shape == (workload.space.size,)
+        assert trace.end_time > 0
+        assert (trace.first_access != 0).any()
+        # read_seen covers every read-first byte.
+        assert (trace.read_seen[trace.first_access == 1] == 1).all()
+        # Recording left the workload replayable: a normal trial run
+        # still produces golden responses.
+        report = driver.run(range(budget))
+        assert report.incorrect == 0 and report.failed == 0
+
+
+class TestCorrectedByteMask:
+    def test_mask_covers_named_regions_only(self):
+        space = AddressSpace(
+            standard_layout(private_size=4096, heap_size=4096, stack_size=4096)
+        )
+        mask = corrected_byte_mask(space, ["heap"])
+        heap = space.region_named("heap")
+        assert mask[heap.base : heap.end].all()
+        private = space.region_named("private")
+        assert not mask[private.base : private.end].any()
+
+    def test_empty_names_is_none(self):
+        space = AddressSpace(
+            standard_layout(private_size=4096, heap_size=4096, stack_size=4096)
+        )
+        assert corrected_byte_mask(space, []) is None
+
+
+class TestPlanShardsIndexed:
+    CELL = CampaignCell(name="heap", spec=SINGLE_BIT_SOFT)
+
+    def test_shards_cover_exactly_the_given_indices(self):
+        shards = plan_shards_indexed(
+            [self.CELL, self.CELL], [[0, 3, 7], [2]], workers=2
+        )
+        covered = sorted(
+            (s.cell_index, i) for s in shards for i in s.trial_indices()
+        )
+        assert covered == [(0, 0), (0, 3), (0, 7), (1, 2)]
+        for shard in shards:
+            assert shard.trial_count == len(shard.indices)
+            assert shard.trial_start == shard.indices[0]
+
+    def test_empty_lists_yield_no_shards(self):
+        assert plan_shards_indexed([self.CELL], [[]], workers=4) == []
+
+    def test_chunking_balances_by_executed_count(self):
+        shards = plan_shards_indexed(
+            [self.CELL], [list(range(100))], workers=4, shards_per_worker=4
+        )
+        assert len(shards) == 15  # ceil(100/ceil(100/16)) chunks of 7
+        assert max(s.trial_count for s in shards) <= 7
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards_indexed([self.CELL], [[0], [1]], workers=1)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            plan_shards_indexed([self.CELL], [[0]], workers=0)
+
+
+class TestCampaignPlumbing:
+    def test_pruned_backend_registered(self):
+        assert "pruned" in BACKENDS
+
+    def test_unknown_codec_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown memory codec"):
+            CharacterizationCampaign(
+                WebSearch(query_count=10),
+                region_codecs={"heap": "HAMMING-9000"},
+            )
+
+    def test_unknown_region_rejected_at_prepare(self):
+        campaign = CharacterizationCampaign(
+            WebSearch(
+                vocabulary_size=200, doc_count=120, query_count=20,
+                heap_size=65536,
+            ),
+            region_codecs={"nonexistent": "SEC-DED"},
+        )
+        with pytest.raises(ValueError, match="unknown regions"):
+            campaign.prepare()
+
+    def test_codec_accepts_value_and_name_spellings(self):
+        for spelling in ("SEC-DED", "sec_ded", "SEC_DED", "secded", "SECDED"):
+            campaign = CharacterizationCampaign(
+                WebSearch(query_count=10),
+                region_codecs={"heap": spelling},
+            )
+            assert campaign.region_codecs == {"heap": "SEC-DED"}
+
+    def test_cli_region_codec_validates_at_parse_time(self):
+        import argparse
+
+        from repro.__main__ import _region_codec
+
+        assert _region_codec("heap=secded") == ("heap", "SEC-DED")
+        assert _region_codec("stack=Parity") == ("stack", "Parity")
+        with pytest.raises(argparse.ArgumentTypeError, match="unknown memory"):
+            _region_codec("heap=HAMMING")
+        with pytest.raises(argparse.ArgumentTypeError, match="REGION=CODEC"):
+            _region_codec("heap")
+
+    def test_fingerprint_distinguishes_codecs_and_backend(self):
+        config = CampaignConfig(trials_per_cell=2, queries_per_trial=10)
+        base = campaign_fingerprint(config, backend="pruned")
+        assert base != campaign_fingerprint(config, backend="vectorized")
+        assert base != campaign_fingerprint(
+            config, backend="pruned", region_codecs={"heap": "SEC-DED"}
+        )
+        # Spelling variants of the same codec fingerprint identically.
+        assert campaign_fingerprint(
+            config, backend="pruned", region_codecs={"heap": "sec_ded"}
+        ) == campaign_fingerprint(
+            config, backend="pruned", region_codecs={"heap": "SEC-DED"}
+        )
+        assert FINGERPRINT_SCHEMA_VERSION >= 3
+
+
+class TestPruningStats:
+    def test_accumulation_and_rate(self):
+        stats = PruningStats()
+        assert stats.pruning_rate == 0.0
+        stats.add(pruned=6, executed=2)
+        stats.add(executed=2, fallback=2)
+        assert stats.to_dict() == {"pruned": 6, "executed": 4, "fallback": 2}
+        assert stats.pruning_rate == pytest.approx(0.6)
+
+    def test_record_pruning_instrument(self):
+        registry = MetricsRegistry()
+        instruments = CampaignInstruments(registry)
+        instruments.record_pruning({"pruned": 8, "executed": 2, "fallback": 1})
+        assert (
+            instruments.pruning_trials.labels(disposition="pruned").value == 8
+        )
+        assert (
+            instruments.pruning_trials.labels(disposition="fallback").value == 1
+        )
+        assert instruments.pruning_rate.labels().value == pytest.approx(0.8)
+
+
+class TestPrunedCampaignEndToEnd:
+    @pytest.fixture(scope="class")
+    def factory(self):
+        def make():
+            return WebSearch(
+                vocabulary_size=200, doc_count=120, query_count=40,
+                heap_size=65536,
+            )
+
+        return make
+
+    def run_profile(self, factory, backend, **kwargs):
+        campaign = CharacterizationCampaign(
+            factory(),
+            config=CampaignConfig(trials_per_cell=4, queries_per_trial=24, seed=11),
+            backend=backend,
+            **{k: v for k, v in kwargs.items() if k == "region_codecs"},
+        )
+        campaign.prepare()
+        profile = campaign.run(
+            workers=kwargs.get("workers"), workload_factory=factory
+        )
+        return json.dumps(profile.to_dict(), sort_keys=True), campaign
+
+    def test_pruned_profile_matches_scalar(self, factory):
+        scalar, _ = self.run_profile(factory, "scalar")
+        pruned, campaign = self.run_profile(factory, "pruned")
+        assert scalar == pruned
+        stats = campaign.pruning_stats
+        assert stats.pruned > 0
+        assert stats.pruned + stats.executed == len(campaign.workload.space.regions) * 2 * 4
+
+    def test_pruned_parallel_matches_serial(self, factory):
+        serial, _ = self.run_profile(factory, "pruned")
+        parallel, campaign = self.run_profile(factory, "pruned", workers=2)
+        assert serial == parallel
+        assert campaign.pruning_stats.pruned > 0
+
+    def test_secded_everywhere_prunes_every_single_bit_trial(self, factory):
+        codecs = {"private": "SEC-DED", "heap": "SEC-DED", "stack": "SEC-DED"}
+        scalar, _ = self.run_profile(factory, "scalar", region_codecs=codecs)
+        pruned, campaign = self.run_profile(
+            factory, "pruned", region_codecs=codecs
+        )
+        assert scalar == pruned
+        assert campaign.pruning_stats.executed == 0
+        assert campaign.pruning_stats.pruning_rate == 1.0
